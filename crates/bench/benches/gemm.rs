@@ -1,0 +1,54 @@
+//! Criterion benches for the tensor kernels that restoration is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hc_tensor::gemm::{matmul, matmul_nt};
+use hc_tensor::ops::softmax_inplace;
+use hc_tensor::rope::{rope_row, DEFAULT_ROPE_BASE};
+use hc_tensor::Tensor2;
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20);
+    for &(m, k, n) in &[(64usize, 64usize, 64usize), (256, 64, 64), (128, 128, 128)] {
+        let a = Tensor2::from_fn(m, k, |r, q| ((r * 7 + q) % 13) as f32 * 0.1);
+        let b = Tensor2::from_fn(k, n, |r, q| ((r + q * 3) % 11) as f32 * 0.1);
+        group.bench_with_input(
+            BenchmarkId::new("matmul", format!("{m}x{k}x{n}")),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| black_box(matmul(a, b))),
+        );
+        let bt = b.transpose();
+        group.bench_with_input(
+            BenchmarkId::new("matmul_nt", format!("{m}x{k}x{n}")),
+            &(&a, &bt),
+            |bench, (a, bt)| bench.iter(|| black_box(matmul_nt(a, bt))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ops");
+    group.sample_size(30);
+    group.bench_function("softmax_1k", |b| {
+        let xs: Vec<f32> = (0..1024).map(|i| (i % 97) as f32 * 0.05).collect();
+        b.iter_batched(
+            || xs.clone(),
+            |mut v| softmax_inplace(black_box(&mut v)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("rope_row_4heads_64d", |b| {
+        let row: Vec<f32> = (0..64).map(|i| i as f32 * 0.01).collect();
+        b.iter_batched(
+            || row.clone(),
+            |mut r| rope_row(black_box(&mut r), 1234, 4, DEFAULT_ROPE_BASE),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benches for the bubble-free scheduler: the closed-form
+//! partition must be effectively free compared to brute force (it runs on
+//! every restoration decision).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_sched::partition::{partition_brute_force, partition_closed_form};
+use hc_sched::pipeline::simulate_scheme;
+use hc_simhw::profile::LayerCosts;
+use std::hint::black_box;
+
+fn costs() -> LayerCosts {
+    LayerCosts {
+        io_h: 3.1e-4,
+        io_kv: 6.2e-4,
+        c_h: 3.4e-4,
+        c_token: 2.1e-3,
+    }
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    let lc = costs();
+    group.bench_function("closed_form_40_layers", |b| {
+        b.iter(|| black_box(partition_closed_form(black_box(&lc), 40)))
+    });
+    group.bench_function("brute_force_40_layers", |b| {
+        b.iter(|| black_box(partition_brute_force(black_box(&lc), 40)))
+    });
+    group.bench_function("pipeline_simulation_40_layers", |b| {
+        let scheme = partition_closed_form(&lc, 40);
+        b.iter(|| black_box(simulate_scheme(&lc, &scheme, 40)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

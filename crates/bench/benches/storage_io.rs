@@ -1,0 +1,67 @@
+//! Criterion benches for the chunked storage manager and two-stage saver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_storage::backend::MemStore;
+use hc_storage::manager::StorageManager;
+use hc_storage::two_stage::{SaveMode, StateSaver};
+use hc_storage::StreamId;
+use hc_tensor::Tensor2;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const D: usize = 256;
+
+fn bench_manager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_manager");
+    group.sample_size(20);
+
+    group.bench_function("append_256_tokens", |b| {
+        let rows = Tensor2::from_fn(256, D, |r, q| ((r + q) % 19) as f32 * 0.1);
+        b.iter_batched(
+            || StorageManager::new(Arc::new(MemStore::new(4)), D),
+            |mgr| {
+                mgr.append_rows(StreamId::hidden(1, 0), black_box(&rows))
+                    .unwrap();
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("read_layer_256_tokens", |b| {
+        let mgr = StorageManager::new(Arc::new(MemStore::new(4)), D);
+        let rows = Tensor2::from_fn(256, D, |r, q| ((r + q) % 19) as f32 * 0.1);
+        mgr.append_rows(StreamId::hidden(1, 0), &rows).unwrap();
+        b.iter(|| black_box(mgr.read_rows(StreamId::hidden(1, 0), 0, 256).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_two_stage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_stage_saver");
+    group.sample_size(20);
+
+    // The decode-path cost the paper cares about: how long save_batch
+    // blocks the "GPU" (stage 1 only).
+    group.bench_function("snapshot_batch16_stage1", |b| {
+        let mgr = Arc::new(StorageManager::new(Arc::new(MemStore::new(4)), D));
+        let saver = StateSaver::new(Arc::clone(&mgr), SaveMode::TwoStage);
+        let row = vec![0.5f32; 16 * D]; // 16 sequences
+        b.iter(|| {
+            saver.save_batch(black_box(&[(StreamId::hidden(1, 0), row.as_slice())]));
+        });
+        saver.barrier_and_flush(1);
+    });
+
+    group.bench_function("direct_io_batch16", |b| {
+        let mgr = Arc::new(StorageManager::new(Arc::new(MemStore::new(4)), D));
+        let saver = StateSaver::new(Arc::clone(&mgr), SaveMode::DirectIo);
+        let row = vec![0.5f32; 16 * D];
+        b.iter(|| {
+            saver.save_batch(black_box(&[(StreamId::hidden(1, 0), row.as_slice())]));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_manager, bench_two_stage);
+criterion_main!(benches);

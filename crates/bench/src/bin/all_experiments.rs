@@ -1,0 +1,9 @@
+//! Runs every table/figure experiment in paper order and prints the full
+//! report (this regenerates the measured columns of EXPERIMENTS.md).
+//! Pass `--quick` for a fast smoke run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("# HCache reproduction — experiment report\n");
+    print!("{}", hc_bench::experiments::run_all(quick));
+}

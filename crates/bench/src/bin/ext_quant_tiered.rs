@@ -1,0 +1,7 @@
+//! Extensions beyond the paper: int8-quantized hidden states (§7) and a
+//! hierarchical DRAM+SSD backend (§4). Pass `--quick` for a fast run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", hc_bench::experiments::ext::run(quick));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig09 output. Pass `--quick` for a fast run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", hc_bench::experiments::fig09::run(quick));
+}

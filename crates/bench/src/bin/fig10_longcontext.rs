@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig10 output. Pass `--quick` for a fast run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", hc_bench::experiments::fig10::run(quick));
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 11 (sensitivity analysis).
+//! Usage: `fig11_sensitivity [gpu|ssd|ctx|all] [--quick]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let out = match which {
+        "gpu" => hc_bench::experiments::fig11::run_gpu(quick),
+        "ssd" => hc_bench::experiments::fig11::run_ssd(quick),
+        "ctx" => hc_bench::experiments::fig11::run_ctx(quick),
+        _ => hc_bench::experiments::fig11::run(quick),
+    };
+    print!("{out}");
+}

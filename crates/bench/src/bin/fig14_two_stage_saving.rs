@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig14 output. Pass `--quick` for a fast run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", hc_bench::experiments::fig14::run(quick));
+}

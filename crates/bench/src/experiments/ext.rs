@@ -1,0 +1,257 @@
+//! Extensions beyond the paper's evaluation, implementing two directions
+//! the paper explicitly marks as applicable (§4 hierarchy, §7
+//! quantization):
+//!
+//! * **Quantized hidden states** (int8): halves transmission again relative
+//!   to fp16 hidden states (4× less than KV offload) at bounded error —
+//!   measured functionally (real restore, real error) and projected on the
+//!   paper's testbed.
+//! * **Hierarchical DRAM+SSD backend**: hot contexts restore at DRAM/link
+//!   speed, cold ones at SSD speed — measured functionally via front-cache
+//!   hit counters and projected timings.
+
+use std::sync::Arc;
+
+use hc_model::{KvCache, Model, ModelConfig};
+use hc_restore::engine::{kv_max_error, restore_session, save_session_state};
+use hc_sched::partition::PartitionScheme;
+use hc_sched::shape_of;
+use hc_simhw::platform::Platform;
+use hc_simhw::profile::PlatformProfile;
+use hc_storage::backend::MemStore;
+use hc_storage::manager::StorageManager;
+use hc_storage::tiered::TieredStore;
+use hc_storage::Precision;
+
+use crate::fmt;
+
+/// Quantized-hidden-state extension: storage cost and restoration fidelity.
+pub fn run_quant(_quick: bool) -> String {
+    let cfg = ModelConfig::tiny_llama();
+    let model = Model::new(&cfg, 5);
+    let tokens: Vec<u32> = (0..128u32).map(|i| (i * 29) % 256).collect();
+    let scheme = PartitionScheme::pure_hidden(cfg.n_layers);
+
+    let mut rows = Vec::new();
+    for (name, precision) in [
+        ("fp16 (paper)", Precision::F16),
+        ("int8 (ext)", Precision::Int8),
+    ] {
+        let mgr =
+            StorageManager::with_precision(Arc::new(MemStore::new(4)), cfg.d_model, precision);
+        let mut kv = KvCache::new(&cfg);
+        let out = model.prefill(&tokens, &mut kv, true);
+        save_session_state(
+            &model,
+            &mgr,
+            1,
+            &out.hidden_per_layer.unwrap(),
+            &kv,
+            &scheme,
+        )
+        .unwrap();
+        let restored = restore_session(&model, &mgr, 1, &tokens, tokens.len(), &scheme).unwrap();
+        let err = kv_max_error(&restored, &kv);
+        let bytes = mgr.stats().total_bytes_written();
+        rows.push(vec![
+            name.into(),
+            format!("{} B", bytes),
+            format!("{err:.2e}"),
+        ]);
+    }
+
+    // Projected IO sizes at paper scale (Llama2-7B, 8K context).
+    let d = 4096u64;
+    let n = 8192u64;
+    let layers = 32u64;
+    let kv_bytes = 2 * n * d * 2 * layers;
+    let h16 = n * d * 2 * layers;
+    let h8 = (n * (d + 4)) * layers;
+    let mut out = fmt::table(
+        "Extension: int8-quantized hidden states (tiny model, 128 tokens, real restore)",
+        &["format", "bytes written", "max KV error"],
+        &rows,
+    );
+    out.push_str(&fmt::table(
+        "Extension: projected transfer volume, Llama2-7B @ 8K context",
+        &["state", "bytes", "vs KV offload"],
+        &[
+            vec![
+                "KV cache (offload)".into(),
+                format!("{} MiB", kv_bytes >> 20),
+                "1.00x".into(),
+            ],
+            vec![
+                "hidden fp16 (HCache)".into(),
+                format!("{} MiB", h16 >> 20),
+                fmt::ratio(kv_bytes as f64 / h16 as f64),
+            ],
+            vec![
+                "hidden int8 (ext)".into(),
+                format!("{} MiB", h8 >> 20),
+                fmt::ratio(kv_bytes as f64 / h8 as f64),
+            ],
+        ],
+    ));
+    out
+}
+
+/// Hierarchical-backend extension: hot contexts hit DRAM.
+pub fn run_tiered(_quick: bool) -> String {
+    let cfg = ModelConfig::tiny_llama();
+    let model = Model::new(&cfg, 7);
+    let tokens: Vec<u32> = (0..100u32).map(|i| (i * 13) % 256).collect();
+    let scheme = PartitionScheme::pure_hidden(cfg.n_layers);
+
+    // Front cache sized for ~one session's hidden states.
+    let hidden_bytes = 100 * cfg.d_model * 2 * cfg.n_layers;
+    let store = Arc::new(TieredStore::new(
+        Arc::new(MemStore::new(4)),
+        hidden_bytes as u64 + 4096,
+    ));
+    let mgr = StorageManager::new(Arc::clone(&store), cfg.d_model);
+
+    // Save two sessions; the second evicts the first from DRAM.
+    for session in [1u64, 2] {
+        let toks: Vec<u32> = tokens
+            .iter()
+            .map(|t| t + session as u32)
+            .map(|t| t % 256)
+            .collect();
+        let mut kv = KvCache::new(&cfg);
+        let out = model.prefill(&toks, &mut kv, true);
+        save_session_state(
+            &model,
+            &mgr,
+            session,
+            &out.hidden_per_layer.unwrap(),
+            &kv,
+            &scheme,
+        )
+        .unwrap();
+    }
+    // Session 2 is hot (DRAM), session 1 is cold (SSD only).
+    let toks2: Vec<u32> = tokens.iter().map(|t| (t + 2) % 256).collect();
+    let _ = restore_session(&model, &mgr, 2, &toks2, tokens.len(), &scheme).unwrap();
+    let hot_hits = store.front_hits();
+    let toks1: Vec<u32> = tokens.iter().map(|t| (t + 1) % 256).collect();
+    let _ = restore_session(&model, &mgr, 1, &toks1, tokens.len(), &scheme).unwrap();
+    let cold_misses = store.front_misses();
+
+    // Projected restore times: DRAM-hit vs SSD path on the default testbed.
+    let profile_ssd = PlatformProfile::new(
+        Platform::default_testbed_single_gpu(),
+        shape_of(&ModelConfig::llama2_7b()),
+    );
+    let profile_dram = PlatformProfile::new(
+        Platform::dram_backed(hc_simhw::gpu::GpuSpec::a100(), 1),
+        shape_of(&ModelConfig::llama2_7b()),
+    );
+    let n = 8192;
+    let t_ssd =
+        hc_restore::sim::simulate_restore(&profile_ssd, hc_restore::RestoreMethod::HCache, n);
+    let t_dram =
+        hc_restore::sim::simulate_restore(&profile_dram, hc_restore::RestoreMethod::HCache, n);
+
+    let mut out = fmt::table(
+        "Extension: hierarchical DRAM+SSD backend (functional hit counters)",
+        &["metric", "value"],
+        &[
+            vec![
+                "hot-session restore chunk reads from DRAM".into(),
+                hot_hits.to_string(),
+            ],
+            vec![
+                "cold-session restore chunk reads from SSD".into(),
+                cold_misses.to_string(),
+            ],
+        ],
+    );
+    out.push_str(&fmt::table(
+        "Extension: projected HCache restore time, 7B @ 8K context",
+        &["tier", "restore time", "speed"],
+        &[
+            vec![
+                "SSD array (4x PM9A3)".into(),
+                fmt::secs(t_ssd.secs),
+                fmt::ktoks(t_ssd.speed),
+            ],
+            vec![
+                "DRAM hit".into(),
+                fmt::secs(t_dram.secs),
+                fmt::ktoks(t_dram.speed),
+            ],
+        ],
+    ));
+    out
+}
+
+/// Think-time prefetching extension: follow-up conversation rounds restore
+/// from DRAM-staged state at link speed (§4's AttentionStore-style
+/// prefetching, composed with HCache).
+pub fn run_prefetch(_quick: bool) -> String {
+    use hc_restore::RestoreMethod;
+    use hc_serving::{ServingConfig, ServingEngine};
+    use hc_workload::Request;
+
+    let profile = PlatformProfile::new(
+        Platform::a100_with_ssds(1, 1),
+        shape_of(&ModelConfig::llama2_7b()),
+    );
+    let mut rows = Vec::new();
+    for (name, prefetch) in [("HCache", false), ("HCache + prefetch", true)] {
+        let mut cfg = ServingConfig::for_method(RestoreMethod::HCache);
+        cfg.prefetch_to_dram = prefetch;
+        let e = ServingEngine::new(profile.clone(), cfg);
+        // Five rounds of one conversation, 4K history by the later rounds.
+        let reqs: Vec<Request> = (0..5)
+            .map(|i| Request {
+                session_id: 1,
+                arrival: i as f64, // spacing re-derived via think time
+                history_tokens: 1024 * i,
+                input_tokens: 64,
+                output_tokens: 32,
+            })
+            .collect();
+        let r = e.run(&reqs);
+        let last = r.requests.last().unwrap().ttft();
+        rows.push(vec![name.into(), fmt::secs(r.mean_ttft()), fmt::secs(last)]);
+    }
+    fmt::table(
+        "Extension: think-time prefetch to DRAM (7B, A100 + 1 SSD, 5-round session)",
+        &["configuration", "mean TTFT", "round-5 TTFT"],
+        &rows,
+    )
+}
+
+/// All extensions.
+pub fn run(quick: bool) -> String {
+    let mut out = run_quant(quick);
+    out.push_str(&run_tiered(quick));
+    out.push_str(&run_prefetch(quick));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quant_extension_reports_both_formats() {
+        let s = super::run_quant(true);
+        assert!(s.contains("fp16 (paper)"));
+        assert!(s.contains("int8 (ext)"));
+        assert!(s.contains("vs KV offload"));
+    }
+
+    #[test]
+    fn prefetch_extension_improves_followup_ttft() {
+        let s = super::run_prefetch(true);
+        assert!(s.contains("HCache + prefetch"));
+    }
+
+    #[test]
+    fn tiered_extension_shows_hot_and_cold_paths() {
+        let s = super::run_tiered(true);
+        assert!(s.contains("DRAM"));
+        assert!(s.contains("SSD"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 9 — overall performance on the ShareGPT4 multi-round trace:
+//! TTFT (a–c) and TBT (d–f) versus session load rate, for the four methods,
+//! on the three models.
+
+use hc_model::ModelConfig;
+use hc_restore::RestoreMethod;
+use hc_serving::{ServingConfig, ServingEngine};
+use hc_workload::arrival::schedule_sessions;
+use hc_workload::sharegpt::{generate_sessions, ShareGptConfig};
+
+use crate::{fmt, paper_profile};
+
+/// Load-rate sweeps per model (sessions/s). The paper's axes reach
+/// 1.0 / 0.25 / 1.5 sessions/s on real A100s; our virtual GPU sustains a
+/// lower decode throughput (conservative KV-pool reservation and full-KV
+/// HBM reads per iteration), so the grids below span the same utilization
+/// range — from lightly loaded up to just below the saturation knee, which
+/// is where Figure 9's TTFT curves live.
+fn rates_for(model: &str, quick: bool) -> Vec<f64> {
+    let full: Vec<f64> = match model {
+        "Llama2-7B" => vec![0.10, 0.20, 0.30, 0.40, 0.50],
+        "Llama2-13B" => vec![0.02, 0.05, 0.10, 0.15, 0.20],
+        _ => vec![0.10, 0.20, 0.30, 0.40, 0.50],
+    };
+    if quick {
+        vec![full[0], *full.last().unwrap()]
+    } else {
+        full
+    }
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> String {
+    let n_sessions = if quick { 40 } else { 600 };
+    let horizon = if quick { 200.0 } else { 600.0 };
+    let methods = [
+        RestoreMethod::Recompute,
+        RestoreMethod::KvOffload,
+        RestoreMethod::HCache,
+        RestoreMethod::Ideal,
+    ];
+    let mut out = String::new();
+    for cfg in ModelConfig::paper_models() {
+        let profile = paper_profile(&cfg);
+        let sessions = generate_sessions(n_sessions, &ShareGptConfig::default(), 11);
+        let mut rows = Vec::new();
+        for rate in rates_for(&cfg.name, quick) {
+            let reqs = schedule_sessions(&sessions, rate, horizon, 13);
+            let mut cells = vec![format!("{rate:.2}")];
+            let mut ttfts = Vec::new();
+            for m in methods {
+                let engine = ServingEngine::new(profile.clone(), ServingConfig::for_method(m));
+                let report = engine.run(&reqs);
+                ttfts.push(report.mean_ttft());
+                cells.push(format!(
+                    "{} / {}",
+                    fmt::secs(report.mean_ttft()),
+                    fmt::secs(report.mean_tbt())
+                ));
+            }
+            // Speedups vs HCache.
+            cells.push(format!(
+                "{} vs KV, {} vs RE",
+                fmt::ratio(ttfts[1] / ttfts[2]),
+                fmt::ratio(ttfts[0] / ttfts[2])
+            ));
+            rows.push(cells);
+        }
+        out.push_str(&fmt::table(
+            &format!(
+                "Figure 9: {} on ShareGPT4 — mean TTFT / TBT vs load (30s round interval)",
+                cfg.name
+            ),
+            &[
+                "rate (sess/s)",
+                "Recomputation",
+                "KV Offload",
+                "HCache",
+                "Ideal",
+                "HCache TTFT speedup",
+            ],
+            &rows,
+        ));
+    }
+    out.push_str("paper: HCache TTFT 1.27-1.90x vs KV offload, 2.21-3.57x vs recompute; TBT within 4% of ideal\n\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn produces_all_three_models() {
+        let s = super::run(true);
+        assert!(s.contains("Llama2-7B"));
+        assert!(s.contains("Llama2-13B"));
+        assert!(s.contains("OPT-30B"));
+        assert!(s.contains("vs KV"));
+    }
+}

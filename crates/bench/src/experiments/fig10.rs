@@ -1,0 +1,80 @@
+//! Figure 10 — TTFT of long-context applications (L-Eval), batch size 1:
+//! four sub-task groups × three models × four methods.
+
+use hc_model::ModelConfig;
+use hc_restore::RestoreMethod;
+use hc_serving::{ServingConfig, ServingEngine};
+use hc_workload::leval::{generate_requests, table1_subtasks};
+
+use crate::{fmt, paper_profile};
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> String {
+    let n = if quick { 10 } else { 100 };
+    let mut out = String::new();
+    let mut speedups: Vec<f64> = Vec::new();
+    for task in table1_subtasks() {
+        let mut rows = Vec::new();
+        for cfg in ModelConfig::paper_models() {
+            let profile = paper_profile(&cfg);
+            let mut reqs = generate_requests(&task, n, cfg.max_seq_len as u32 - 512, 3);
+            for (i, r) in reqs.iter_mut().enumerate() {
+                r.arrival = i as f64 * 1000.0; // batch size 1
+                r.session_id = i as u64;
+            }
+            let ttft = |m: RestoreMethod| {
+                ServingEngine::new(profile.clone(), ServingConfig::for_method(m))
+                    .run(&reqs)
+                    .mean_ttft()
+            };
+            let (rec, kv, hc, ideal) = (
+                ttft(RestoreMethod::Recompute),
+                ttft(RestoreMethod::KvOffload),
+                ttft(RestoreMethod::HCache),
+                ttft(RestoreMethod::Ideal),
+            );
+            speedups.push(kv / hc);
+            rows.push(vec![
+                cfg.name.clone(),
+                fmt::secs(rec),
+                fmt::secs(kv),
+                fmt::secs(hc),
+                fmt::secs(ideal),
+                format!(
+                    "{} vs KV, {} vs RE",
+                    fmt::ratio(kv / hc),
+                    fmt::ratio(rec / hc)
+                ),
+            ]);
+        }
+        out.push_str(&fmt::table(
+            &format!("Figure 10: TTFT on L-Eval '{}' (batch 1)", task.name),
+            &[
+                "model",
+                "Recomputation",
+                "KV Offload",
+                "HCache",
+                "Ideal",
+                "HCache speedup",
+            ],
+            &rows,
+        ));
+    }
+    let max = speedups.iter().cloned().fold(0.0_f64, f64::max);
+    out.push_str(&format!(
+        "paper: HCache 1.62-1.93x vs KV offload, 2.66-5.73x vs recompute; measured max vs KV: {}\n\n",
+        fmt::ratio(max)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn covers_all_subtasks() {
+        let s = super::run(true);
+        for t in ["Paper Assistant", "GSM-100", "QuALITY", "Mixed"] {
+            assert!(s.contains(t), "missing {t}");
+        }
+    }
+}

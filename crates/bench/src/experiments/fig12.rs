@@ -1,0 +1,90 @@
+//! Figure 12 — ablation of the bubble-free scheduler: five methods on
+//! three hardware balances (IO-sufficient, compute-sufficient, balanced).
+
+use hc_model::ModelConfig;
+use hc_restore::sim::simulate_restore;
+use hc_restore::RestoreMethod;
+use hc_sched::shape_of;
+use hc_simhw::gpu::GpuSpec;
+use hc_simhw::platform::Platform;
+use hc_simhw::profile::PlatformProfile;
+use hc_simhw::storagehw::{SsdSpec, StorageTier};
+
+use crate::fmt;
+
+fn setting(name: &str, gpu: GpuSpec, model: ModelConfig, ssds: usize) -> (String, PlatformProfile) {
+    let platform = Platform {
+        name: name.into(),
+        gpu,
+        n_gpus: 1,
+        storage: StorageTier::SsdArray {
+            spec: SsdSpec::pm9a3(),
+            count: ssds,
+        },
+    };
+    (
+        format!("{name} ({}+{}SSD, {})", platform.gpu.name, ssds, model.name),
+        PlatformProfile::new(platform, shape_of(&model)),
+    )
+}
+
+/// Runs the experiment.
+pub fn run(_quick: bool) -> String {
+    let settings = vec![
+        setting("IO-Sufficient", GpuSpec::a30(), ModelConfig::llama2_7b(), 4),
+        setting(
+            "Compute-Sufficient",
+            GpuSpec::a100(),
+            ModelConfig::llama2_7b(),
+            1,
+        ),
+        setting("Balanced", GpuSpec::a100(), ModelConfig::llama2_13b(), 4),
+    ];
+    let methods = [
+        RestoreMethod::Recompute,
+        RestoreMethod::KvOffload,
+        RestoreMethod::HCacheO,
+        RestoreMethod::NaiveHybrid,
+        RestoreMethod::HCache,
+    ];
+    let mut rows = Vec::new();
+    for (name, profile) in &settings {
+        let mut cells = vec![name.clone()];
+        let speeds: Vec<f64> = methods
+            .iter()
+            .map(|m| simulate_restore(profile, *m, 1024).speed)
+            .collect();
+        cells.extend(speeds.iter().map(|s| fmt::ktoks(*s)));
+        // HCache vs the best hidden-state-free approach (naive hybrid) and
+        // vs HCache-O.
+        cells.push(fmt::ratio(speeds[4] / speeds[3]));
+        cells.push(fmt::ratio(speeds[4] / speeds[2]));
+        rows.push(cells);
+    }
+    let mut out = fmt::table(
+        "Figure 12: scheduler ablation — restoration speed (history 1024)",
+        &[
+            "setting",
+            "Recomputation",
+            "KV Offload",
+            "HCache-O",
+            "Naive Hybrid",
+            "HCache",
+            "vs NaiveHybrid",
+            "vs HCache-O",
+        ],
+        &rows,
+    );
+    out.push_str("paper: HCache 1.28-1.42x vs naive hybrid; scheduler improves HCache-O by 1.35-1.64x on skewed hardware; HCache 1.45-2.66x vs KV offload\n\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hcache_wins_everywhere() {
+        let s = super::run(true);
+        assert!(s.contains("IO-Sufficient"));
+        assert!(s.contains("Balanced"));
+    }
+}

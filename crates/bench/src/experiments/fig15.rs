@@ -1,0 +1,106 @@
+//! Figure 15 — performance with on-GPU KV reuse (§6.4): LRU cache over
+//! contexts, Zipf-α arrival skew; cache hit ratio and TTFT per method.
+
+use hc_model::ModelConfig;
+use hc_restore::RestoreMethod;
+use hc_serving::{ServingConfig, ServingEngine};
+use hc_workload::leval::LEVAL_AVG;
+use hc_workload::rng::Rng;
+use hc_workload::zipf::Zipf;
+use hc_workload::Request;
+
+use crate::{fmt, paper_profile};
+
+/// Builds a request stream over `n_contexts` distinct contexts whose
+/// popularity follows Zipf(alpha); `alpha = 0` is the uniform pattern.
+fn build_requests(n_contexts: usize, n_requests: usize, alpha: f64, seed: u64) -> Vec<Request> {
+    let mut rng = Rng::new(seed);
+    let zipf = Zipf::new(n_contexts, alpha);
+    // Fixed context lengths per context id (L-Eval-like scale, but bounded
+    // so several fit in the GPU cache at once).
+    // Sized so ~8 contexts fit the 7B KV pool at once -> ~15% uniform hit
+    // ratio with 60 contexts, matching the paper's setup.
+    let ctx_len: Vec<u32> = (0..n_contexts)
+        .map(|_| {
+            (rng.lognormal_with_mean(LEVAL_AVG.context_mean.min(5500.0), 0.3) as u32)
+                .clamp(1024, 12 * 1024)
+        })
+        .collect();
+    (0..n_requests)
+        .map(|i| {
+            let ctx = zipf.sample(&mut rng);
+            Request {
+                session_id: ctx as u64,
+                arrival: i as f64 * 2.0,
+                history_tokens: ctx_len[ctx],
+                input_tokens: 45,
+                output_tokens: 8,
+            }
+        })
+        .collect()
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> String {
+    let (n_contexts, n_requests) = if quick { (20, 100) } else { (60, 1000) };
+    let cfg = ModelConfig::llama2_7b();
+    let profile = paper_profile(&cfg);
+    let alphas: &[(&str, f64)] = &[
+        ("Uniform", 0.0),
+        ("1.2", 1.2),
+        ("1.4", 1.4),
+        ("1.6", 1.6),
+        ("1.8", 1.8),
+        ("2.0", 2.0),
+    ];
+    let methods = [
+        RestoreMethod::Recompute,
+        RestoreMethod::KvOffload,
+        RestoreMethod::HCache,
+    ];
+    let mut rows = Vec::new();
+    for (name, alpha) in alphas {
+        let reqs = build_requests(n_contexts, n_requests, *alpha, 5);
+        let mut cells = vec![name.to_string()];
+        let mut hit_ratio = 0.0;
+        let mut ttfts = Vec::new();
+        for m in methods {
+            let mut scfg = ServingConfig::for_method(m);
+            scfg.reuse_gpu_cache = true;
+            let report = ServingEngine::new(profile.clone(), scfg).run(&reqs);
+            hit_ratio = report.cache_hit_ratio().unwrap_or(0.0);
+            ttfts.push(report.mean_ttft());
+        }
+        cells.push(format!("{:.0}%", hit_ratio * 100.0));
+        for t in &ttfts {
+            cells.push(fmt::secs(*t));
+        }
+        cells.push(fmt::ratio(ttfts[1] / ttfts[2]));
+        rows.push(cells);
+    }
+    let mut out = fmt::table(
+        "Figure 15: GPU KV reuse — hit ratio and mean TTFT vs Zipf skew (7B, 4 SSDs, LRU)",
+        &[
+            "skew α",
+            "hit ratio",
+            "Recomputation",
+            "KV Offload",
+            "HCache",
+            "HCache vs KV",
+        ],
+        &rows,
+    );
+    out.push_str("paper: uniform hit ratio ~15% with HCache 1.67x vs KV offload; at α=2.0 hits reach ~94% and HCache still 1.15x\n\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn skew_increases_hit_ratio() {
+        let s = super::run(true);
+        assert!(s.contains("Uniform"));
+        assert!(s.contains("2.0"));
+        assert!(s.contains("hit ratio"));
+    }
+}

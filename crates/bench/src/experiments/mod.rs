@@ -1,0 +1,36 @@
+//! One module per paper table/figure. Each exposes `run(quick) -> String`.
+
+pub mod ext;
+pub mod fig01;
+pub mod fig03;
+pub mod fig04;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+/// Runs every experiment, in the paper's order.
+pub fn run_all(quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&fig01::run(quick));
+    out.push_str(&fig03::run(quick));
+    out.push_str(&table1::run(quick));
+    out.push_str(&fig04::run(quick));
+    out.push_str(&table2::run(quick));
+    out.push_str(&fig09::run(quick));
+    out.push_str(&fig10::run(quick));
+    out.push_str(&table3::run(quick));
+    out.push_str(&fig11::run(quick));
+    out.push_str(&fig12::run(quick));
+    out.push_str(&fig13::run(quick));
+    out.push_str(&fig14::run(quick));
+    out.push_str(&fig15::run(quick));
+    out.push_str(&ext::run(quick));
+    out
+}

@@ -1,0 +1,57 @@
+//! Table 1 — statistics of the L-Eval-like dataset.
+
+use hc_workload::leval::{generate_requests, table1_subtasks};
+use hc_workload::stats::mean;
+
+use crate::fmt;
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> String {
+    let n = if quick { 400 } else { 4000 };
+    let rows: Vec<Vec<String>> = table1_subtasks()
+        .iter()
+        .map(|task| {
+            let reqs = generate_requests(task, n, 32 * 1024, 7);
+            let ctx = mean(
+                &reqs
+                    .iter()
+                    .map(|r| r.history_tokens as f64)
+                    .collect::<Vec<_>>(),
+            );
+            let inp = mean(
+                &reqs
+                    .iter()
+                    .map(|r| r.input_tokens as f64)
+                    .collect::<Vec<_>>(),
+            );
+            let out = mean(
+                &reqs
+                    .iter()
+                    .map(|r| r.output_tokens as f64)
+                    .collect::<Vec<_>>(),
+            );
+            vec![
+                task.name.to_string(),
+                format!("{:.1} / {:.1}", task.context_mean, ctx),
+                format!("{:.1} / {:.1}", task.input_mean, inp),
+                format!("{:.1} / {:.1}", task.output_mean, out),
+            ]
+        })
+        .collect();
+    fmt::table(
+        "Table 1: L-Eval sub-task statistics (paper / measured)",
+        &["task", "context", "input", "output"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_four_subtasks_reported() {
+        let s = super::run(true);
+        for name in ["Paper Assistant", "GSM-100", "QuALITY", "Mixed"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+}

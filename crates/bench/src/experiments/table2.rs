@@ -1,0 +1,38 @@
+//! Table 2 — hardware characteristics of the evaluated platforms.
+
+use hc_simhw::gpu::GpuSpec;
+
+use crate::fmt;
+
+/// Runs the experiment.
+pub fn run(_quick: bool) -> String {
+    let rows: Vec<Vec<String>> = GpuSpec::table2()
+        .iter()
+        .map(|g| {
+            vec![
+                g.name.to_string(),
+                format!("{}G", g.hbm_bytes / (1024 * 1024 * 1024)),
+                format!("{:.0}T", g.peak_flops / 1e12),
+                format!("{:.0}GB/s", g.pcie_bw / 1e9),
+                format!("{:.2}TB/s", g.hbm_bw / 1e12),
+            ]
+        })
+        .collect();
+    fmt::table(
+        "Table 2: hardware characteristics (FLOPS = FP16)",
+        &["GPU", "HBM", "FLOPS", "transmission", "HBM bandwidth"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn matches_paper_values() {
+        let s = super::run(true);
+        assert!(s.contains("A100"));
+        assert!(s.contains("312T"));
+        assert!(s.contains("990T"));
+        assert!(s.contains("64GB/s"));
+    }
+}

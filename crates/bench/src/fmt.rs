@@ -1,0 +1,95 @@
+//! Plain-text table/series formatting for experiment reports.
+
+/// Renders a titled, column-aligned table.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::from("| ");
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<width$} | ", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(
+        headers.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
+    out.push('\n');
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&fmt_row(sep, &widths));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out.push('\n');
+    out
+}
+
+/// Formats seconds with an adaptive unit.
+pub fn secs(s: f64) -> String {
+    if s == 0.0 {
+        "0".into()
+    } else if s < 1e-3 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{:.3}s", s)
+    }
+}
+
+/// Formats a tokens/s speed as `K tokens/s`.
+pub fn ktoks(speed: f64) -> String {
+    if speed.is_infinite() {
+        "inf".into()
+    } else {
+        format!("{:.1}K", speed / 1e3)
+    }
+}
+
+/// Formats a ratio as `x.xx×`.
+pub fn ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let out = table(
+            "Demo",
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "2".into()],
+            ],
+        );
+        assert!(out.contains("## Demo"));
+        assert!(out.contains("longer-name"));
+        // All data rows present.
+        assert_eq!(out.lines().count(), 6); // title, header, sep, 2 rows, blank
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(secs(0.0), "0");
+        assert_eq!(secs(5e-5), "50.0us");
+        assert_eq!(secs(0.25), "250.0ms");
+        assert_eq!(secs(2.5), "2.500s");
+        assert_eq!(ktoks(45_600.0), "45.6K");
+        assert_eq!(ktoks(f64::INFINITY), "inf");
+        assert_eq!(ratio(1.934), "1.93x");
+    }
+}

@@ -1,0 +1,55 @@
+//! # hc-bench
+//!
+//! The experiment harness: one module (and one binary) per table and figure
+//! of the paper's evaluation (§6). Each module exposes `run(quick) ->
+//! String` producing the same rows/series the paper reports; binaries print
+//! them, and `all_experiments` concatenates everything (this is what
+//! regenerates EXPERIMENTS.md's measured columns).
+//!
+//! `quick = true` shrinks trace sizes so the whole suite runs in seconds —
+//! used by the tests; binaries default to the full configuration.
+
+pub mod experiments;
+pub mod fmt;
+
+use hc_model::ModelConfig;
+use hc_sched::shape_of;
+use hc_simhw::gpu::GpuSpec;
+use hc_simhw::platform::Platform;
+use hc_simhw::profile::PlatformProfile;
+
+/// The paper's default testbed for a model: one A100 + 4 SSDs, except
+/// OPT-30B which runs tensor-parallel on 4 A100s (§6 Testbed).
+pub fn paper_platform(cfg: &ModelConfig) -> Platform {
+    if cfg.n_layers >= 48 {
+        Platform::default_testbed_tp4()
+    } else {
+        Platform::default_testbed_single_gpu()
+    }
+}
+
+/// Profile on the paper's default testbed.
+pub fn paper_profile(cfg: &ModelConfig) -> PlatformProfile {
+    PlatformProfile::new(paper_platform(cfg), shape_of(cfg))
+}
+
+/// Profile on a DRAM-backed cloud server (Fig 11a–c setting).
+pub fn dram_profile(cfg: &ModelConfig, gpu: GpuSpec, n_gpus: usize) -> PlatformProfile {
+    PlatformProfile::new(Platform::dram_backed(gpu, n_gpus), shape_of(cfg))
+}
+
+/// Profile with an explicit SSD count on A100s (Fig 11d–f setting).
+pub fn ssd_profile(cfg: &ModelConfig, n_gpus: usize, n_ssds: usize) -> PlatformProfile {
+    PlatformProfile::new(Platform::a100_with_ssds(n_gpus, n_ssds), shape_of(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_platform_uses_tp4_for_opt30b() {
+        assert_eq!(paper_platform(&ModelConfig::opt_30b()).n_gpus, 4);
+        assert_eq!(paper_platform(&ModelConfig::llama2_7b()).n_gpus, 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! Model architecture configurations.
+//!
+//! The three full-size configs match the models the paper evaluates
+//! (Llama2-7B, Llama2-13B, OPT-30B) with context windows expanded to 16K /
+//! 32K as in §6. The `tiny_*` configs keep the same structure at dimensions
+//! a CPU can execute, and are what the functional tests and examples run.
+
+/// Normalization flavor applied before the attention and FFN blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormKind {
+    /// RMSNorm (Llama family).
+    RmsNorm,
+    /// LayerNorm with bias (OPT family).
+    LayerNorm,
+}
+
+/// Position encoding flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PosKind {
+    /// Rotary embeddings applied to Q/K (Llama family). Restoration must
+    /// re-apply RoPE to recomputed K at each token's original position.
+    Rope,
+    /// Learned absolute position embeddings added to the input embedding
+    /// (OPT family). Position information lives in the hidden states
+    /// themselves, so KV restoration is a pure projection.
+    Learned,
+}
+
+/// Architecture description of a decoder-only transformer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Human-readable name used in reports ("Llama2-7B", ...).
+    pub name: String,
+    /// Number of transformer layers.
+    pub n_layers: usize,
+    /// Hidden (model) dimension D.
+    pub d_model: usize,
+    /// Number of attention heads (MHA: keys/values have the same head count).
+    pub n_heads: usize,
+    /// FFN intermediate dimension.
+    pub d_ff: usize,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Maximum sequence length supported.
+    pub max_seq_len: usize,
+    /// Pre-block normalization flavor.
+    pub norm: NormKind,
+    /// Position encoding flavor.
+    pub pos: PosKind,
+    /// Bytes per stored element (2 = fp16, as in the paper).
+    pub elem_bytes: usize,
+    /// Total parameter count in billions, used for weight-memory sizing in
+    /// the performance models (functional models compute this from shapes).
+    pub param_count: u64,
+}
+
+impl ModelConfig {
+    /// Dimension of one attention head.
+    pub fn head_dim(&self) -> usize {
+        debug_assert_eq!(self.d_model % self.n_heads, 0);
+        self.d_model / self.n_heads
+    }
+
+    /// Bytes of hidden state per token per layer (`D · elem_bytes`).
+    pub fn hidden_bytes_per_token_layer(&self) -> usize {
+        self.d_model * self.elem_bytes
+    }
+
+    /// Bytes of KV cache per token per layer (`2 · D · elem_bytes`) — K and V
+    /// each have the same shape as the hidden state (MHA).
+    pub fn kv_bytes_per_token_layer(&self) -> usize {
+        2 * self.d_model * self.elem_bytes
+    }
+
+    /// Total hidden-state bytes per token across all layers.
+    pub fn hidden_bytes_per_token(&self) -> usize {
+        self.n_layers * self.hidden_bytes_per_token_layer()
+    }
+
+    /// Total KV-cache bytes per token across all layers.
+    pub fn kv_bytes_per_token(&self) -> usize {
+        self.n_layers * self.kv_bytes_per_token_layer()
+    }
+
+    /// Model weight bytes (fp16), used to size GPU memory left for KV cache.
+    pub fn weight_bytes(&self) -> u64 {
+        self.param_count * self.elem_bytes as u64
+    }
+
+    /// FLOPs to restore one layer's KV from hidden states for `n` tokens:
+    /// two `n×D · D×D` GEMMs (K and V), a multiply-add = 2 FLOPs (§3.2).
+    pub fn flops_hidden_to_kv_layer(&self, n_tokens: u64) -> u64 {
+        4 * n_tokens * (self.d_model as u64) * (self.d_model as u64)
+    }
+
+    /// FLOPs for one layer of full prefill over `n` tokens (§3.2):
+    /// attention `8·N·D² + N²·D` plus the FFN term. The paper's closed form
+    /// uses `16·N·D²` assuming a 2-matrix FFN with `d_ff = 4D`; Llama-family
+    /// models use a gated SwiGLU FFN (3 matrices, `6·N·D·d_ff` FLOPs with
+    /// `d_ff ≈ 2.7D`), which lands on the same ≈16·N·D² constant. We count
+    /// by the real architecture so the ≥6× bound of §3.2 holds for every
+    /// evaluation model.
+    pub fn flops_prefill_layer(&self, n_tokens: u64) -> u64 {
+        let d = self.d_model as u64;
+        let n = n_tokens;
+        // The paper's closed form writes the quadratic term as N²·D; the
+        // real kernel cost (QKᵀ and A·V, FMA=2) is 4·N²·D, which is also
+        // what reproduces the paper's *measured* ~28% recompute slowdown
+        // from 1K to 16K contexts (Fig 11g).
+        let attn = 8 * n * d * d + 4 * n * n * d;
+        let ffn_mats = match self.norm {
+            NormKind::RmsNorm => 6,   // SwiGLU: up, gate, down
+            NormKind::LayerNorm => 4, // classic MLP: up, down
+        };
+        let ffn = ffn_mats * n * d * (self.d_ff as u64);
+        attn + ffn
+    }
+
+    /// Llama2-7B: 32 layers, D=4096, 32 heads, FFN 11008 (§6 testbed).
+    pub fn llama2_7b() -> Self {
+        Self {
+            name: "Llama2-7B".into(),
+            n_layers: 32,
+            d_model: 4096,
+            n_heads: 32,
+            d_ff: 11008,
+            vocab_size: 32000,
+            max_seq_len: 16 * 1024,
+            norm: NormKind::RmsNorm,
+            pos: PosKind::Rope,
+            elem_bytes: 2,
+            param_count: 6_738_000_000,
+        }
+    }
+
+    /// Llama2-13B: 40 layers, D=5120, 40 heads, FFN 13824.
+    pub fn llama2_13b() -> Self {
+        Self {
+            name: "Llama2-13B".into(),
+            n_layers: 40,
+            d_model: 5120,
+            n_heads: 40,
+            d_ff: 13824,
+            vocab_size: 32000,
+            max_seq_len: 16 * 1024,
+            norm: NormKind::RmsNorm,
+            pos: PosKind::Rope,
+            elem_bytes: 2,
+            param_count: 13_016_000_000,
+        }
+    }
+
+    /// OPT-30B: 48 layers, D=7168, 56 heads, FFN 28672; runs with tensor
+    /// parallelism over 4 GPUs in the paper's testbed.
+    pub fn opt_30b() -> Self {
+        Self {
+            name: "OPT-30B".into(),
+            n_layers: 48,
+            d_model: 7168,
+            n_heads: 56,
+            d_ff: 28672,
+            vocab_size: 50272,
+            max_seq_len: 32 * 1024,
+            norm: NormKind::LayerNorm,
+            pos: PosKind::Learned,
+            elem_bytes: 2,
+            param_count: 29_974_000_000,
+        }
+    }
+
+    /// A small Llama-style model the CPU functional engine can execute:
+    /// 4 layers, D=64, 4 heads. Structure (RMSNorm + RoPE) matches
+    /// Llama2-7B exactly.
+    pub fn tiny_llama() -> Self {
+        Self {
+            name: "Tiny-Llama".into(),
+            n_layers: 4,
+            d_model: 64,
+            n_heads: 4,
+            d_ff: 172,
+            vocab_size: 256,
+            max_seq_len: 512,
+            norm: NormKind::RmsNorm,
+            pos: PosKind::Rope,
+            elem_bytes: 2,
+            param_count: 0, // computed from shapes by Model::param_count()
+        }
+    }
+
+    /// A small OPT-style model (LayerNorm + learned positions).
+    pub fn tiny_opt() -> Self {
+        Self {
+            name: "Tiny-OPT".into(),
+            n_layers: 3,
+            d_model: 48,
+            n_heads: 4,
+            d_ff: 192,
+            vocab_size: 256,
+            max_seq_len: 512,
+            norm: NormKind::LayerNorm,
+            pos: PosKind::Learned,
+            elem_bytes: 2,
+            param_count: 0,
+        }
+    }
+
+    /// The three full-size evaluation models of the paper, in the order the
+    /// figures present them.
+    pub fn paper_models() -> Vec<ModelConfig> {
+        vec![Self::llama2_7b(), Self::llama2_13b(), Self::opt_30b()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_dim_divides() {
+        for cfg in ModelConfig::paper_models() {
+            assert_eq!(cfg.d_model % cfg.n_heads, 0, "{}", cfg.name);
+            assert_eq!(cfg.head_dim() * cfg.n_heads, cfg.d_model);
+        }
+    }
+
+    #[test]
+    fn hidden_is_half_of_kv() {
+        // The paper's central size claim: hidden states are half the KV cache.
+        for cfg in ModelConfig::paper_models() {
+            assert_eq!(
+                2 * cfg.hidden_bytes_per_token(),
+                cfg.kv_bytes_per_token(),
+                "{}",
+                cfg.name
+            );
+        }
+    }
+
+    #[test]
+    fn llama7b_kv_sizes_match_known_values() {
+        let cfg = ModelConfig::llama2_7b();
+        // 2 (K,V) * 4096 * 2 B = 16 KiB per token per layer.
+        assert_eq!(cfg.kv_bytes_per_token_layer(), 16 * 1024);
+        // 512 KiB per token over 32 layers.
+        assert_eq!(cfg.kv_bytes_per_token(), 512 * 1024);
+        assert_eq!(cfg.hidden_bytes_per_token(), 256 * 1024);
+    }
+
+    #[test]
+    fn prefill_flops_exceed_restore_flops_by_at_least_6x() {
+        // §3.2: lower bound of the speedup is 6× (24/4), grows with N.
+        for cfg in ModelConfig::paper_models() {
+            for n in [64u64, 1024, 16384] {
+                let pre = cfg.flops_prefill_layer(n);
+                let res = cfg.flops_hidden_to_kv_layer(n);
+                let ratio = pre as f64 / res as f64;
+                assert!(
+                    ratio >= 5.9,
+                    "{} n={n}: ratio {ratio} below paper bound",
+                    cfg.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restore_flops_linear_in_tokens() {
+        let cfg = ModelConfig::llama2_13b();
+        let f1 = cfg.flops_hidden_to_kv_layer(1000);
+        let f2 = cfg.flops_hidden_to_kv_layer(2000);
+        assert_eq!(f2, 2 * f1);
+    }
+
+    #[test]
+    fn prefill_flops_superlinear_in_tokens() {
+        let cfg = ModelConfig::llama2_7b();
+        let f1 = cfg.flops_prefill_layer(4096);
+        let f2 = cfg.flops_prefill_layer(8192);
+        assert!(f2 > 2 * f1, "attention N^2 term missing");
+    }
+
+    #[test]
+    fn tiny_models_are_executable_scale() {
+        let t = ModelConfig::tiny_llama();
+        assert!(t.d_model <= 128 && t.n_layers <= 8);
+        assert_eq!(t.d_model % t.n_heads, 0);
+        let o = ModelConfig::tiny_opt();
+        assert_eq!(o.norm, NormKind::LayerNorm);
+        assert_eq!(o.pos, PosKind::Learned);
+    }
+}

@@ -1,0 +1,163 @@
+//! Closed-form restoration cost model (§3.2).
+//!
+//! These are the equations the paper derives for one MHA transformer layer,
+//! kept verbatim (FMA = 2 FLOPs, FFN assumed `4·D` wide as in the paper's
+//! derivation) so the analytical claims — 2× less IO, ≥6× less compute,
+//! linear scaling — can be checked and plotted (Figure 1) independently of
+//! the calibrated device models.
+
+/// Inputs to the closed forms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostInputs {
+    /// Sequence (history) length in tokens.
+    pub n_seq: u64,
+    /// Hidden dimension D.
+    pub d_hidden: u64,
+    /// Host→GPU bandwidth, B/s.
+    pub bandwidth: f64,
+    /// GPU FLOPS.
+    pub flops: f64,
+    /// Bytes per element (2 for fp16).
+    pub elem_bytes: u64,
+}
+
+/// `IO_hidden = N·D·e / BW` — hidden-state transmission seconds.
+pub fn io_hidden(c: &CostInputs) -> f64 {
+    (c.n_seq * c.d_hidden * c.elem_bytes) as f64 / c.bandwidth
+}
+
+/// `IO_KV = 2·N·D·e / BW` — KV transmission seconds.
+pub fn io_kv(c: &CostInputs) -> f64 {
+    2.0 * io_hidden(c)
+}
+
+/// `C_hidden = 4·N·D² / FLOPS` — hidden→KV projection seconds.
+pub fn c_hidden(c: &CostInputs) -> f64 {
+    (4 * c.n_seq * c.d_hidden * c.d_hidden) as f64 / c.flops
+}
+
+/// `C_attn = (8·N·D² + N²·D) / FLOPS`.
+pub fn c_attn(c: &CostInputs) -> f64 {
+    (8 * c.n_seq * c.d_hidden * c.d_hidden + c.n_seq * c.n_seq * c.d_hidden) as f64 / c.flops
+}
+
+/// `C_ffn = 16·N·D² / FLOPS`.
+pub fn c_ffn(c: &CostInputs) -> f64 {
+    (16 * c.n_seq * c.d_hidden * c.d_hidden) as f64 / c.flops
+}
+
+/// `T_rec = C_attn + C_ffn` — token recomputation seconds (ε omitted).
+pub fn t_recompute(c: &CostInputs) -> f64 {
+    c_attn(c) + c_ffn(c)
+}
+
+/// `T_hidden = max(IO_hidden, C_hidden)` — pipelined HCache restoration.
+pub fn t_hidden(c: &CostInputs) -> f64 {
+    io_hidden(c).max(c_hidden(c))
+}
+
+/// `T_kv = IO_KV` — KV offload restoration.
+pub fn t_kv(c: &CostInputs) -> f64 {
+    io_kv(c)
+}
+
+/// The paper's compute-speedup closed form:
+/// `(24·N·D² + N²·D) / (4·N·D²) = 6 + N/(4·D)`.
+pub fn compute_speedup(c: &CostInputs) -> f64 {
+    6.0 + c.n_seq as f64 / (4.0 * c.d_hidden as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn a100_7b(n_seq: u64) -> CostInputs {
+        CostInputs {
+            n_seq,
+            d_hidden: 4096,
+            bandwidth: 32e9,
+            flops: 312e12,
+            elem_bytes: 2,
+        }
+    }
+
+    #[test]
+    fn io_ratio_is_exactly_two() {
+        let c = a100_7b(1024);
+        assert_eq!(io_kv(&c), 2.0 * io_hidden(&c));
+    }
+
+    #[test]
+    fn compute_speedup_lower_bound_is_six() {
+        let c = a100_7b(1);
+        assert!(compute_speedup(&c) > 6.0);
+        assert!((compute_speedup(&c) - 6.0) < 0.001);
+    }
+
+    #[test]
+    fn speedup_formula_matches_ratio_of_closed_forms() {
+        for n in [64, 1024, 16384] {
+            let c = a100_7b(n);
+            let ratio = t_recompute(&c) / c_hidden(&c);
+            let formula = compute_speedup(&c);
+            assert!(
+                (ratio - formula).abs() / formula < 1e-9,
+                "n={n}: {ratio} vs {formula}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_proportions() {
+        // Figure 1: HCache uses ~1/6 the computation of recomputation and
+        // ~1/2 the IO of KV offload.
+        let c = a100_7b(2048);
+        assert!(c_hidden(&c) / t_recompute(&c) <= 1.0 / 6.0 + 1e-6);
+        assert_eq!(io_hidden(&c) / io_kv(&c), 0.5);
+    }
+
+    #[test]
+    fn hidden_restoration_linear_recompute_quadratic() {
+        let t1 = t_hidden(&a100_7b(4096));
+        let t2 = t_hidden(&a100_7b(8192));
+        assert!((t2 / t1 - 2.0).abs() < 1e-9, "HCache must scale linearly");
+        let r1 = t_recompute(&a100_7b(4096));
+        let r2 = t_recompute(&a100_7b(8192));
+        assert!(r2 / r1 > 2.0, "recompute must scale superlinearly");
+    }
+
+    #[test]
+    fn on_mainstream_platform_hcache_wins() {
+        // §3.2 conclusion: on the A100 testbed HCache beats both baselines.
+        for n in [256, 1024, 4096, 16384] {
+            let c = a100_7b(n);
+            assert!(t_hidden(&c) < t_kv(&c), "n={n}: vs KV offload");
+            assert!(t_hidden(&c) < t_recompute(&c), "n={n}: vs recompute");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn t_hidden_never_exceeds_either_baseline_beyond_model_limits(
+            n in 1u64..100_000,
+            d_exp in 10u32..14, // D in 1K..16K
+            bw in 1e9f64..100e9,
+            flops in 50e12f64..1000e12,
+        ) {
+            let c = CostInputs {
+                n_seq: n,
+                d_hidden: 1u64 << d_exp,
+                bandwidth: bw,
+                flops,
+                elem_bytes: 2,
+            };
+            // HCache IO is half of KV offload IO, and its compute is at
+            // least 6x less than recompute, so T_hidden can never lose to
+            // BOTH baselines at once.
+            let loses_to_kv = t_hidden(&c) > t_kv(&c) + 1e-15;
+            let loses_to_rec = t_hidden(&c) > t_recompute(&c) + 1e-15;
+            prop_assert!(!(loses_to_kv && loses_to_rec));
+        }
+    }
+}

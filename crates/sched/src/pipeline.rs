@@ -1,0 +1,258 @@
+//! Explicit two-stream restoration timeline (Figures 5 and 8d).
+//!
+//! The min-max objective of `partition` ignores pipeline-fill effects: the
+//! first hidden layer's projection cannot start until its transmission
+//! completes, and with tiny layer counts that matters. This module builds
+//! the per-layer schedule exactly: one IO stream moving state host→GPU in
+//! layer order, one compute stream whose layer-`l` work may depend on
+//! layer-`l` IO, with bubble accounting on both streams.
+
+use hc_simhw::profile::LayerCosts;
+use hc_simhw::Sec;
+
+use crate::partition::{LayerMethod, PartitionScheme};
+
+/// Work for one layer in restoration order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerTask {
+    /// Host→GPU transmission seconds (0 for recompute layers).
+    pub io: Sec,
+    /// GPU compute seconds (0 for KV-offload layers).
+    pub compute: Sec,
+    /// Whether the compute depends on this layer's IO having landed
+    /// (true for hidden layers, false for pure recompute).
+    pub compute_needs_io: bool,
+}
+
+/// Result of simulating the two-stream pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    /// End-to-end restoration makespan.
+    pub total: Sec,
+    /// Total busy seconds on the IO stream.
+    pub io_busy: Sec,
+    /// Total busy seconds on the compute stream.
+    pub compute_busy: Sec,
+    /// Idle time on the compute stream before its last task finishes
+    /// (pipeline bubbles — what the scheduler eliminates).
+    pub compute_bubble: Sec,
+    /// Idle time on the IO stream before its last task finishes.
+    pub io_bubble: Sec,
+    /// Per-layer IO completion times (0 where a layer has no IO).
+    pub io_finish: Vec<Sec>,
+    /// Per-layer compute completion times (0 where a layer has no compute).
+    pub compute_finish: Vec<Sec>,
+}
+
+/// Simulates the pipeline over `tasks` in order.
+pub fn simulate(tasks: &[LayerTask]) -> Timeline {
+    let mut io_t = 0.0_f64; // IO stream clock
+    let mut cp_t = 0.0_f64; // compute stream clock
+    let mut io_busy = 0.0;
+    let mut compute_busy = 0.0;
+    let mut io_finish = Vec::with_capacity(tasks.len());
+    let mut compute_finish = Vec::with_capacity(tasks.len());
+    let mut last_io_end = 0.0_f64;
+    let mut last_cp_end = 0.0_f64;
+
+    for t in tasks {
+        let this_io_end = if t.io > 0.0 {
+            io_t += t.io;
+            io_busy += t.io;
+            last_io_end = io_t;
+            io_t
+        } else {
+            0.0
+        };
+        io_finish.push(this_io_end);
+
+        if t.compute > 0.0 {
+            let ready = if t.compute_needs_io { this_io_end } else { 0.0 };
+            let start = cp_t.max(ready);
+            cp_t = start + t.compute;
+            compute_busy += t.compute;
+            last_cp_end = cp_t;
+            compute_finish.push(cp_t);
+        } else {
+            compute_finish.push(0.0);
+        }
+    }
+
+    let total = last_io_end.max(last_cp_end);
+    let compute_bubble = if compute_busy > 0.0 {
+        last_cp_end - compute_busy
+    } else {
+        0.0
+    };
+    let io_bubble = if io_busy > 0.0 {
+        last_io_end - io_busy
+    } else {
+        0.0
+    };
+    Timeline {
+        total,
+        io_busy,
+        compute_busy,
+        compute_bubble,
+        io_bubble,
+        io_finish,
+        compute_finish,
+    }
+}
+
+/// Expands a partition scheme into per-layer tasks using profiled costs.
+pub fn tasks_for_scheme(
+    costs: &LayerCosts,
+    scheme: &PartitionScheme,
+    n_layers: usize,
+) -> Vec<LayerTask> {
+    scheme
+        .layer_methods(n_layers)
+        .into_iter()
+        .map(|m| match m {
+            LayerMethod::Hidden => LayerTask {
+                io: costs.io_h,
+                compute: costs.c_h,
+                compute_needs_io: true,
+            },
+            LayerMethod::KvOffload => LayerTask {
+                io: costs.io_kv,
+                compute: 0.0,
+                compute_needs_io: false,
+            },
+            LayerMethod::Recompute => LayerTask {
+                io: 0.0,
+                compute: costs.c_token,
+                compute_needs_io: false,
+            },
+        })
+        .collect()
+}
+
+/// Convenience: simulate the pipeline for a scheme.
+pub fn simulate_scheme(costs: &LayerCosts, scheme: &PartitionScheme, n_layers: usize) -> Timeline {
+    simulate(&tasks_for_scheme(costs, scheme, n_layers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{partition_closed_form, PartitionScheme};
+
+    fn costs(io_h: f64, c_h: f64, c_token: f64) -> LayerCosts {
+        LayerCosts {
+            io_h,
+            io_kv: 2.0 * io_h,
+            c_h,
+            c_token,
+        }
+    }
+
+    #[test]
+    fn balanced_pipeline_overlaps_fully() {
+        // io == compute per layer: total = N*io + one fill stage.
+        let c = costs(1.0, 1.0, 6.0);
+        let t = simulate_scheme(&c, &PartitionScheme::pure_hidden(8), 8);
+        assert!((t.total - 9.0).abs() < 1e-9, "total {}", t.total);
+        assert!((t.compute_bubble - 1.0).abs() < 1e-9); // only the fill stage
+    }
+
+    #[test]
+    fn compute_bound_pure_hidden_has_io_bubbles() {
+        let c = costs(1.0, 3.0, 18.0);
+        let t = simulate_scheme(&c, &PartitionScheme::pure_hidden(8), 8);
+        // Compute dominates: total ≈ fill + 8*3.
+        assert!((t.total - (1.0 + 24.0)).abs() < 1e-9);
+        assert!(t.io_bubble == 0.0); // IO runs ahead, finishes early
+        assert!(t.compute_bubble > 0.0 || t.total > t.compute_busy);
+    }
+
+    #[test]
+    fn io_bound_pure_hidden_is_io_limited() {
+        let c = costs(2.0, 1.0, 6.0);
+        let t = simulate_scheme(&c, &PartitionScheme::pure_hidden(8), 8);
+        // IO is the bottleneck: last compute = last io + c_h.
+        assert!((t.total - (16.0 + 1.0)).abs() < 1e-9);
+        assert!(t.compute_bubble > 0.0, "compute waits between layers");
+    }
+
+    #[test]
+    fn scheduler_beats_pure_hidden_on_skewed_hardware() {
+        for c in [costs(1.0, 4.0, 25.0), costs(4.0, 1.0, 6.5)] {
+            let n = 32;
+            let scheme = partition_closed_form(&c, n);
+            let t_sched = simulate_scheme(&c, &scheme, n).total;
+            let t_pure = simulate_scheme(&c, &PartitionScheme::pure_hidden(n), n).total;
+            assert!(
+                t_sched < t_pure,
+                "scheduled {t_sched} should beat pure {t_pure} for {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn recompute_complement_overlaps_from_time_zero() {
+        // 2 recompute layers then 2 hidden layers. Compute starts at t=0 on
+        // the recompute layers while IO prefetches hidden states.
+        let c = costs(1.0, 1.0, 3.0);
+        let scheme = PartitionScheme {
+            l_h: 2,
+            l_o: 2,
+            complement: crate::partition::LayerMethod::Recompute,
+        };
+        let t = simulate_scheme(&c, &scheme, 4);
+        // Compute: 3+3 (recompute) then hidden (io done at 1,2 « 6): 6+1+1=8.
+        assert!((t.total - 8.0).abs() < 1e-9, "total {}", t.total);
+        // IO finished at t=2, long before compute.
+        assert_eq!(t.io_busy, 2.0);
+    }
+
+    #[test]
+    fn kv_complement_rides_io_behind_hidden() {
+        let c = costs(1.0, 2.0, 12.0);
+        let scheme = PartitionScheme {
+            l_h: 2,
+            l_o: 2,
+            complement: crate::partition::LayerMethod::KvOffload,
+        };
+        let t = simulate_scheme(&c, &scheme, 4);
+        // IO: 1+1 (hidden) + 2+2 (kv) = 6; compute: fill 1 + 2 + 2 = 5.
+        assert!((t.total - 6.0).abs() < 1e-9, "total {}", t.total);
+        assert_eq!(t.compute_busy, 4.0);
+        assert_eq!(t.io_busy, 6.0);
+    }
+
+    #[test]
+    fn timeline_totals_are_consistent() {
+        let c = costs(1.3, 0.7, 4.9);
+        let scheme = partition_closed_form(&c, 24);
+        let t = simulate_scheme(&c, &scheme, 24);
+        assert!(t.total >= t.io_busy.max(t.compute_busy));
+        assert!(t.compute_bubble >= 0.0 && t.io_bubble >= 0.0);
+        assert_eq!(t.io_finish.len(), 24);
+        assert_eq!(t.compute_finish.len(), 24);
+        // Finish times are monotone over layers that actually use a stream.
+        let io_times: Vec<f64> = t.io_finish.iter().cloned().filter(|&x| x > 0.0).collect();
+        assert!(io_times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn empty_task_list() {
+        let t = simulate(&[]);
+        assert_eq!(t.total, 0.0);
+        assert_eq!(t.io_busy, 0.0);
+    }
+
+    #[test]
+    fn pipeline_total_close_to_analytic_makespan_for_large_n() {
+        // The idealized objective ignores the fill stage; for many layers
+        // the two agree within one layer's time.
+        let c = costs(1.0, 1.7, 11.0);
+        let n = 48;
+        let scheme = partition_closed_form(&c, n);
+        let analytic = crate::partition::makespan(&c, n, scheme.l_h, scheme.complement);
+        let t = simulate_scheme(&c, &scheme, n);
+        assert!(t.total >= analytic - 1e-9);
+        assert!(t.total <= analytic + c.io_h + c.c_h + 1e-9);
+    }
+}

@@ -1,0 +1,188 @@
+//! LRU GPU-resident KV cache over sessions (§6.4).
+//!
+//! Real serving stacks keep hot contexts' KV on the GPU and only restore on
+//! a miss. Capacity is measured in tokens (the KV pool is proportional).
+
+use std::collections::HashMap;
+
+/// Token-capacity LRU over session contexts.
+#[derive(Debug)]
+pub struct GpuKvCache {
+    capacity_tokens: u64,
+    used_tokens: u64,
+    /// session -> (tokens, last-use stamp)
+    entries: HashMap<u64, (u64, u64)>,
+    clock: u64,
+}
+
+impl GpuKvCache {
+    /// Creates a cache holding at most `capacity_tokens` tokens of KV.
+    pub fn new(capacity_tokens: u64) -> Self {
+        Self {
+            capacity_tokens,
+            used_tokens: 0,
+            entries: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Tokens currently resident.
+    pub fn used_tokens(&self) -> u64 {
+        self.used_tokens
+    }
+
+    /// Capacity in tokens.
+    pub fn capacity_tokens(&self) -> u64 {
+        self.capacity_tokens
+    }
+
+    /// Number of resident sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a session, refreshing its recency. Returns the resident
+    /// token count on a hit.
+    pub fn touch(&mut self, session: u64) -> Option<u64> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(&session).map(|e| {
+            e.1 = clock;
+            e.0
+        })
+    }
+
+    /// Inserts (or resizes) a session's footprint, evicting least-recently-
+    /// used sessions as needed. Returns the evicted session ids.
+    ///
+    /// A footprint larger than the whole cache is rejected: the session is
+    /// not inserted and everything else is left alone.
+    pub fn insert(&mut self, session: u64, tokens: u64) -> Vec<u64> {
+        self.clock += 1;
+        if tokens > self.capacity_tokens {
+            return Vec::new();
+        }
+        if let Some((old, _)) = self.entries.remove(&session) {
+            self.used_tokens -= old;
+        }
+        let mut evicted = Vec::new();
+        while self.used_tokens + tokens > self.capacity_tokens {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(s, _)| *s)
+                .expect("used > 0 implies an entry exists");
+            let (vt, _) = self.entries.remove(&victim).unwrap();
+            self.used_tokens -= vt;
+            evicted.push(victim);
+        }
+        self.entries.insert(session, (tokens, self.clock));
+        self.used_tokens += tokens;
+        evicted
+    }
+
+    /// Evicts the least-recently-used session (to make room for active
+    /// work). Returns `(session, tokens)` or `None` when empty.
+    pub fn evict_lru(&mut self) -> Option<(u64, u64)> {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, (_, stamp))| *stamp)
+            .map(|(s, _)| *s)?;
+        let (tokens, _) = self.entries.remove(&victim).unwrap();
+        self.used_tokens -= tokens;
+        Some((victim, tokens))
+    }
+
+    /// Removes a session explicitly (e.g. conversation closed).
+    pub fn remove(&mut self, session: u64) -> bool {
+        if let Some((t, _)) = self.entries.remove(&session) {
+            self.used_tokens -= t;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = GpuKvCache::new(100);
+        assert!(c.touch(1).is_none());
+        c.insert(1, 40);
+        assert_eq!(c.touch(1), Some(40));
+        assert_eq!(c.used_tokens(), 40);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = GpuKvCache::new(100);
+        c.insert(1, 40);
+        c.insert(2, 40);
+        c.touch(1); // 2 becomes LRU
+        let evicted = c.insert(3, 40);
+        assert_eq!(evicted, vec![2]);
+        assert!(c.touch(1).is_some());
+        assert!(c.touch(2).is_none());
+    }
+
+    #[test]
+    fn multiple_evictions_for_large_insert() {
+        let mut c = GpuKvCache::new(100);
+        c.insert(1, 30);
+        c.insert(2, 30);
+        c.insert(3, 30);
+        let evicted = c.insert(4, 80);
+        assert_eq!(evicted.len(), 3);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_tokens(), 80);
+    }
+
+    #[test]
+    fn resize_existing_session() {
+        let mut c = GpuKvCache::new(100);
+        c.insert(1, 30);
+        c.insert(1, 60); // conversation grew
+        assert_eq!(c.used_tokens(), 60);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn oversized_insert_is_rejected() {
+        let mut c = GpuKvCache::new(100);
+        c.insert(1, 50);
+        let evicted = c.insert(2, 150);
+        assert!(evicted.is_empty());
+        assert_eq!(c.touch(2), None);
+        assert_eq!(c.touch(1), Some(50), "existing entries must survive");
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut c = GpuKvCache::new(100);
+        c.insert(1, 100);
+        assert!(c.remove(1));
+        assert!(!c.remove(1));
+        assert_eq!(c.used_tokens(), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn used_never_exceeds_capacity() {
+        let mut c = GpuKvCache::new(128);
+        for s in 0..50 {
+            c.insert(s, 1 + (s * 13) % 60);
+            assert!(c.used_tokens() <= c.capacity_tokens());
+        }
+    }
+}

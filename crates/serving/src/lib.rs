@@ -1,0 +1,33 @@
+//! # hc-serving
+//!
+//! A virtual-time continuous-batching LLM serving simulator with a state
+//! restoration phase — the system layer of the HCache reproduction (§5
+//! "Request scheduling" + the §6.1 evaluation harness).
+//!
+//! Model of execution (mirrors DeepSpeed-MII + SplitFuse at iteration
+//! granularity):
+//! * Requests arrive (Poisson for ShareGPT4, batch-of-one for L-Eval).
+//! * A request with evicted history first runs a **restoration phase**: its
+//!   IO component queues FIFO on the host→GPU link (concurrent with
+//!   decode), its compute component is **fused** into decode iterations
+//!   SplitFuse-style, lengthening them (which is exactly where the TBT
+//!   impact of restoration shows up).
+//! * After restoration, the new prompt's **prefill** is fused the same way;
+//!   the request emits its first token at the end of the iteration that
+//!   completes prefill (TTFT), then joins the decode batch.
+//! * Each decode iteration generates one token per batch member; iteration
+//!   duration comes from the HBM-bound decode model plus any fused work
+//!   plus hidden-state **saving overhead** (two-stage vs DirectIO, §4.2.2).
+//! * GPU KV memory is a hard capacity: a request cannot start until its
+//!   context fits (this is what caps 13B throughput in Fig 9b).
+//! * Optionally ([`config::ServingConfig::reuse_gpu_cache`]) finished
+//!   contexts stay resident in an LRU cache (§6.4); hits skip restoration.
+
+pub mod config;
+pub mod engine;
+pub mod gpu_cache;
+pub mod metrics;
+
+pub use config::{SaveOverheadMode, ServingConfig};
+pub use engine::ServingEngine;
+pub use metrics::{RequestMetrics, ServingReport};

@@ -1,0 +1,189 @@
+//! Platform = GPUs × storage tier, with derived restoration-path rates.
+
+use crate::gemm::GemmModel;
+use crate::gpu::GpuSpec;
+use crate::storagehw::StorageTier;
+use crate::{Bytes, Sec};
+
+/// A complete hardware configuration for one experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Display name used in reports.
+    pub name: String,
+    /// GPU model.
+    pub gpu: GpuSpec,
+    /// Number of GPUs serving the model with tensor parallelism.
+    pub n_gpus: usize,
+    /// Host storage backend for offloaded state.
+    pub storage: StorageTier,
+}
+
+impl Platform {
+    /// The paper's default testbed: 4×A100 host with 4×PM9A3; models that
+    /// fit one GPU use a single A100 with all four SSDs.
+    pub fn default_testbed_single_gpu() -> Self {
+        Self {
+            name: "A100 + 4xPM9A3".into(),
+            gpu: GpuSpec::a100(),
+            n_gpus: 1,
+            storage: StorageTier::default_testbed(),
+        }
+    }
+
+    /// The paper's OPT-30B configuration: 4×A100 tensor parallel, one SSD
+    /// worth of bandwidth per GPU (4 SSDs total).
+    pub fn default_testbed_tp4() -> Self {
+        Self {
+            name: "4xA100 + 4xPM9A3".into(),
+            gpu: GpuSpec::a100(),
+            n_gpus: 4,
+            storage: StorageTier::default_testbed(),
+        }
+    }
+
+    /// A cloud server: chosen GPU with host DRAM as the storage backend
+    /// (the Fig 11a–c sensitivity setup).
+    pub fn dram_backed(gpu: GpuSpec, n_gpus: usize) -> Self {
+        Self {
+            name: format!("{}x{} + DRAM", n_gpus, gpu.name),
+            gpu,
+            n_gpus,
+            storage: StorageTier::Dram,
+        }
+    }
+
+    /// Custom SSD count on the default A100 host (Fig 11d–f).
+    pub fn a100_with_ssds(n_gpus: usize, n_ssds: usize) -> Self {
+        Self {
+            name: format!("{}xA100 + {}xPM9A3", n_gpus, n_ssds),
+            gpu: GpuSpec::a100(),
+            n_gpus,
+            storage: StorageTier::SsdArray {
+                spec: crate::storagehw::SsdSpec::pm9a3(),
+                count: n_ssds,
+            },
+        }
+    }
+
+    /// Aggregate FP16 FLOPS across the tensor-parallel group.
+    pub fn total_flops(&self) -> f64 {
+        self.gpu.peak_flops * self.n_gpus as f64
+    }
+
+    /// GEMM timing model for the *group* (each GPU computes a `1/n_gpus`
+    /// shard of every projection, so aggregate throughput scales).
+    pub fn gemm_model(&self) -> GemmModel {
+        GemmModel::for_peak(self.total_flops())
+    }
+
+    /// Effective host→GPU restore bandwidth in B/s.
+    ///
+    /// Every GPU reads a disjoint shard (§5 Multi-GPU), so the link
+    /// bandwidth aggregates across GPUs; the storage tier caps the total.
+    pub fn restore_bw(&self) -> f64 {
+        let link = self.gpu.pcie_bw * self.n_gpus as f64;
+        link.min(self.storage.aggregate_read_bw())
+    }
+
+    /// Seconds to transfer `bytes` of *KV cache* from host to GPU memory.
+    /// KV shards are per-head partitioned under tensor parallelism, so no
+    /// inter-GPU exchange is needed.
+    pub fn kv_upload_secs(&self, bytes: Bytes) -> Sec {
+        bytes as f64 / self.restore_bw()
+    }
+
+    /// Seconds to transfer `bytes` of *hidden states* from host to GPU
+    /// memory. Each GPU fetches a disjoint `1/n` token-shard, then an
+    /// all-gather replicates the full hidden states on every GPU (each GPU
+    /// must see full rows to compute its KV head shard).
+    pub fn hidden_upload_secs(&self, bytes: Bytes) -> Sec {
+        let fetch = bytes as f64 / self.restore_bw();
+        let gather = if self.n_gpus > 1 {
+            // Ring all-gather: each GPU sends/receives (n-1)/n of the data.
+            let frac = (self.n_gpus - 1) as f64 / self.n_gpus as f64;
+            bytes as f64 * frac / (self.gpu.nvlink_bw * self.n_gpus as f64)
+        } else {
+            0.0
+        };
+        fetch + gather
+    }
+
+    /// Seconds to snapshot `bytes` from GPU to host DRAM (stage 1 of the
+    /// two-stage saver): a plain PCIe downstream copy.
+    pub fn snapshot_secs(&self, bytes: Bytes) -> Sec {
+        bytes as f64 / (self.gpu.pcie_bw * self.n_gpus as f64)
+    }
+
+    /// HBM bytes available for KV cache after weights and a fixed
+    /// activation/framework reserve.
+    pub fn kv_budget_bytes(&self, weight_bytes: u64) -> u64 {
+        let total = self.gpu.hbm_bytes * self.n_gpus as u64;
+        let reserve = 1024 * 1024 * 1024u64 * self.n_gpus as u64;
+        total.saturating_sub(weight_bytes).saturating_sub(reserve)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_testbed_bandwidths() {
+        let p = Platform::default_testbed_single_gpu();
+        // 4 SSDs: 27.6 GB/s < PCIe 32 GB/s -> storage-bound.
+        assert!((p.restore_bw() - 27.6e9).abs() < 1e6);
+        let dram = Platform::dram_backed(GpuSpec::a100(), 1);
+        assert_eq!(dram.restore_bw(), 32e9);
+    }
+
+    #[test]
+    fn tp_aggregates_link_bandwidth() {
+        let p = Platform::default_testbed_tp4();
+        // 4 GPUs x 32 GB/s PCIe, but 4 SSDs cap at 27.6 GB/s.
+        assert!((p.restore_bw() - 27.6e9).abs() < 1e6);
+        let dram = Platform::dram_backed(GpuSpec::a100(), 4);
+        assert_eq!(dram.restore_bw(), 128e9);
+    }
+
+    #[test]
+    fn hidden_upload_includes_allgather_only_for_tp() {
+        let single = Platform::dram_backed(GpuSpec::a100(), 1);
+        let bytes = 1_000_000_000;
+        assert_eq!(
+            single.hidden_upload_secs(bytes),
+            single.kv_upload_secs(bytes)
+        );
+        let tp = Platform::dram_backed(GpuSpec::a100(), 4);
+        assert!(tp.hidden_upload_secs(bytes) > tp.kv_upload_secs(bytes));
+        // ... but the all-gather overhead is small (NVLink >> PCIe).
+        let overhead = tp.hidden_upload_secs(bytes) / tp.kv_upload_secs(bytes);
+        assert!(overhead < 1.15, "all-gather overhead too large: {overhead}");
+    }
+
+    #[test]
+    fn kv_budget_subtracts_weights_and_reserve() {
+        let p = Platform::default_testbed_single_gpu();
+        // Llama2-7B fp16 weights ~13.5 GB on a 40 GB GPU -> ~24 GB for KV.
+        let weights = 13_476_000_000u64;
+        let budget = p.kv_budget_bytes(weights);
+        let gib = 1024.0 * 1024.0 * 1024.0;
+        let budget_gib = budget as f64 / gib;
+        assert!(budget_gib > 20.0 && budget_gib < 27.5, "{budget_gib} GiB");
+        // Paper cross-check (§2.4): PagedAttention fits ~48K tokens of
+        // Llama2-7B KV (512 KiB/token) on an A100-40G.
+        let tokens = budget / (512 * 1024);
+        assert!(tokens > 40_000 && tokens < 58_000, "{tokens} tokens");
+    }
+
+    #[test]
+    fn kv_budget_saturates_at_zero() {
+        let p = Platform::dram_backed(GpuSpec::a30(), 1);
+        assert_eq!(p.kv_budget_bytes(u64::MAX), 0);
+    }
+
+    #[test]
+    fn gemm_model_uses_aggregate_flops() {
+        let p = Platform::default_testbed_tp4();
+        assert_eq!(p.gemm_model().peak_flops, 4.0 * 312e12);
+    }
+}

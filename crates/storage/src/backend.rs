@@ -1,0 +1,376 @@
+//! Chunk store backends with per-device IO accounting.
+//!
+//! Two functional backends are provided:
+//! * [`MemStore`] — a thread-safe in-memory store (host-DRAM tier, also the
+//!   default for tests).
+//! * [`FileStore`] — real files on disk, one directory per simulated device
+//!   (SSD tier). Chunk payloads round-trip through the filesystem so the
+//!   save/restore path is exercised end to end.
+//!
+//! Both count IOs and bytes per device, which the tests and the two-stage-
+//! saving ablation use to verify IO *patterns* (batched chunk writes vs
+//! scattered small writes), independent of the virtual-time models.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::chunk::{device_for, ChunkKey};
+use crate::{StorageError, StreamId};
+
+/// Per-device IO counters.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Number of chunk write operations.
+    pub writes: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Number of chunk read operations.
+    pub reads: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+}
+
+/// Aggregated store statistics.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct StoreStats {
+    /// One entry per device.
+    pub devices: Vec<DeviceStats>,
+}
+
+impl StoreStats {
+    /// Sum of write ops across devices.
+    pub fn total_writes(&self) -> u64 {
+        self.devices.iter().map(|d| d.writes).sum()
+    }
+
+    /// Sum of read ops across devices.
+    pub fn total_reads(&self) -> u64 {
+        self.devices.iter().map(|d| d.reads).sum()
+    }
+
+    /// Sum of bytes written.
+    pub fn total_bytes_written(&self) -> u64 {
+        self.devices.iter().map(|d| d.bytes_written).sum()
+    }
+
+    /// Sum of bytes read.
+    pub fn total_bytes_read(&self) -> u64 {
+        self.devices.iter().map(|d| d.bytes_read).sum()
+    }
+}
+
+/// A chunk-granularity store striped over `n_devices`.
+pub trait ChunkStore: Send + Sync {
+    /// Writes (or overwrites) one chunk.
+    fn write_chunk(&self, key: ChunkKey, data: &[u8]) -> Result<(), StorageError>;
+
+    /// Reads one chunk.
+    fn read_chunk(&self, key: ChunkKey) -> Result<Vec<u8>, StorageError>;
+
+    /// True when the chunk exists.
+    fn contains(&self, key: ChunkKey) -> bool;
+
+    /// Deletes every chunk belonging to `stream`; returns bytes freed.
+    fn delete_stream(&self, stream: StreamId) -> u64;
+
+    /// Number of devices the store stripes over.
+    fn n_devices(&self) -> usize;
+
+    /// Snapshot of the IO counters.
+    fn stats(&self) -> StoreStats;
+}
+
+// ---------------------------------------------------------------------------
+// In-memory backend
+// ---------------------------------------------------------------------------
+
+struct Counters {
+    writes: AtomicU64,
+    bytes_written: AtomicU64,
+    reads: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+impl Counters {
+    fn new() -> Self {
+        Self {
+            writes: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> DeviceStats {
+        DeviceStats {
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Thread-safe in-memory chunk store.
+pub struct MemStore {
+    chunks: Mutex<HashMap<ChunkKey, Vec<u8>>>,
+    counters: Vec<Counters>,
+}
+
+impl MemStore {
+    /// Creates a store striped over `n_devices` virtual devices.
+    pub fn new(n_devices: usize) -> Self {
+        assert!(n_devices > 0, "need at least one device");
+        Self {
+            chunks: Mutex::new(HashMap::new()),
+            counters: (0..n_devices).map(|_| Counters::new()).collect(),
+        }
+    }
+}
+
+impl ChunkStore for MemStore {
+    fn write_chunk(&self, key: ChunkKey, data: &[u8]) -> Result<(), StorageError> {
+        let dev = device_for(&key, self.counters.len());
+        self.counters[dev].writes.fetch_add(1, Ordering::Relaxed);
+        self.counters[dev]
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.chunks.lock().insert(key, data.to_vec());
+        Ok(())
+    }
+
+    fn read_chunk(&self, key: ChunkKey) -> Result<Vec<u8>, StorageError> {
+        let dev = device_for(&key, self.counters.len());
+        let data = self
+            .chunks
+            .lock()
+            .get(&key)
+            .cloned()
+            .ok_or(StorageError::MissingChunk {
+                stream: key.stream,
+                chunk_idx: key.chunk_idx,
+            })?;
+        self.counters[dev].reads.fetch_add(1, Ordering::Relaxed);
+        self.counters[dev]
+            .bytes_read
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(data)
+    }
+
+    fn contains(&self, key: ChunkKey) -> bool {
+        self.chunks.lock().contains_key(&key)
+    }
+
+    fn delete_stream(&self, stream: StreamId) -> u64 {
+        let mut map = self.chunks.lock();
+        let keys: Vec<ChunkKey> = map.keys().filter(|k| k.stream == stream).cloned().collect();
+        let mut freed = 0;
+        for k in keys {
+            if let Some(v) = map.remove(&k) {
+                freed += v.len() as u64;
+            }
+        }
+        freed
+    }
+
+    fn n_devices(&self) -> usize {
+        self.counters.len()
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            devices: self.counters.iter().map(|c| c.snapshot()).collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File backend
+// ---------------------------------------------------------------------------
+
+/// Chunk store backed by real files: `root/dev{i}/<chunk>.bin`.
+pub struct FileStore {
+    root: PathBuf,
+    counters: Vec<Counters>,
+    /// Index of existing chunks, avoiding filesystem probing on `contains`.
+    index: Mutex<HashMap<ChunkKey, u64>>,
+}
+
+impl FileStore {
+    /// Creates the device directories under `root`.
+    pub fn new(root: impl Into<PathBuf>, n_devices: usize) -> Result<Self, StorageError> {
+        assert!(n_devices > 0, "need at least one device");
+        let root = root.into();
+        for d in 0..n_devices {
+            std::fs::create_dir_all(root.join(format!("dev{d}")))
+                .map_err(|e| StorageError::Io(e.to_string()))?;
+        }
+        Ok(Self {
+            root,
+            counters: (0..n_devices).map(|_| Counters::new()).collect(),
+            index: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn path_for(&self, key: &ChunkKey) -> PathBuf {
+        let dev = device_for(key, self.counters.len());
+        let kind = match key.stream.kind {
+            crate::StateKind::Hidden => "h",
+            crate::StateKind::Key => "k",
+            crate::StateKind::Value => "v",
+        };
+        self.root.join(format!(
+            "dev{dev}/s{}_l{}_{kind}_c{}.bin",
+            key.stream.session, key.stream.layer, key.chunk_idx
+        ))
+    }
+}
+
+impl ChunkStore for FileStore {
+    fn write_chunk(&self, key: ChunkKey, data: &[u8]) -> Result<(), StorageError> {
+        let dev = device_for(&key, self.counters.len());
+        std::fs::write(self.path_for(&key), data).map_err(|e| StorageError::Io(e.to_string()))?;
+        self.counters[dev].writes.fetch_add(1, Ordering::Relaxed);
+        self.counters[dev]
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.index.lock().insert(key, data.len() as u64);
+        Ok(())
+    }
+
+    fn read_chunk(&self, key: ChunkKey) -> Result<Vec<u8>, StorageError> {
+        if !self.contains(key) {
+            return Err(StorageError::MissingChunk {
+                stream: key.stream,
+                chunk_idx: key.chunk_idx,
+            });
+        }
+        let dev = device_for(&key, self.counters.len());
+        let data =
+            std::fs::read(self.path_for(&key)).map_err(|e| StorageError::Io(e.to_string()))?;
+        self.counters[dev].reads.fetch_add(1, Ordering::Relaxed);
+        self.counters[dev]
+            .bytes_read
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(data)
+    }
+
+    fn contains(&self, key: ChunkKey) -> bool {
+        self.index.lock().contains_key(&key)
+    }
+
+    fn delete_stream(&self, stream: StreamId) -> u64 {
+        let mut index = self.index.lock();
+        let keys: Vec<ChunkKey> = index
+            .keys()
+            .filter(|k| k.stream == stream)
+            .cloned()
+            .collect();
+        let mut freed = 0;
+        for k in keys {
+            let _ = std::fs::remove_file(self.path_for(&k));
+            if let Some(sz) = index.remove(&k) {
+                freed += sz;
+            }
+        }
+        freed
+    }
+
+    fn n_devices(&self) -> usize {
+        self.counters.len()
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            devices: self.counters.iter().map(|c| c.snapshot()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(chunk_idx: u32) -> ChunkKey {
+        ChunkKey {
+            stream: StreamId::hidden(1, 0),
+            chunk_idx,
+        }
+    }
+
+    fn exercise(store: &dyn ChunkStore) {
+        // Roundtrip.
+        store.write_chunk(key(0), &[1, 2, 3]).unwrap();
+        assert_eq!(store.read_chunk(key(0)).unwrap(), vec![1, 2, 3]);
+        assert!(store.contains(key(0)));
+        assert!(!store.contains(key(9)));
+        // Missing chunk errors.
+        assert!(matches!(
+            store.read_chunk(key(9)),
+            Err(StorageError::MissingChunk { .. })
+        ));
+        // Overwrite replaces.
+        store.write_chunk(key(0), &[9, 9]).unwrap();
+        assert_eq!(store.read_chunk(key(0)).unwrap(), vec![9, 9]);
+        // Delete stream frees bytes.
+        store.write_chunk(key(1), &[0; 10]).unwrap();
+        let freed = store.delete_stream(StreamId::hidden(1, 0));
+        assert_eq!(freed, 12);
+        assert!(!store.contains(key(0)));
+    }
+
+    #[test]
+    fn memstore_roundtrip() {
+        exercise(&MemStore::new(4));
+    }
+
+    #[test]
+    fn filestore_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("hcstore-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileStore::new(&dir, 4).unwrap();
+        exercise(&store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_attribute_io_to_striped_devices() {
+        let store = MemStore::new(2);
+        for i in 0..4 {
+            store.write_chunk(key(i), &[0u8; 8]).unwrap();
+        }
+        let stats = store.stats();
+        assert_eq!(stats.total_writes(), 4);
+        assert_eq!(stats.total_bytes_written(), 32);
+        // Round-robin: 2 chunks per device.
+        assert_eq!(stats.devices[0].writes, 2);
+        assert_eq!(stats.devices[1].writes, 2);
+    }
+
+    #[test]
+    fn reads_update_stats() {
+        let store = MemStore::new(1);
+        store.write_chunk(key(0), &[0u8; 16]).unwrap();
+        store.read_chunk(key(0)).unwrap();
+        store.read_chunk(key(0)).unwrap();
+        let s = store.stats();
+        assert_eq!(s.total_reads(), 2);
+        assert_eq!(s.total_bytes_read(), 32);
+    }
+
+    #[test]
+    fn delete_only_touches_target_stream() {
+        let store = MemStore::new(2);
+        let other = ChunkKey {
+            stream: StreamId::hidden(2, 0),
+            chunk_idx: 0,
+        };
+        store.write_chunk(key(0), &[1]).unwrap();
+        store.write_chunk(other, &[2]).unwrap();
+        store.delete_stream(StreamId::hidden(1, 0));
+        assert!(store.contains(other));
+    }
+}

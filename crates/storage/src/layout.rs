@@ -1,0 +1,141 @@
+//! Storage layout analysis (§4.2.1).
+//!
+//! Hidden states are *generated* layer-before-token (autoregressive decode
+//! emits one row per layer per step) but *restored* token-before-layer (all
+//! tokens of a layer at once). A layout optimized for one order produces
+//! small random IOs for the other. This module quantifies that trade-off
+//! analytically; the chunk-based layer-major layout used by the manager is
+//! the paper's resolution (optimize for restoration, fix saving with the
+//! two-stage buffer).
+
+use crate::chunk::CHUNK_TOKENS;
+
+/// On-disk organization of a session's hidden states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Rows of one layer are contiguous (in 64-token chunks) — the paper's
+    /// choice, optimized for restoration reads.
+    LayerMajor,
+    /// All layers of one token are contiguous — optimized for the
+    /// autoregressive save path, pathological for restoration.
+    TokenMajor,
+}
+
+/// IO-pattern summary for an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoPattern {
+    /// Number of discontiguous IO operations.
+    pub n_ios: u64,
+    /// Bytes per IO operation.
+    pub bytes_per_io: u64,
+}
+
+impl IoPattern {
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.n_ios * self.bytes_per_io
+    }
+}
+
+/// IO pattern to **restore one layer** (read all `n_tokens` rows of a single
+/// layer).
+pub fn layer_restore_pattern(
+    layout: Layout,
+    n_tokens: u64,
+    d_model: u64,
+    elem_bytes: u64,
+) -> IoPattern {
+    let row = d_model * elem_bytes;
+    match layout {
+        // Chunked contiguous: one IO per 64-token chunk.
+        Layout::LayerMajor => IoPattern {
+            n_ios: n_tokens.div_ceil(CHUNK_TOKENS),
+            bytes_per_io: CHUNK_TOKENS * row,
+        },
+        // One small IO per token (each token's rows for all layers are
+        // colocated elsewhere).
+        Layout::TokenMajor => IoPattern {
+            n_ios: n_tokens,
+            bytes_per_io: row,
+        },
+    }
+}
+
+/// IO pattern to **save one decoded token** (write its row for every layer).
+pub fn token_save_pattern(
+    layout: Layout,
+    n_layers: u64,
+    d_model: u64,
+    elem_bytes: u64,
+) -> IoPattern {
+    let row = d_model * elem_bytes;
+    match layout {
+        // One small append per layer stream (mitigated by chunk buffering —
+        // this is the *unbuffered* pattern the two-stage saver absorbs).
+        Layout::LayerMajor => IoPattern {
+            n_ios: n_layers,
+            bytes_per_io: row,
+        },
+        // All layers contiguous: one IO.
+        Layout::TokenMajor => IoPattern {
+            n_ios: 1,
+            bytes_per_io: n_layers * row,
+        },
+    }
+}
+
+/// Restoration read-amplification of token-major relative to layer-major:
+/// the factor by which IO count grows (bandwidth-equivalent slowdown on
+/// latency-bound devices).
+pub fn token_major_read_amplification(n_tokens: u64) -> f64 {
+    if n_tokens == 0 {
+        return 1.0;
+    }
+    n_tokens as f64 / n_tokens.div_ceil(CHUNK_TOKENS) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: u64 = 4096;
+    const E: u64 = 2;
+
+    #[test]
+    fn layer_major_restore_uses_chunk_sized_ios() {
+        let p = layer_restore_pattern(Layout::LayerMajor, 1024, D, E);
+        assert_eq!(p.n_ios, 16); // 1024 / 64
+        assert_eq!(p.bytes_per_io, 64 * D * E); // 512 KiB
+    }
+
+    #[test]
+    fn token_major_restore_degenerates_to_small_random_ios() {
+        let p = layer_restore_pattern(Layout::TokenMajor, 1024, D, E);
+        assert_eq!(p.n_ios, 1024);
+        assert_eq!(p.bytes_per_io, D * E); // 8 KiB
+    }
+
+    #[test]
+    fn both_layouts_move_the_same_restore_bytes_when_aligned() {
+        let a = layer_restore_pattern(Layout::LayerMajor, 1024, D, E);
+        let b = layer_restore_pattern(Layout::TokenMajor, 1024, D, E);
+        assert_eq!(a.total_bytes(), b.total_bytes());
+    }
+
+    #[test]
+    fn save_pattern_mirrors_restore_tradeoff() {
+        let lm = token_save_pattern(Layout::LayerMajor, 32, D, E);
+        let tm = token_save_pattern(Layout::TokenMajor, 32, D, E);
+        assert_eq!(lm.n_ios, 32);
+        assert_eq!(tm.n_ios, 1);
+        assert_eq!(lm.total_bytes(), tm.total_bytes());
+    }
+
+    #[test]
+    fn read_amplification_is_chunk_factor() {
+        assert_eq!(token_major_read_amplification(1024), 64.0);
+        assert_eq!(token_major_read_amplification(0), 1.0);
+        // Short histories amplify less (partial chunk).
+        assert!(token_major_read_amplification(32) <= 64.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! # hc-storage
+//!
+//! The HCache storage manager (§4.2 of the paper): chunk-based host storage
+//! for hidden states (and the KV/token state of the complementary methods),
+//! with a two-stage saving pipeline that keeps state dumps off the decode
+//! critical path.
+//!
+//! Key concepts:
+//!
+//! * **Streams** ([`StreamId`]): one logical append-only sequence of token
+//!   rows per `(session, layer, kind)`, where kind is hidden states, keys or
+//!   values.
+//! * **Chunks** ([`chunk`]): fixed 64-token pieces of a stream, stored f16,
+//!   placed round-robin across storage devices — the paper's answer to the
+//!   layer-before-token (saving) vs token-before-layer (restoration) order
+//!   mismatch, and to the unpredictability of output lengths (no large
+//!   preallocated per-layer extents; §4.2.1).
+//! * **Backends** ([`backend`]): in-memory and real-file chunk stores with
+//!   per-device IO accounting, so tests can assert IO patterns (e.g. the
+//!   two-stage saver really does turn scattered token writes into chunk
+//!   writes).
+//! * **Manager** ([`manager::StorageManager`]): append/read API with f16
+//!   encoding, partial-chunk buffering, and per-layer batched reads in
+//!   restoration order.
+//! * **Two-stage saver** ([`two_stage`]): stage 1 snapshots a batch of new
+//!   rows synchronously (cheap memcpy, as `cudaMemcpy` to host DRAM in the
+//!   paper); stage 2, a background daemon, reorganizes rows into chunks and
+//!   flushes them (§4.2.2). A `DirectIo` mode writes straight through for
+//!   the Fig 14 ablation.
+//! * **Layouts** ([`layout`]): the restoration-optimized layer-major layout
+//!   versus the save-optimized token-major layout, used by the ablation in
+//!   §4.2.1 to quantify read amplification.
+
+pub mod backend;
+pub mod chunk;
+pub mod layout;
+pub mod manager;
+pub mod tiered;
+pub mod two_stage;
+
+/// On-storage numeric precision for activation rows.
+///
+/// The paper stores fp16 (lossless relative to its fp16-native engine);
+/// int8 is the §7 quantization extension — half the bytes again, bounded
+/// per-row error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// IEEE binary16, 2 B/element (the paper's format).
+    #[default]
+    F16,
+    /// Symmetric per-row int8, 1 B/element + 4 B/row scale.
+    Int8,
+}
+
+impl Precision {
+    /// Encoded bytes for `rows × width` elements.
+    pub fn encoded_len(&self, rows: usize, width: usize) -> usize {
+        match self {
+            Precision::F16 => rows * width * 2,
+            Precision::Int8 => hc_tensor::quant::encoded_len(rows, width),
+        }
+    }
+
+    /// Encodes row-major f32 data.
+    pub fn encode(&self, xs: &[f32], width: usize) -> Vec<u8> {
+        match self {
+            Precision::F16 => hc_tensor::f16::encode_f16(xs),
+            Precision::Int8 => hc_tensor::quant::encode_int8(xs, width),
+        }
+    }
+
+    /// Decodes back to f32.
+    pub fn decode(&self, bytes: &[u8], width: usize) -> Vec<f32> {
+        match self {
+            Precision::F16 => hc_tensor::f16::decode_f16(bytes),
+            Precision::Int8 => hc_tensor::quant::decode_int8(bytes, width),
+        }
+    }
+}
+
+/// Which state a stream holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StateKind {
+    /// Layer-input hidden states (what HCache saves).
+    Hidden,
+    /// Attention keys (KV-offload baseline / complementary layers).
+    Key,
+    /// Attention values.
+    Value,
+}
+
+/// Identifies one append-only token-row stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId {
+    /// Serving session (conversation / context) id.
+    pub session: u64,
+    /// Transformer layer index.
+    pub layer: u32,
+    /// State kind.
+    pub kind: StateKind,
+}
+
+impl StreamId {
+    /// Convenience constructor for hidden-state streams.
+    pub fn hidden(session: u64, layer: u32) -> Self {
+        Self {
+            session,
+            layer,
+            kind: StateKind::Hidden,
+        }
+    }
+
+    /// Convenience constructor for key streams.
+    pub fn key(session: u64, layer: u32) -> Self {
+        Self {
+            session,
+            layer,
+            kind: StateKind::Key,
+        }
+    }
+
+    /// Convenience constructor for value streams.
+    pub fn value(session: u64, layer: u32) -> Self {
+        Self {
+            session,
+            layer,
+            kind: StateKind::Value,
+        }
+    }
+}
+
+/// Errors surfaced by the storage layer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// A requested chunk does not exist in the backend.
+    MissingChunk {
+        /// Stream the chunk belongs to.
+        stream: StreamId,
+        /// Chunk index within the stream.
+        chunk_idx: u32,
+    },
+    /// Requested token range exceeds what has been saved for the stream.
+    OutOfRange {
+        /// Stream queried.
+        stream: StreamId,
+        /// Tokens saved.
+        available: u64,
+        /// Tokens requested (end of range).
+        requested: u64,
+    },
+    /// Underlying IO failure (file backend).
+    Io(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::MissingChunk { stream, chunk_idx } => {
+                write!(f, "missing chunk {chunk_idx} of {stream:?}")
+            }
+            StorageError::OutOfRange {
+                stream,
+                available,
+                requested,
+            } => write!(
+                f,
+                "range request to {requested} exceeds {available} saved tokens of {stream:?}"
+            ),
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_id_constructors() {
+        assert_eq!(StreamId::hidden(1, 2).kind, StateKind::Hidden);
+        assert_eq!(StreamId::key(1, 2).kind, StateKind::Key);
+        assert_eq!(StreamId::value(1, 2).kind, StateKind::Value);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = StorageError::OutOfRange {
+            stream: StreamId::hidden(3, 1),
+            available: 10,
+            requested: 20,
+        };
+        let s = e.to_string();
+        assert!(s.contains("20") && s.contains("10"));
+    }
+}

@@ -1,0 +1,424 @@
+//! The storage manager: append/read token-row streams as f16 chunks.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hc_tensor::Tensor2;
+use parking_lot::Mutex;
+
+use crate::backend::{ChunkStore, StoreStats};
+use crate::chunk::{chunks_for_range, ChunkKey, CHUNK_TOKENS};
+use crate::{Precision, StorageError, StreamId};
+
+/// Per-stream append state.
+#[derive(Debug, Default)]
+struct StreamState {
+    /// Total tokens appended (durable + buffered).
+    n_tokens: u64,
+    /// Tokens already written out in full chunks.
+    n_durable: u64,
+    /// Buffered rows of the partial tail chunk (`< CHUNK_TOKENS` rows,
+    /// row-major f32).
+    partial: Vec<f32>,
+}
+
+/// Chunked f16 storage for token-row streams, generic over the backend.
+///
+/// All rows are `d_model` wide (hidden states, keys and values all have the
+/// model dimension under MHA). Appends accumulate into 64-token chunks;
+/// full chunks are written immediately, the partial tail is buffered until
+/// [`StorageManager::flush_stream`] (the two-stage saver's daemon calls the
+/// append path, so this buffering is exactly the paper's "chunk buffers").
+pub struct StorageManager<S: ChunkStore> {
+    store: Arc<S>,
+    d_model: usize,
+    precision: Precision,
+    streams: Mutex<HashMap<StreamId, StreamState>>,
+}
+
+impl<S: ChunkStore> StorageManager<S> {
+    /// Creates a manager writing rows of width `d_model` to `store`, stored
+    /// as fp16 (the paper's format).
+    pub fn new(store: Arc<S>, d_model: usize) -> Self {
+        Self::with_precision(store, d_model, Precision::F16)
+    }
+
+    /// Creates a manager with an explicit storage precision (int8 enables
+    /// the §7 quantized-hidden-state extension).
+    pub fn with_precision(store: Arc<S>, d_model: usize, precision: Precision) -> Self {
+        assert!(d_model > 0, "d_model must be positive");
+        Self {
+            store,
+            d_model,
+            precision,
+            streams: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Storage precision in use.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Row width.
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    /// Backend handle (for stats and tests).
+    pub fn store(&self) -> &Arc<S> {
+        &self.store
+    }
+
+    /// Tokens appended to `stream` so far.
+    pub fn n_tokens(&self, stream: StreamId) -> u64 {
+        self.streams.lock().get(&stream).map_or(0, |s| s.n_tokens)
+    }
+
+    /// Appends `rows` (an `n × d_model` tensor) to the stream.
+    ///
+    /// Full chunks are encoded to f16 and written to the backend right away;
+    /// the remainder is buffered.
+    ///
+    /// # Panics
+    /// Panics when the row width disagrees with the manager's `d_model`.
+    pub fn append_rows(&self, stream: StreamId, rows: &Tensor2) -> Result<(), StorageError> {
+        assert_eq!(rows.cols(), self.d_model, "row width mismatch");
+        if rows.rows() == 0 {
+            return Ok(());
+        }
+        let mut streams = self.streams.lock();
+        let state = streams.entry(stream).or_default();
+        state.partial.extend_from_slice(rows.as_slice());
+        state.n_tokens += rows.rows() as u64;
+
+        // Drain any full chunks from the buffer.
+        let chunk_elems = CHUNK_TOKENS as usize * self.d_model;
+        while state.partial.len() >= chunk_elems {
+            let chunk_idx = (state.n_durable / CHUNK_TOKENS) as u32;
+            let rest = state.partial.split_off(chunk_elems);
+            let full = std::mem::replace(&mut state.partial, rest);
+            let bytes = self.precision.encode(&full, self.d_model);
+            self.store
+                .write_chunk(ChunkKey { stream, chunk_idx }, &bytes)?;
+            state.n_durable += CHUNK_TOKENS;
+        }
+        Ok(())
+    }
+
+    /// Convenience: appends a single token row.
+    pub fn append_row(&self, stream: StreamId, row: &[f32]) -> Result<(), StorageError> {
+        let t = Tensor2::from_vec(1, row.len(), row.to_vec());
+        self.append_rows(stream, &t)
+    }
+
+    /// Writes the buffered partial tail chunk (if any) to the backend. The
+    /// buffer is retained so later appends can extend and rewrite the tail.
+    pub fn flush_stream(&self, stream: StreamId) -> Result<(), StorageError> {
+        let streams = self.streams.lock();
+        if let Some(state) = streams.get(&stream) {
+            if !state.partial.is_empty() {
+                let chunk_idx = (state.n_durable / CHUNK_TOKENS) as u32;
+                let bytes = self.precision.encode(&state.partial, self.d_model);
+                self.store
+                    .write_chunk(ChunkKey { stream, chunk_idx }, &bytes)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes every stream of `session`.
+    pub fn flush_session(&self, session: u64) -> Result<(), StorageError> {
+        let ids: Vec<StreamId> = {
+            let streams = self.streams.lock();
+            streams
+                .keys()
+                .filter(|s| s.session == session)
+                .cloned()
+                .collect()
+        };
+        for id in ids {
+            self.flush_stream(id)?;
+        }
+        Ok(())
+    }
+
+    /// Reads token rows `[start, end)` of `stream` as an f32 tensor
+    /// (values carry the f16 round-trip). Serves durable chunks from the
+    /// backend and the unflushed tail from the buffer.
+    pub fn read_rows(
+        &self,
+        stream: StreamId,
+        start: u64,
+        end: u64,
+    ) -> Result<Tensor2, StorageError> {
+        let streams = self.streams.lock();
+        let state = streams.get(&stream);
+        let available = state.map_or(0, |s| s.n_tokens);
+        if end > available {
+            return Err(StorageError::OutOfRange {
+                stream,
+                available,
+                requested: end,
+            });
+        }
+        let n = (end - start) as usize;
+        let mut out = Tensor2::zeros(n, self.d_model);
+        if n == 0 {
+            return Ok(out);
+        }
+        let state = state.expect("available > 0 implies state exists");
+        for slice in chunks_for_range(start, end) {
+            let chunk_start_token = slice.chunk_idx as u64 * CHUNK_TOKENS;
+            let key = ChunkKey {
+                stream,
+                chunk_idx: slice.chunk_idx,
+            };
+            // Rows of this chunk that are durable come from the backend;
+            // otherwise they live in the partial buffer.
+            let durable = state.n_durable;
+            let rows: Vec<f32> = if chunk_start_token + slice.start_in_chunk + slice.len <= durable
+            {
+                let bytes = self.store.read_chunk(key)?;
+                self.precision.decode(&bytes, self.d_model)
+            } else {
+                // Tail chunk: rebuild from buffer (buffer rows start at
+                // token n_durable == chunk_start_token for the tail).
+                debug_assert_eq!(chunk_start_token, durable);
+                // Apply the same quantization a durable path would.
+                self.precision.decode(
+                    &self.precision.encode(&state.partial, self.d_model),
+                    self.d_model,
+                )
+            };
+            let src_row0 = slice.start_in_chunk as usize;
+            let dst_row0 = (chunk_start_token + slice.start_in_chunk - start) as usize;
+            for r in 0..slice.len as usize {
+                let src = &rows[(src_row0 + r) * self.d_model..(src_row0 + r + 1) * self.d_model];
+                out.row_mut(dst_row0 + r).copy_from_slice(src);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Deletes all state of `session`; returns bytes freed in the backend.
+    pub fn delete_session(&self, session: u64) -> u64 {
+        let ids: Vec<StreamId> = {
+            let mut streams = self.streams.lock();
+            let ids: Vec<StreamId> = streams
+                .keys()
+                .filter(|s| s.session == session)
+                .cloned()
+                .collect();
+            for id in &ids {
+                streams.remove(id);
+            }
+            ids
+        };
+        ids.iter().map(|id| self.store.delete_stream(*id)).sum()
+    }
+
+    /// Backend IO statistics.
+    pub fn stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemStore;
+    use hc_tensor::f16::f16_roundtrip;
+
+    const D: usize = 8;
+
+    fn mgr() -> StorageManager<MemStore> {
+        StorageManager::new(Arc::new(MemStore::new(4)), D)
+    }
+
+    fn rows(n: usize, seed: usize) -> Tensor2 {
+        Tensor2::from_fn(n, D, |r, c| ((seed + r * D + c) % 97) as f32 * 0.25 - 12.0)
+    }
+
+    #[test]
+    fn roundtrip_small_within_one_chunk() {
+        let m = mgr();
+        let s = StreamId::hidden(1, 0);
+        let t = rows(10, 0);
+        m.append_rows(s, &t).unwrap();
+        let back = m.read_rows(s, 0, 10).unwrap();
+        for r in 0..10 {
+            for c in 0..D {
+                assert_eq!(back.get(r, c), f16_roundtrip(t.get(r, c)));
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_across_chunk_boundaries() {
+        let m = mgr();
+        let s = StreamId::hidden(2, 3);
+        let t = rows(200, 5);
+        m.append_rows(s, &t).unwrap();
+        let back = m.read_rows(s, 50, 150).unwrap();
+        assert_eq!(back.shape(), (100, D));
+        for r in 0..100 {
+            assert_eq!(back.get(r, 0), f16_roundtrip(t.get(50 + r, 0)));
+        }
+    }
+
+    #[test]
+    fn incremental_appends_match_bulk() {
+        let m1 = mgr();
+        let m2 = mgr();
+        let s = StreamId::hidden(1, 1);
+        let t = rows(130, 9);
+        m1.append_rows(s, &t).unwrap();
+        for r in 0..130 {
+            m2.append_row(s, t.row(r)).unwrap();
+        }
+        let a = m1.read_rows(s, 0, 130).unwrap();
+        let b = m2.read_rows(s, 0, 130).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_chunks_are_written_eagerly() {
+        let m = mgr();
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(64, 0)).unwrap();
+        assert_eq!(m.stats().total_writes(), 1, "full chunk must flush eagerly");
+        m.append_rows(s, &rows(63, 1)).unwrap();
+        assert_eq!(
+            m.stats().total_writes(),
+            1,
+            "partial chunk must stay buffered"
+        );
+        m.append_rows(s, &rows(1, 2)).unwrap();
+        assert_eq!(m.stats().total_writes(), 2, "chunk completes at 128 tokens");
+    }
+
+    #[test]
+    fn reads_served_from_unflushed_tail() {
+        let m = mgr();
+        let s = StreamId::hidden(1, 2);
+        let t = rows(70, 3);
+        m.append_rows(s, &t).unwrap();
+        // Tokens 64..70 are only in the buffer.
+        let back = m.read_rows(s, 60, 70).unwrap();
+        assert_eq!(back.get(9, 1), f16_roundtrip(t.get(69, 1)));
+    }
+
+    #[test]
+    fn flush_then_extend_tail_chunk() {
+        let m = mgr();
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(70, 1)).unwrap();
+        m.flush_stream(s).unwrap();
+        m.append_rows(s, &rows(10, 2)).unwrap();
+        m.flush_stream(s).unwrap();
+        let back = m.read_rows(s, 0, 80).unwrap();
+        assert_eq!(back.rows(), 80);
+        // Tail rows come from the second batch.
+        assert_eq!(back.get(75, 0), f16_roundtrip(rows(10, 2).get(5, 0)));
+    }
+
+    #[test]
+    fn out_of_range_read_is_an_error() {
+        let m = mgr();
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(5, 0)).unwrap();
+        let err = m.read_rows(s, 0, 6).unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::OutOfRange {
+                available: 5,
+                requested: 6,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_read_is_ok() {
+        let m = mgr();
+        let s = StreamId::hidden(1, 0);
+        let t = m.read_rows(s, 0, 0).unwrap();
+        assert_eq!(t.rows(), 0);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let m = mgr();
+        let a = StreamId::hidden(1, 0);
+        let b = StreamId::key(1, 0);
+        m.append_rows(a, &rows(10, 1)).unwrap();
+        m.append_rows(b, &rows(20, 2)).unwrap();
+        assert_eq!(m.n_tokens(a), 10);
+        assert_eq!(m.n_tokens(b), 20);
+    }
+
+    #[test]
+    fn delete_session_frees_all_streams() {
+        let m = mgr();
+        m.append_rows(StreamId::hidden(7, 0), &rows(64, 0)).unwrap();
+        m.append_rows(StreamId::key(7, 1), &rows(64, 1)).unwrap();
+        m.append_rows(StreamId::hidden(8, 0), &rows(64, 2)).unwrap();
+        let freed = m.delete_session(7);
+        assert_eq!(freed, 2 * 64 * D as u64 * 2); // 2 chunks, f16
+        assert_eq!(m.n_tokens(StreamId::hidden(7, 0)), 0);
+        assert_eq!(m.n_tokens(StreamId::hidden(8, 0)), 64);
+    }
+
+    #[test]
+    fn int8_precision_roundtrip_within_bound() {
+        let m =
+            StorageManager::with_precision(Arc::new(MemStore::new(2)), D, crate::Precision::Int8);
+        let s = StreamId::hidden(1, 0);
+        let t = rows(100, 4);
+        m.append_rows(s, &t).unwrap();
+        let back = m.read_rows(s, 0, 100).unwrap();
+        for r in 0..100 {
+            let bound = hc_tensor::quant::row_error_bound(t.row(r));
+            for c in 0..D {
+                assert!(
+                    (back.get(r, c) - t.get(r, c)).abs() <= bound,
+                    "({r},{c}): {} vs {}",
+                    back.get(r, c),
+                    t.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_halves_stored_bytes() {
+        // Use a realistic row width so the 4-byte per-row scale is
+        // negligible (at D=4096 it is 0.1%).
+        const WIDE: usize = 256;
+        let m16 = StorageManager::new(Arc::new(MemStore::new(2)), WIDE);
+        let m8 = StorageManager::with_precision(
+            Arc::new(MemStore::new(2)),
+            WIDE,
+            crate::Precision::Int8,
+        );
+        let s = StreamId::hidden(1, 0);
+        let t = Tensor2::from_fn(128, WIDE, |r, c| ((r + c) % 23) as f32 * 0.5 - 5.0);
+        m16.append_rows(s, &t).unwrap();
+        m8.append_rows(s, &t).unwrap();
+        let b16 = m16.stats().total_bytes_written();
+        let b8 = m8.stats().total_bytes_written();
+        assert!((b8 as f64) < 0.55 * b16 as f64, "int8 {b8} vs f16 {b16}");
+    }
+
+    #[test]
+    fn chunks_spread_across_devices() {
+        let m = mgr();
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(64 * 8, 0)).unwrap();
+        let stats = m.stats();
+        for (i, d) in stats.devices.iter().enumerate() {
+            assert_eq!(d.writes, 2, "device {i} should hold 2 of 8 chunks");
+        }
+    }
+}

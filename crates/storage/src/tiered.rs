@@ -1,0 +1,270 @@
+//! Hierarchical (DRAM + SSD) chunk store.
+//!
+//! §4 of the paper: "Previous research has suggested using a hierarchical
+//! storage backend that combines host DRAM and SSDs (AttentionStore). They
+//! also integrate prefetching and caching strategies … orthogonal to our
+//! work and can be incorporated to enhance performance further."
+//!
+//! [`TieredStore`] incorporates it: a byte-capacity DRAM front cache over a
+//! capacity backing store, write-through on saves, promote-on-read with LRU
+//! eviction. Hot contexts restore from DRAM at link speed; cold ones stream
+//! from the backing SSDs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::backend::{ChunkStore, StoreStats};
+use crate::chunk::ChunkKey;
+use crate::{StorageError, StreamId};
+
+struct FrontCache {
+    chunks: HashMap<ChunkKey, (Vec<u8>, u64)>,
+    used_bytes: u64,
+    clock: u64,
+}
+
+impl FrontCache {
+    fn touch_get(&mut self, key: &ChunkKey) -> Option<Vec<u8>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.chunks.get_mut(key).map(|(data, stamp)| {
+            *stamp = clock;
+            data.clone()
+        })
+    }
+
+    fn insert(&mut self, key: ChunkKey, data: &[u8], capacity: u64) {
+        if data.len() as u64 > capacity {
+            return;
+        }
+        self.clock += 1;
+        if let Some((old, _)) = self.chunks.remove(&key) {
+            self.used_bytes -= old.len() as u64;
+        }
+        while self.used_bytes + data.len() as u64 > capacity && !self.chunks.is_empty() {
+            let victim = *self
+                .chunks
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k)
+                .expect("non-empty");
+            if let Some((old, _)) = self.chunks.remove(&victim) {
+                self.used_bytes -= old.len() as u64;
+            }
+        }
+        self.used_bytes += data.len() as u64;
+        self.chunks.insert(key, (data.to_vec(), self.clock));
+    }
+
+    fn delete_stream(&mut self, stream: StreamId) {
+        let keys: Vec<ChunkKey> = self
+            .chunks
+            .keys()
+            .filter(|k| k.stream == stream)
+            .cloned()
+            .collect();
+        for k in keys {
+            if let Some((old, _)) = self.chunks.remove(&k) {
+                self.used_bytes -= old.len() as u64;
+            }
+        }
+    }
+}
+
+/// DRAM-front / SSD-back hierarchical chunk store.
+pub struct TieredStore<B: ChunkStore> {
+    back: Arc<B>,
+    front: Mutex<FrontCache>,
+    front_capacity: u64,
+    front_hits: AtomicU64,
+    front_misses: AtomicU64,
+}
+
+impl<B: ChunkStore> TieredStore<B> {
+    /// Wraps `back` with a DRAM cache of `front_capacity_bytes`.
+    pub fn new(back: Arc<B>, front_capacity_bytes: u64) -> Self {
+        Self {
+            back,
+            front: Mutex::new(FrontCache {
+                chunks: HashMap::new(),
+                used_bytes: 0,
+                clock: 0,
+            }),
+            front_capacity: front_capacity_bytes,
+            front_hits: AtomicU64::new(0),
+            front_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Reads served from DRAM so far.
+    pub fn front_hits(&self) -> u64 {
+        self.front_hits.load(Ordering::Relaxed)
+    }
+
+    /// Reads that had to go to the backing store.
+    pub fn front_misses(&self) -> u64 {
+        self.front_misses.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently cached in DRAM.
+    pub fn front_used_bytes(&self) -> u64 {
+        self.front.lock().used_bytes
+    }
+
+    /// Backing store handle.
+    pub fn back(&self) -> &Arc<B> {
+        &self.back
+    }
+}
+
+impl<B: ChunkStore> ChunkStore for TieredStore<B> {
+    fn write_chunk(&self, key: ChunkKey, data: &[u8]) -> Result<(), StorageError> {
+        // Write-through: durability lives in the backing store; the front
+        // keeps the hot copy.
+        self.back.write_chunk(key, data)?;
+        self.front.lock().insert(key, data, self.front_capacity);
+        Ok(())
+    }
+
+    fn read_chunk(&self, key: ChunkKey) -> Result<Vec<u8>, StorageError> {
+        if let Some(data) = self.front.lock().touch_get(&key) {
+            self.front_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(data);
+        }
+        let data = self.back.read_chunk(key)?;
+        self.front_misses.fetch_add(1, Ordering::Relaxed);
+        // Promote on read.
+        self.front.lock().insert(key, &data, self.front_capacity);
+        Ok(data)
+    }
+
+    fn contains(&self, key: ChunkKey) -> bool {
+        self.back.contains(key)
+    }
+
+    fn delete_stream(&self, stream: StreamId) -> u64 {
+        self.front.lock().delete_stream(stream);
+        self.back.delete_stream(stream)
+    }
+
+    fn n_devices(&self) -> usize {
+        self.back.n_devices()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.back.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemStore;
+
+    fn key(chunk_idx: u32) -> ChunkKey {
+        ChunkKey {
+            stream: StreamId::hidden(1, 0),
+            chunk_idx,
+        }
+    }
+
+    fn tiered(capacity: u64) -> TieredStore<MemStore> {
+        TieredStore::new(Arc::new(MemStore::new(2)), capacity)
+    }
+
+    #[test]
+    fn reads_hit_dram_after_write_through() {
+        let t = tiered(1024);
+        t.write_chunk(key(0), &[1, 2, 3]).unwrap();
+        assert_eq!(t.read_chunk(key(0)).unwrap(), vec![1, 2, 3]);
+        assert_eq!(t.front_hits(), 1);
+        assert_eq!(t.front_misses(), 0);
+        // The backing store never saw the read.
+        assert_eq!(t.back().stats().total_reads(), 0);
+    }
+
+    #[test]
+    fn cold_reads_promote() {
+        let t = tiered(100);
+        // Fill with chunk 0, evict it with chunks 1..4, then re-read 0.
+        for i in 0..4 {
+            t.write_chunk(key(i), &[i as u8; 40]).unwrap();
+        }
+        assert!(t.front_used_bytes() <= 100);
+        let _ = t.read_chunk(key(0)).unwrap();
+        assert_eq!(t.front_misses(), 1);
+        // Now hot.
+        let _ = t.read_chunk(key(0)).unwrap();
+        assert_eq!(t.front_hits(), 1);
+    }
+
+    #[test]
+    fn capacity_is_respected_under_churn() {
+        let t = tiered(128);
+        for i in 0..50 {
+            t.write_chunk(key(i), &[0u8; 32]).unwrap();
+            assert!(t.front_used_bytes() <= 128);
+        }
+        // Everything still readable through the back.
+        for i in 0..50 {
+            assert_eq!(t.read_chunk(key(i)).unwrap().len(), 32);
+        }
+    }
+
+    #[test]
+    fn lru_keeps_recently_used_chunks() {
+        let t = tiered(96); // three 32-byte chunks
+        for i in 0..3 {
+            t.write_chunk(key(i), &[i as u8; 32]).unwrap();
+        }
+        let _ = t.read_chunk(key(0)).unwrap(); // refresh 0
+        t.write_chunk(key(3), &[3; 32]).unwrap(); // evicts 1 (LRU)
+        let hits_before = t.front_hits();
+        let _ = t.read_chunk(key(0)).unwrap();
+        assert_eq!(t.front_hits(), hits_before + 1, "0 must still be hot");
+        let misses_before = t.front_misses();
+        let _ = t.read_chunk(key(1)).unwrap();
+        assert_eq!(t.front_misses(), misses_before + 1, "1 must be cold");
+    }
+
+    #[test]
+    fn oversized_chunk_bypasses_front() {
+        let t = tiered(8);
+        t.write_chunk(key(0), &[0u8; 64]).unwrap();
+        assert_eq!(t.front_used_bytes(), 0);
+        assert_eq!(t.read_chunk(key(0)).unwrap().len(), 64);
+        assert_eq!(t.front_misses(), 1);
+    }
+
+    #[test]
+    fn delete_purges_both_tiers() {
+        let t = tiered(1024);
+        t.write_chunk(key(0), &[1; 16]).unwrap();
+        let freed = t.delete_stream(StreamId::hidden(1, 0));
+        assert_eq!(freed, 16);
+        assert_eq!(t.front_used_bytes(), 0);
+        assert!(t.read_chunk(key(0)).is_err());
+    }
+
+    #[test]
+    fn works_under_manager_and_two_stage_saver() {
+        use crate::manager::StorageManager;
+        use crate::two_stage::{SaveMode, StateSaver};
+        let store = Arc::new(tiered(1 << 20));
+        let mgr = Arc::new(StorageManager::new(store, 8));
+        let saver = StateSaver::new(Arc::clone(&mgr), SaveMode::TwoStage);
+        let row = vec![1.5f32; 8];
+        for _ in 0..70 {
+            saver.save_batch(&[(StreamId::hidden(3, 0), row.as_slice())]);
+        }
+        saver.barrier_and_flush(3);
+        let back = mgr.read_rows(StreamId::hidden(3, 0), 0, 70).unwrap();
+        assert_eq!(back.rows(), 70);
+        assert_eq!(back.get(69, 0), 1.5);
+        // Restoration read was a DRAM hit (just written through).
+        assert!(mgr.store().front_hits() > 0);
+    }
+}

@@ -1,0 +1,314 @@
+//! Two-stage state saving (§4.2.2).
+//!
+//! During decode, every layer of every iteration produces one hidden-state
+//! row per sequence. Writing those rows straight to storage means many
+//! small scattered writes on the critical path (the paper's DirectIO
+//! baseline, Fig 14). Instead:
+//!
+//! * **Stage 1 — snapshot**: the batch's rows are copied to host memory in
+//!   one contiguous copy (`cudaMemcpy` in the paper; a memcpy into the
+//!   daemon's queue here). The GPU-side buffer is immediately reusable.
+//! * **Stage 2 — chunk daemon**: a background host thread demultiplexes the
+//!   rows into per-stream chunk buffers and flushes full 64-token chunks to
+//!   the backend (the manager's append path implements the buffering).
+//!
+//! The saver also implements the `DirectIo` mode used as the ablation
+//! baseline: rows go to the backend synchronously, flushing the tail chunk
+//! on every call — the scattered-write pattern the backend statistics make
+//! visible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+
+use crate::backend::ChunkStore;
+use crate::manager::StorageManager;
+use crate::StreamId;
+
+/// Saving strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaveMode {
+    /// Snapshot + background chunk daemon (the paper's design).
+    TwoStage,
+    /// Synchronous write-through (ablation baseline of Fig 14).
+    DirectIo,
+}
+
+/// A batch of rows for one stream, already snapshotted to host memory.
+struct RowBatch {
+    stream: StreamId,
+    /// Row-major f32 payload (`n_rows × d_model`).
+    rows: Vec<f32>,
+    n_rows: usize,
+}
+
+enum Msg {
+    Batch(Vec<RowBatch>),
+    Barrier(Sender<()>),
+}
+
+/// Saver front end. One instance per serving engine.
+pub struct StateSaver<S: ChunkStore + 'static> {
+    mgr: Arc<StorageManager<S>>,
+    mode: SaveMode,
+    tx: Option<Sender<Msg>>,
+    daemon: Option<JoinHandle<()>>,
+    /// Stage-1 bytes snapshotted (PCIe downstream traffic in the paper).
+    snapshot_bytes: Arc<AtomicU64>,
+}
+
+impl<S: ChunkStore + 'static> StateSaver<S> {
+    /// Creates a saver; `TwoStage` mode spawns the chunk daemon thread.
+    pub fn new(mgr: Arc<StorageManager<S>>, mode: SaveMode) -> Self {
+        let snapshot_bytes = Arc::new(AtomicU64::new(0));
+        let (tx, daemon) = match mode {
+            SaveMode::DirectIo => (None, None),
+            SaveMode::TwoStage => {
+                let (tx, rx) = unbounded::<Msg>();
+                let mgr2 = Arc::clone(&mgr);
+                let handle = std::thread::Builder::new()
+                    .name("hcache-chunk-daemon".into())
+                    .spawn(move || {
+                        // The daemon preserves per-stream append order
+                        // because it is the sole consumer of the channel.
+                        while let Ok(msg) = rx.recv() {
+                            match msg {
+                                Msg::Batch(batches) => {
+                                    for b in batches {
+                                        let t = hc_tensor::Tensor2::from_vec(
+                                            b.n_rows,
+                                            mgr2.d_model(),
+                                            b.rows,
+                                        );
+                                        mgr2.append_rows(b.stream, &t)
+                                            .expect("chunk daemon append failed");
+                                    }
+                                }
+                                Msg::Barrier(ack) => {
+                                    let _ = ack.send(());
+                                }
+                            }
+                        }
+                    })
+                    .expect("failed to spawn chunk daemon");
+                (Some(tx), Some(handle))
+            }
+        };
+        Self {
+            mgr,
+            mode,
+            tx,
+            daemon,
+            snapshot_bytes,
+        }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> SaveMode {
+        self.mode
+    }
+
+    /// Stage-1 snapshot traffic so far, in bytes (f16 equivalent).
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.snapshot_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Saves a batch of rows: `items` is a list of `(stream, rows)` where
+    /// each `rows` holds `n × d_model` f32 values for that stream.
+    ///
+    /// In `TwoStage` mode this returns as soon as the snapshot copy is done;
+    /// in `DirectIo` mode it blocks until the rows (including the partial
+    /// tail chunk) hit the backend.
+    pub fn save_batch(&self, items: &[(StreamId, &[f32])]) {
+        let d = self.mgr.d_model();
+        let mut bytes = 0u64;
+        match self.mode {
+            SaveMode::TwoStage => {
+                let mut batches = Vec::with_capacity(items.len());
+                for (stream, rows) in items {
+                    assert_eq!(rows.len() % d, 0, "ragged row payload");
+                    bytes += (rows.len() * 2) as u64; // f16 on the wire
+                    batches.push(RowBatch {
+                        stream: *stream,
+                        rows: rows.to_vec(), // the stage-1 snapshot copy
+                        n_rows: rows.len() / d,
+                    });
+                }
+                self.snapshot_bytes.fetch_add(bytes, Ordering::Relaxed);
+                self.tx
+                    .as_ref()
+                    .expect("two-stage saver has a daemon")
+                    .send(Msg::Batch(batches))
+                    .expect("chunk daemon is gone");
+            }
+            SaveMode::DirectIo => {
+                for (stream, rows) in items {
+                    assert_eq!(rows.len() % d, 0, "ragged row payload");
+                    let t = hc_tensor::Tensor2::from_vec(rows.len() / d, d, rows.to_vec());
+                    self.mgr
+                        .append_rows(*stream, &t)
+                        .expect("direct append failed");
+                    // Write-through: the tail chunk goes out on every call —
+                    // this is what makes DirectIO scatter small writes.
+                    self.mgr.flush_stream(*stream).expect("direct flush failed");
+                }
+            }
+        }
+    }
+
+    /// Waits until the daemon has drained everything submitted so far, then
+    /// flushes all partial chunks of `session` so reads see durable data.
+    pub fn barrier_and_flush(&self, session: u64) {
+        if let Some(tx) = &self.tx {
+            let (ack_tx, ack_rx) = unbounded();
+            tx.send(Msg::Barrier(ack_tx)).expect("daemon gone");
+            ack_rx.recv().expect("daemon dropped barrier");
+        }
+        self.mgr.flush_session(session).expect("flush failed");
+    }
+}
+
+impl<S: ChunkStore + 'static> Drop for StateSaver<S> {
+    fn drop(&mut self) {
+        // Close the channel, then join the daemon so no appends are lost.
+        self.tx.take();
+        if let Some(h) = self.daemon.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemStore;
+    use hc_tensor::Tensor2;
+
+    const D: usize = 8;
+
+    fn setup(mode: SaveMode) -> (Arc<StorageManager<MemStore>>, StateSaver<MemStore>) {
+        let mgr = Arc::new(StorageManager::new(Arc::new(MemStore::new(4)), D));
+        let saver = StateSaver::new(Arc::clone(&mgr), mode);
+        (mgr, saver)
+    }
+
+    fn row(v: f32) -> Vec<f32> {
+        vec![v; D]
+    }
+
+    #[test]
+    fn two_stage_and_direct_store_identical_data() {
+        let (mgr_a, saver_a) = setup(SaveMode::TwoStage);
+        let (mgr_b, saver_b) = setup(SaveMode::DirectIo);
+        for step in 0..100 {
+            for layer in 0..4u32 {
+                let r = row(step as f32 + layer as f32 * 0.25);
+                let items = [(StreamId::hidden(1, layer), r.as_slice())];
+                saver_a.save_batch(&items);
+                saver_b.save_batch(&items);
+            }
+        }
+        saver_a.barrier_and_flush(1);
+        saver_b.barrier_and_flush(1);
+        for layer in 0..4u32 {
+            let s = StreamId::hidden(1, layer);
+            assert_eq!(mgr_a.n_tokens(s), 100);
+            let a = mgr_a.read_rows(s, 0, 100).unwrap();
+            let b = mgr_b.read_rows(s, 0, 100).unwrap();
+            assert_eq!(a, b, "layer {layer} diverged");
+        }
+    }
+
+    #[test]
+    fn two_stage_batches_writes_direct_io_scatters() {
+        let (mgr_a, saver_a) = setup(SaveMode::TwoStage);
+        let (mgr_b, saver_b) = setup(SaveMode::DirectIo);
+        // 128 decode steps over one stream: exactly 2 full chunks.
+        for step in 0..128 {
+            let r = row(step as f32);
+            saver_a.save_batch(&[(StreamId::hidden(1, 0), r.as_slice())]);
+            saver_b.save_batch(&[(StreamId::hidden(1, 0), r.as_slice())]);
+        }
+        saver_a.barrier_and_flush(1);
+        saver_b.barrier_and_flush(1);
+        let w_two_stage = mgr_a.stats().total_writes();
+        let w_direct = mgr_b.stats().total_writes();
+        assert!(
+            w_two_stage <= 3,
+            "two-stage should write ~2 chunk IOs, got {w_two_stage}"
+        );
+        assert!(
+            w_direct >= 128,
+            "direct IO should write per token, got {w_direct}"
+        );
+    }
+
+    #[test]
+    fn snapshot_counts_stage1_traffic() {
+        let (_mgr, saver) = setup(SaveMode::TwoStage);
+        let r = row(1.0);
+        saver.save_batch(&[(StreamId::hidden(1, 0), r.as_slice())]);
+        assert_eq!(saver.snapshot_bytes(), (D * 2) as u64);
+        // DirectIO performs no snapshot.
+        let (_m2, direct) = setup(SaveMode::DirectIo);
+        direct.save_batch(&[(StreamId::hidden(1, 0), r.as_slice())]);
+        assert_eq!(direct.snapshot_bytes(), 0);
+    }
+
+    #[test]
+    fn multi_sequence_batches_demultiplex_into_streams() {
+        let (mgr, saver) = setup(SaveMode::TwoStage);
+        // Continuous batching: one call carries rows of several sessions.
+        let r1 = row(1.0);
+        let r2 = row(2.0);
+        saver.save_batch(&[
+            (StreamId::hidden(1, 0), r1.as_slice()),
+            (StreamId::hidden(2, 0), r2.as_slice()),
+        ]);
+        saver.barrier_and_flush(1);
+        saver.barrier_and_flush(2);
+        assert_eq!(mgr.n_tokens(StreamId::hidden(1, 0)), 1);
+        assert_eq!(mgr.n_tokens(StreamId::hidden(2, 0)), 1);
+        let a = mgr.read_rows(StreamId::hidden(1, 0), 0, 1).unwrap();
+        assert_eq!(a.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn barrier_makes_pending_rows_readable() {
+        let (mgr, saver) = setup(SaveMode::TwoStage);
+        for i in 0..10 {
+            let r = row(i as f32);
+            saver.save_batch(&[(StreamId::hidden(5, 0), r.as_slice())]);
+        }
+        saver.barrier_and_flush(5);
+        let t = mgr.read_rows(StreamId::hidden(5, 0), 0, 10).unwrap();
+        assert_eq!(t.rows(), 10);
+        assert_eq!(t.get(9, 0), 9.0);
+    }
+
+    #[test]
+    fn drop_joins_daemon_without_losing_data() {
+        let mgr = Arc::new(StorageManager::new(Arc::new(MemStore::new(2)), D));
+        {
+            let saver = StateSaver::new(Arc::clone(&mgr), SaveMode::TwoStage);
+            for i in 0..64 {
+                let r = row(i as f32);
+                saver.save_batch(&[(StreamId::hidden(9, 0), r.as_slice())]);
+            }
+            // No barrier: Drop must still drain the queue.
+        }
+        assert_eq!(mgr.n_tokens(StreamId::hidden(9, 0)), 64);
+    }
+
+    #[test]
+    fn multilayer_batch_preserves_tensor_content() {
+        let (mgr, saver) = setup(SaveMode::TwoStage);
+        let t = Tensor2::from_fn(3, D, |r, c| (r * D + c) as f32 * 0.5);
+        saver.save_batch(&[(StreamId::hidden(1, 7), t.as_slice())]);
+        saver.barrier_and_flush(1);
+        let back = mgr.read_rows(StreamId::hidden(1, 7), 0, 3).unwrap();
+        assert_eq!(back.get(2, 3), hc_tensor::f16::f16_roundtrip(t.get(2, 3)));
+    }
+}

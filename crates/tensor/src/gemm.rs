@@ -1,0 +1,214 @@
+//! Matrix multiplication kernels.
+//!
+//! The paper restores KV via cuBLAS GEMMs; here we provide a cache-blocked
+//! CPU GEMM that is fast enough for the functional test models while keeping
+//! a bit-for-bit deterministic accumulation order (plain loop order inside a
+//! block, blocks visited in row-major order), which lets tests compare the
+//! prefill path and the restoration path for *exact* equality when they
+//! perform the same mathematical operation.
+
+use crate::Tensor2;
+
+/// Cache block edge used by the blocked kernels.
+const BLOCK: usize = 64;
+
+/// `C = A · B` where `A` is `m×k` and `B` is `k×n`.
+///
+/// # Panics
+/// Panics when the inner dimensions disagree.
+pub fn matmul(a: &Tensor2, b: &Tensor2) -> Tensor2 {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul inner dimension mismatch: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Tensor2::zeros(m, n);
+    // i-k-j loop order with the inner loop streaming over contiguous rows of
+    // B and C: decent locality without any unsafe code.
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for k0 in (0..k).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(k);
+            for i in i0..i1 {
+                let a_row = a.row(i);
+                let c_row_start = i * n;
+                for kk in k0..k1 {
+                    let aval = a_row[kk];
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    let b_row = b.row(kk);
+                    let c_data = c.as_mut_slice();
+                    for j in 0..n {
+                        c_data[c_row_start + j] += aval * b_row[j];
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// `C = A · Bᵀ` where `A` is `m×k` and `B` is `n×k`.
+///
+/// This is the natural layout for attention scores (`Q · Kᵀ`) when K is
+/// stored tokens-major, and for projections whose weights are stored
+/// `out×in` (as this crate's model layer does).
+pub fn matmul_nt(a: &Tensor2, b: &Tensor2) -> Tensor2 {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_nt inner dimension mismatch: {}x{} * ({}x{})^T",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let mut c = Tensor2::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        for j in 0..n {
+            let b_row = b.row(j);
+            let mut acc = 0.0_f32;
+            for kk in 0..k {
+                acc += a_row[kk] * b_row[kk];
+            }
+            c.set(i, j, acc);
+        }
+    }
+    c
+}
+
+/// `y = x · Wᵀ` for a single row vector `x` (len `k`) and weight `W` (`n×k`).
+///
+/// Used on the decode path where activations are a single token.
+pub fn matvec_nt(x: &[f32], w: &Tensor2) -> Vec<f32> {
+    assert_eq!(x.len(), w.cols(), "matvec_nt dimension mismatch");
+    let mut y = vec![0.0_f32; w.rows()];
+    for (j, out) in y.iter_mut().enumerate() {
+        let row = w.row(j);
+        let mut acc = 0.0_f32;
+        for (a, b) in x.iter().zip(row.iter()) {
+            acc += a * b;
+        }
+        *out = acc;
+    }
+    y
+}
+
+/// Number of floating point operations for an `m×k · k×n` GEMM, counting a
+/// fused multiply-add as 2 FLOPs — the convention used by the paper (§3.2).
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * m as u64 * k as u64 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assert_tensor_eq, REL_TOL};
+    use proptest::prelude::*;
+
+    fn naive_matmul(a: &Tensor2, b: &Tensor2) -> Tensor2 {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        Tensor2::from_fn(m, n, |i, j| {
+            (0..k).map(|kk| a.get(i, kk) * b.get(kk, j)).sum()
+        })
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor2::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        let eye = Tensor2::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_tensor_eq(&matmul(&a, &eye), &a, 0.0);
+        assert_tensor_eq(&matmul(&eye, &a), &a, 0.0);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor2::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor2::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_with_transpose() {
+        let a = Tensor2::from_fn(4, 6, |r, c| ((r * 7 + c * 3) % 5) as f32 - 2.0);
+        let b = Tensor2::from_fn(5, 6, |r, c| ((r * 2 + c) % 7) as f32 - 3.0);
+        let via_nt = matmul_nt(&a, &b);
+        let via_t = matmul(&a, &b.transpose());
+        assert_tensor_eq(&via_nt, &via_t, REL_TOL);
+    }
+
+    #[test]
+    fn matvec_matches_matmul_nt_single_row() {
+        let w = Tensor2::from_fn(3, 4, |r, c| (r + c) as f32);
+        let x = vec![1.0, -1.0, 2.0, 0.5];
+        let y = matvec_nt(&x, &w);
+        let a = Tensor2::from_vec(1, 4, x);
+        let expect = matmul_nt(&a, &w);
+        assert_eq!(y.as_slice(), expect.row(0));
+    }
+
+    #[test]
+    fn gemm_flops_counts_fma_as_two() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+
+    #[test]
+    fn matmul_rectangular_blocked_crosses_block_boundary() {
+        // Sizes chosen to exceed one BLOCK so the blocked path is exercised.
+        let a = Tensor2::from_fn(70, 65, |r, c| ((r + 2 * c) % 9) as f32 * 0.25 - 1.0);
+        let b = Tensor2::from_fn(65, 33, |r, c| ((3 * r + c) % 11) as f32 * 0.125 - 0.5);
+        assert_tensor_eq(&matmul(&a, &b), &naive_matmul(&a, &b), 1e-3);
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_matches_naive(
+            m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..1000
+        ) {
+            let mut s = seed;
+            let mut next = move || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as i32 % 7) as f32 * 0.5
+            };
+            let a = Tensor2::from_fn(m, k, |_, _| next());
+            let b = Tensor2::from_fn(k, n, |_, _| next());
+            let fast = matmul(&a, &b);
+            let slow = naive_matmul(&a, &b);
+            for i in 0..m {
+                for j in 0..n {
+                    prop_assert!(crate::approx_eq(fast.get(i, j), slow.get(i, j), 1e-3));
+                }
+            }
+        }
+
+        #[test]
+        fn matmul_is_linear_in_first_argument(
+            m in 1usize..5, k in 1usize..5, n in 1usize..5, alpha in -2.0f32..2.0
+        ) {
+            let a = Tensor2::from_fn(m, k, |r, c| (r as f32 - c as f32) * 0.5);
+            let b = Tensor2::from_fn(k, n, |r, c| (r * n + c) as f32 * 0.1);
+            let mut a_scaled = a.clone();
+            a_scaled.scale(alpha);
+            let mut lhs = matmul(&a, &b);
+            lhs.scale(alpha);
+            let rhs = matmul(&a_scaled, &b);
+            for i in 0..m {
+                for j in 0..n {
+                    prop_assert!(crate::approx_eq(lhs.get(i, j), rhs.get(i, j), 1e-3));
+                }
+            }
+        }
+    }
+}

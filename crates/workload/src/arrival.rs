@@ -1,0 +1,95 @@
+//! Arrival processes: Poisson session arrivals (§6.1.1) and helpers to
+//! assemble a timed request stream from sessions.
+
+use crate::rng::Rng;
+use crate::sharegpt::Session;
+use crate::Request;
+
+/// Draws Poisson arrival times with `rate` arrivals/second until `horizon`
+/// seconds.
+pub fn poisson_arrivals(rate: f64, horizon: f64, seed: u64) -> Vec<f64> {
+    assert!(rate > 0.0, "rate must be positive");
+    let mut rng = Rng::new(seed);
+    let mut t = 0.0;
+    let mut out = Vec::new();
+    loop {
+        t += rng.exponential(rate);
+        if t > horizon {
+            break;
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// Assigns each session a Poisson start time and offsets its rounds,
+/// returning the merged request stream sorted by arrival. Sessions beyond
+/// the number of arrivals in the horizon are dropped (matching how a load
+/// generator runs for a fixed duration).
+pub fn schedule_sessions(sessions: &[Session], rate: f64, horizon: f64, seed: u64) -> Vec<Request> {
+    let starts = poisson_arrivals(rate, horizon, seed);
+    let mut out = Vec::new();
+    for (session, start) in sessions.iter().zip(starts.iter()) {
+        for r in &session.rounds {
+            let mut r = r.clone();
+            r.arrival += start;
+            out.push(r);
+        }
+    }
+    out.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharegpt::{generate_sessions, ShareGptConfig};
+
+    #[test]
+    fn poisson_rate_matches() {
+        let arr = poisson_arrivals(2.0, 10_000.0, 42);
+        let rate = arr.len() as f64 / 10_000.0;
+        assert!((rate - 2.0).abs() < 0.1, "observed rate {rate}");
+    }
+
+    #[test]
+    fn poisson_is_sorted_and_within_horizon() {
+        let arr = poisson_arrivals(0.5, 1000.0, 1);
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arr.iter().all(|&t| t <= 1000.0));
+    }
+
+    #[test]
+    fn poisson_interarrival_cv_near_one() {
+        // Exponential inter-arrivals have coefficient of variation 1.
+        let arr = poisson_arrivals(1.0, 50_000.0, 9);
+        let gaps: Vec<f64> = arr.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = crate::stats::mean(&gaps);
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "cv {cv}");
+    }
+
+    #[test]
+    fn schedule_preserves_round_spacing() {
+        let sessions = generate_sessions(20, &ShareGptConfig::default(), 3);
+        let reqs = schedule_sessions(&sessions, 0.1, 10_000.0, 4);
+        // Within a session, consecutive rounds stay 30 s apart.
+        for s in &sessions {
+            let mine: Vec<&Request> = reqs.iter().filter(|r| r.session_id == s.id).collect();
+            if mine.len() >= 2 {
+                for w in mine.windows(2) {
+                    assert!((w[1].arrival - w[0].arrival - 30.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_output_is_sorted() {
+        let sessions = generate_sessions(50, &ShareGptConfig::default(), 5);
+        let reqs = schedule_sessions(&sessions, 0.5, 5_000.0, 6);
+        assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(!reqs.is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! ShareGPT4-like multi-round conversation generator.
+//!
+//! Matched to the statistics the paper reports in §2.3 / Figure 3:
+//! * average new-prompt length per round: **66.8** tokens,
+//! * average output length per round: **358.8** tokens,
+//! * history length CDF: median above **2.5K** tokens, truncated at **16K**.
+//!
+//! Sessions have a heavy-tailed number of rounds so that history lengths
+//! accumulate into the published CDF shape.
+
+use crate::rng::Rng;
+use crate::Request;
+
+/// Mean new-prompt tokens per round (Fig 3a).
+pub const MEAN_INPUT_TOKENS: f64 = 66.8;
+/// Mean output tokens per round (Fig 3a).
+pub const MEAN_OUTPUT_TOKENS: f64 = 358.8;
+/// History truncation used by the paper's CDF plot and our generator.
+pub const MAX_HISTORY_TOKENS: u32 = 16 * 1024;
+
+/// Configuration of the conversation generator.
+#[derive(Debug, Clone)]
+pub struct ShareGptConfig {
+    /// Mean rounds per session (heavy-tailed around this).
+    pub mean_rounds: f64,
+    /// Sigma of the log-normal length distributions.
+    pub length_sigma: f64,
+    /// Think time between a response finishing and the next round arriving
+    /// (the paper fixes 30 s in §6.1.1).
+    pub round_interval_secs: f64,
+}
+
+impl Default for ShareGptConfig {
+    fn default() -> Self {
+        Self {
+            mean_rounds: 8.0,
+            length_sigma: 0.85,
+            round_interval_secs: 30.0,
+        }
+    }
+}
+
+/// One conversation: a sequence of rounds sharing accumulated history.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// Stable identifier.
+    pub id: u64,
+    /// Rounds in order; `history_tokens` accumulates across rounds and the
+    /// relative `arrival` encodes the 30 s round interval (absolute session
+    /// start time is assigned by the arrival process).
+    pub rounds: Vec<Request>,
+}
+
+/// Generates `n_sessions` conversations with deterministic content.
+pub fn generate_sessions(n_sessions: usize, cfg: &ShareGptConfig, seed: u64) -> Vec<Session> {
+    let mut rng = Rng::new(seed);
+    let mut sessions = Vec::with_capacity(n_sessions);
+    for id in 0..n_sessions as u64 {
+        // 1 + geometric gives >= 1 round with mean cfg.mean_rounds.
+        let p = 1.0 / cfg.mean_rounds.max(1.0);
+        let n_rounds = 1 + rng.geometric(p) as usize;
+        let mut rounds = Vec::with_capacity(n_rounds);
+        let mut history: u32 = 0;
+        let mut t = 0.0;
+        for _ in 0..n_rounds {
+            let input = rng
+                .lognormal_with_mean(MEAN_INPUT_TOKENS, cfg.length_sigma)
+                .round()
+                .max(1.0) as u32;
+            let output = rng
+                .lognormal_with_mean(MEAN_OUTPUT_TOKENS, cfg.length_sigma)
+                .round()
+                .max(1.0) as u32;
+            let req = Request {
+                session_id: id,
+                arrival: t,
+                history_tokens: history,
+                input_tokens: input,
+                output_tokens: output,
+            };
+            if req.final_context() > MAX_HISTORY_TOKENS {
+                // The serving context window is full — the conversation
+                // ends (matching the paper's 16K truncation).
+                break;
+            }
+            history = req.final_context();
+            rounds.push(req);
+            t += cfg.round_interval_secs;
+        }
+        sessions.push(Session { id, rounds });
+    }
+    sessions
+}
+
+/// Flattens sessions into requests (relative arrival times preserved).
+pub fn all_requests(sessions: &[Session]) -> Vec<Request> {
+    sessions.iter().flat_map(|s| s.rounds.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, median};
+
+    fn big_trace() -> Vec<Session> {
+        generate_sessions(3000, &ShareGptConfig::default(), 7)
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_sessions(10, &ShareGptConfig::default(), 1);
+        let b = generate_sessions(10, &ShareGptConfig::default(), 1);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.rounds, y.rounds);
+        }
+    }
+
+    #[test]
+    fn mean_lengths_match_paper_fig3a() {
+        let reqs = all_requests(&big_trace());
+        let inputs: Vec<f64> = reqs.iter().map(|r| r.input_tokens as f64).collect();
+        let outputs: Vec<f64> = reqs.iter().map(|r| r.output_tokens as f64).collect();
+        let mi = mean(&inputs);
+        let mo = mean(&outputs);
+        assert!(
+            (mi - MEAN_INPUT_TOKENS).abs() / MEAN_INPUT_TOKENS < 0.1,
+            "mean input {mi}"
+        );
+        assert!(
+            (mo - MEAN_OUTPUT_TOKENS).abs() / MEAN_OUTPUT_TOKENS < 0.1,
+            "mean output {mo}"
+        );
+    }
+
+    #[test]
+    fn history_cdf_matches_paper_fig3b() {
+        // Paper: "the length of half of the conversations is over 2.5K".
+        // Measure the history length at each session's *last* round.
+        let sessions = big_trace();
+        let final_hist: Vec<f64> = sessions
+            .iter()
+            .filter(|s| !s.rounds.is_empty())
+            .map(|s| s.rounds.last().unwrap().final_context() as f64)
+            .collect();
+        let med = median(&final_hist);
+        assert!(
+            med > 2000.0 && med < 6000.0,
+            "median session history {med}, want ≈2.5K+"
+        );
+    }
+
+    #[test]
+    fn history_accumulates_monotonically() {
+        for s in generate_sessions(50, &ShareGptConfig::default(), 3) {
+            let mut prev_ctx = 0u32;
+            for (i, r) in s.rounds.iter().enumerate() {
+                assert_eq!(
+                    r.history_tokens, prev_ctx,
+                    "round {i} history must equal previous context"
+                );
+                prev_ctx = r.final_context();
+            }
+        }
+    }
+
+    #[test]
+    fn history_respects_truncation() {
+        for s in big_trace() {
+            for r in &s.rounds {
+                assert!(r.final_context() <= MAX_HISTORY_TOKENS);
+            }
+        }
+    }
+
+    #[test]
+    fn round_interval_is_30s() {
+        let s = &generate_sessions(5, &ShareGptConfig::default(), 9)[0];
+        for (i, r) in s.rounds.iter().enumerate() {
+            assert_eq!(r.arrival, 30.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn every_session_has_at_least_one_round() {
+        assert!(big_trace().iter().all(|s| !s.rounds.is_empty()));
+    }
+}

@@ -1,0 +1,106 @@
+//! Summary-statistics helpers used by generators, tests and the experiment
+//! harness (means, percentiles, CDF sampling, histograms).
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 100]`.
+///
+/// # Panics
+/// Panics on empty input or out-of-range `p`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (p50).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Empirical CDF evaluated at `x`: fraction of samples `<= x`.
+pub fn cdf_at(xs: &[f64], x: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().filter(|&&v| v <= x).count() as f64 / xs.len() as f64
+}
+
+/// Fixed-width histogram over `[lo, hi)` with `bins` buckets; values outside
+/// the range clamp into the edge buckets.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<u64> {
+    assert!(bins > 0 && hi > lo, "bad histogram spec");
+    let mut h = vec![0u64; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in xs {
+        let idx = ((x - lo) / width).floor();
+        let idx = idx.clamp(0.0, (bins - 1) as f64) as usize;
+        h[idx] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_median_basic() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert_eq!(median(&xs), 2.5);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(percentile(&xs, 25.0), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let xs = [1.0, 2.0, 2.0, 8.0];
+        assert_eq!(cdf_at(&xs, 0.0), 0.0);
+        assert_eq!(cdf_at(&xs, 2.0), 0.75);
+        assert_eq!(cdf_at(&xs, 10.0), 1.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let xs = [-1.0, 0.5, 1.5, 2.5, 99.0];
+        let h = histogram(&xs, 0.0, 3.0, 3);
+        assert_eq!(h, vec![2, 1, 2]); // -1 clamps low, 99 clamps high
+        assert_eq!(h.iter().sum::<u64>() as usize, xs.len());
+    }
+}
