@@ -1,10 +1,10 @@
 //! Criterion benches for the tensor kernels that restoration is built on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hc_tensor::gemm::{matmul, matmul_nt};
+use hc_tensor::gemm::{matmul, matmul_nt, matmul_nt_naive, matmul_nt_par, matmul_par};
 use hc_tensor::ops::softmax_inplace;
 use hc_tensor::rope::{rope_row, DEFAULT_ROPE_BASE};
-use hc_tensor::Tensor2;
+use hc_tensor::{ParallelConfig, Tensor2};
 use std::hint::black_box;
 
 fn bench_gemm(c: &mut Criterion) {
@@ -50,5 +50,78 @@ fn bench_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_ops);
+/// Serial-vs-parallel comparison group: the naïve seed kernel, the blocked
+/// serial kernel, and the row-parallel kernel across thread budgets. The
+/// parallel kernels are bit-identical to the serial ones, so this group
+/// measures pure wall-clock.
+fn bench_gemm_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_parallel");
+    group.sample_size(10);
+    let (m, k, n) = (256usize, 256usize, 256usize);
+    let a = Tensor2::from_fn(m, k, |r, q| ((r * 7 + q) % 13) as f32 * 0.1 - 0.6);
+    let b = Tensor2::from_fn(k, n, |r, q| ((r + q * 3) % 11) as f32 * 0.1 - 0.5);
+    let bt = b.transpose();
+
+    group.bench_function("matmul_nt_naive_256", |bench| {
+        bench.iter(|| black_box(matmul_nt_naive(&a, &bt)))
+    });
+    group.bench_function("matmul_nt_serial_256", |bench| {
+        bench.iter(|| black_box(matmul_nt(&a, &bt)))
+    });
+    group.bench_function("matmul_serial_256", |bench| {
+        bench.iter(|| black_box(matmul(&a, &b)))
+    });
+    for threads in [1usize, 2, 4, 8] {
+        let par = ParallelConfig::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("matmul_nt_par_256", threads),
+            &par,
+            |bench, par| bench.iter(|| black_box(matmul_nt_par(&a, &bt, par))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("matmul_par_256", threads),
+            &par,
+            |bench, par| bench.iter(|| black_box(matmul_par(&a, &b, par))),
+        );
+    }
+    group.finish();
+}
+
+/// f16 bulk codec, serial vs parallel.
+fn bench_f16_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f16_codec");
+    group.sample_size(10);
+    let xs: Vec<f32> = (0..64 * 4096)
+        .map(|i| (i % 997) as f32 * 0.013 - 6.0)
+        .collect();
+    let bytes = hc_tensor::f16::encode_f16(&xs);
+    group.bench_function("encode_serial_256k", |b| {
+        b.iter(|| black_box(hc_tensor::f16::encode_f16(&xs)))
+    });
+    group.bench_function("decode_serial_256k", |b| {
+        b.iter(|| black_box(hc_tensor::f16::decode_f16(&bytes)))
+    });
+    for threads in [2usize, 4] {
+        let par = ParallelConfig::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("encode_par_256k", threads),
+            &par,
+            |b, par| b.iter(|| black_box(hc_tensor::f16::encode_f16_par(&xs, par))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode_par_256k", threads),
+            &par,
+            |b, par| b.iter(|| black_box(hc_tensor::f16::decode_f16_par(&bytes, par))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_ops,
+    bench_gemm_parallel,
+    bench_f16_codec
+);
 criterion_main!(benches);

@@ -2,12 +2,13 @@
 //! test scale, restoring from hidden states must be far cheaper than a full
 //! prefill — the paper's compute claim, measured on real math.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hc_model::{KvCache, Model, ModelConfig};
-use hc_restore::engine::{restore_session, save_session_state};
+use hc_restore::engine::{restore_session, restore_session_pipelined, save_session_state};
 use hc_sched::partition::{LayerMethod, PartitionScheme};
 use hc_storage::backend::MemStore;
 use hc_storage::manager::StorageManager;
+use hc_tensor::ParallelConfig;
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -69,5 +70,74 @@ fn bench_restore(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_restore);
+/// Sequential-vs-pipelined comparison group: the same restoration executed
+/// by `restore_session` and by the two-stream pipelined executor across
+/// thread budgets (results are bit-identical; only wall-clock differs).
+fn bench_restore_pipelined(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional_restore_pipelined");
+    group.sample_size(15);
+
+    let scheme = PartitionScheme::pure_hidden(4);
+    let f = fixture(&scheme);
+    group.bench_function("sequential_128tok", |b| {
+        b.iter(|| {
+            black_box(restore_session(&f.model, &f.mgr, 1, &f.tokens, N_TOKENS, &scheme).unwrap())
+        })
+    });
+    for threads in [1usize, 2, 4] {
+        let par = ParallelConfig::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("pipelined_128tok", threads),
+            &par,
+            |b, par| {
+                b.iter(|| {
+                    black_box(
+                        restore_session_pipelined(
+                            &f.model, &f.mgr, 1, &f.tokens, N_TOKENS, &scheme, par,
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+
+    let scheme_mixed = PartitionScheme {
+        l_h: 2,
+        l_o: 2,
+        complement: LayerMethod::Recompute,
+    };
+    let f2 = fixture(&scheme_mixed);
+    group.bench_function("sequential_mixed_128tok", |b| {
+        b.iter(|| {
+            black_box(
+                restore_session(&f2.model, &f2.mgr, 1, &f2.tokens, N_TOKENS, &scheme_mixed)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("pipelined_mixed_128tok", 2usize),
+        &ParallelConfig::new(2),
+        |b, par| {
+            b.iter(|| {
+                black_box(
+                    restore_session_pipelined(
+                        &f2.model,
+                        &f2.mgr,
+                        1,
+                        &f2.tokens,
+                        N_TOKENS,
+                        &scheme_mixed,
+                        par,
+                    )
+                    .unwrap(),
+                )
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_restore, bench_restore_pipelined);
 criterion_main!(benches);

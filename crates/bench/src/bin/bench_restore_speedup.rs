@@ -1,0 +1,188 @@
+//! Measures sequential vs pipelined functional restoration and records the
+//! speedup trajectory in `BENCH_restore.json` (run from the repo root:
+//! `cargo run --release --bin bench_restore_speedup`).
+//!
+//! Three executors restore the same session:
+//! * `seed_sequential` — the seed PR's path: layer-at-a-time reads and the
+//!   naïve triple-loop `matmul_nt` kernel (reconstructed here from
+//!   `matmul_nt_naive`, which *is* the seed kernel).
+//! * `sequential` — today's `restore_session`: same one-thread schedule on
+//!   the blocked vectorizable kernel.
+//! * `pipelined` — `restore_session_pipelined`: prefetch thread + compute
+//!   stage with the projection GEMMs under a thread budget.
+//!
+//! All three produce KV caches equal up to kernel accumulation order (the
+//! pipelined one is bit-identical to `sequential`); the program verifies
+//! that before timing.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hc_model::{layer, KvCache, Model, ModelConfig, NormKind, PosKind};
+use hc_restore::engine::{
+    kv_max_error, restore_session, restore_session_pipelined, save_session_state,
+};
+use hc_sched::partition::PartitionScheme;
+use hc_storage::backend::{ChunkStore, MemStore};
+use hc_storage::manager::StorageManager;
+use hc_storage::StreamId;
+use hc_tensor::gemm::matmul_nt_naive;
+use hc_tensor::rope::{rope_row, DEFAULT_ROPE_BASE};
+use hc_tensor::ParallelConfig;
+
+const N_TOKENS: usize = 256;
+const RUNS: usize = 9;
+
+/// Bench-scale model: big enough that the per-layer projection GEMM
+/// dominates, small enough to restore in milliseconds on a laptop core.
+fn bench_config() -> ModelConfig {
+    ModelConfig {
+        name: "Bench-Llama".into(),
+        n_layers: 4,
+        d_model: 256,
+        n_heads: 8,
+        d_ff: 512,
+        vocab_size: 256,
+        max_seq_len: 1024,
+        norm: NormKind::RmsNorm,
+        pos: PosKind::Rope,
+        elem_bytes: 2,
+        param_count: 0,
+    }
+}
+
+/// The seed PR's sequential restore for a pure-hidden scheme: storage read
+/// then `norm → naïve matmul_nt → RoPE` per layer, strictly in order.
+fn restore_seed_sequential<S: ChunkStore>(
+    model: &Model,
+    mgr: &StorageManager<S>,
+    session: u64,
+) -> KvCache {
+    let cfg = &model.cfg;
+    let mut kv = KvCache::new(cfg);
+    for (l, lw) in model.layers.iter().enumerate() {
+        let h = mgr
+            .read_rows(StreamId::hidden(session, l as u32), 0, N_TOKENS as u64)
+            .expect("bench state saved");
+        let normed = layer::norm_rows(cfg, &h, &lw.attn_gain, &lw.attn_bias);
+        let mut k = matmul_nt_naive(&normed, &lw.wk);
+        let v = matmul_nt_naive(&normed, &lw.wv);
+        for r in 0..k.rows() {
+            rope_row(k.row_mut(r), r, cfg.n_heads, DEFAULT_ROPE_BASE);
+        }
+        kv.append(l, &k, &v);
+    }
+    kv
+}
+
+/// Median wall-clock seconds of `RUNS` executions (after one warm-up).
+fn median_secs(mut run: impl FnMut()) -> f64 {
+    run(); // warm-up
+    let mut samples: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_restore.json".into());
+
+    let cfg = bench_config();
+    let model = Model::new(&cfg, 3);
+    let mgr = StorageManager::new(Arc::new(MemStore::new(4)), cfg.d_model);
+    let scheme = PartitionScheme::pure_hidden(cfg.n_layers);
+    let tokens: Vec<u32> = (0..N_TOKENS as u32).map(|i| (i * 37) % 256).collect();
+    let mut reference = KvCache::new(&cfg);
+    let out = model.prefill(&tokens, &mut reference, true);
+    save_session_state(
+        &model,
+        &mgr,
+        1,
+        &out.hidden_per_layer.expect("capture on"),
+        &reference,
+        &scheme,
+    )
+    .expect("bench save");
+
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let auto = ParallelConfig::auto();
+
+    // Correctness gate before timing anything.
+    let seq = restore_session(&model, &mgr, 1, &tokens, N_TOKENS, &scheme).expect("seq");
+    let piped = restore_session_pipelined(&model, &mgr, 1, &tokens, N_TOKENS, &scheme, &auto)
+        .expect("pipe");
+    assert_eq!(
+        kv_max_error(&seq, &piped),
+        0.0,
+        "pipelined restore must be bit-identical to sequential"
+    );
+    let seed = restore_seed_sequential(&model, &mgr, 1);
+    assert!(
+        kv_max_error(&seq, &seed) < 1e-3,
+        "kernels diverged beyond accumulation-order noise"
+    );
+
+    let t_seed = median_secs(|| {
+        std::hint::black_box(restore_seed_sequential(&model, &mgr, 1));
+    });
+    let t_seq = median_secs(|| {
+        std::hint::black_box(
+            restore_session(&model, &mgr, 1, &tokens, N_TOKENS, &scheme).expect("seq"),
+        );
+    });
+    let time_piped = |par: &ParallelConfig| {
+        median_secs(|| {
+            std::hint::black_box(
+                restore_session_pipelined(&model, &mgr, 1, &tokens, N_TOKENS, &scheme, par)
+                    .expect("pipe"),
+            );
+        })
+    };
+    let t_piped_1 = time_piped(&ParallelConfig::new(1));
+    let t_piped_auto = time_piped(&auto);
+
+    let json = format!(
+        r#"{{
+  "bench": "functional_restore",
+  "description": "Wall-clock of restoring a {n_tokens}-token session (pure hidden-state scheme) on the Bench-Llama config; medians of {runs} runs. seed_sequential reproduces the seed PR's naive-kernel layer-at-a-time path; pipelined overlaps storage prefetch with the projection GEMMs under the given thread budget.",
+  "model": {{ "n_layers": {n_layers}, "d_model": {d_model}, "n_heads": {n_heads}, "d_ff": {d_ff} }},
+  "n_tokens": {n_tokens},
+  "host_threads": {host_threads},
+  "timings_ms": {{
+    "seed_sequential": {t_seed:.3},
+    "sequential_blocked_kernel": {t_seq:.3},
+    "pipelined_1_thread": {t_piped_1:.3},
+    "pipelined_auto": {t_piped_auto:.3}
+  }},
+  "speedup_over_seed": {{
+    "sequential_blocked_kernel": {s_seq:.2},
+    "pipelined_auto": {s_piped:.2}
+  }},
+  "bit_identical_to_sequential": true
+}}
+"#,
+        n_layers = cfg.n_layers,
+        d_model = cfg.d_model,
+        n_heads = cfg.n_heads,
+        d_ff = cfg.d_ff,
+        n_tokens = N_TOKENS,
+        runs = RUNS,
+        host_threads = host_threads,
+        t_seed = t_seed * 1e3,
+        t_seq = t_seq * 1e3,
+        t_piped_1 = t_piped_1 * 1e3,
+        t_piped_auto = t_piped_auto * 1e3,
+        s_seq = t_seed / t_seq,
+        s_piped = t_seed / t_piped_auto,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_restore.json");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

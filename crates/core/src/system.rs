@@ -70,6 +70,10 @@ pub struct HCacheSystem<S: ChunkStore + 'static> {
     mgr: Arc<StorageManager<S>>,
     saver: StateSaver<S>,
     scheme: PartitionScheme,
+    /// Thread budget shared by the restore pipeline's projection GEMMs and
+    /// the storage codec (the saver daemon encodes under the manager's
+    /// matching budget).
+    parallel: hc_tensor::ParallelConfig,
     sessions: HashMap<u64, SessionState>,
     next_session: u64,
     last_stats: Option<RoundStats>,
@@ -93,14 +97,35 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
         store: Arc<S>,
         scheme: PartitionScheme,
     ) -> Self {
+        Self::with_store_parallel(
+            cfg,
+            seed,
+            store,
+            scheme,
+            hc_tensor::ParallelConfig::serial(),
+        )
+    }
+
+    /// [`HCacheSystem::with_store`] with an explicit thread budget for the
+    /// restore pipeline and the storage codec. The parallel paths are
+    /// bit-for-bit equal to the serial ones, so generations are identical
+    /// for every budget — only wall-clock changes.
+    pub fn with_store_parallel(
+        cfg: &ModelConfig,
+        seed: u64,
+        store: Arc<S>,
+        scheme: PartitionScheme,
+        parallel: hc_tensor::ParallelConfig,
+    ) -> Self {
         let model = Model::new(cfg, seed);
-        let mgr = Arc::new(StorageManager::new(store, cfg.d_model));
+        let mgr = Arc::new(StorageManager::new(store, cfg.d_model).with_parallel(parallel));
         let saver = StateSaver::new(Arc::clone(&mgr), SaveMode::TwoStage);
         Self {
             model,
             mgr,
             saver,
             scheme,
+            parallel,
             sessions: HashMap::new(),
             next_session: 1,
             last_stats: None,
@@ -113,6 +138,11 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
     pub fn with_scheme(mut self, scheme: PartitionScheme) -> Self {
         self.scheme = scheme;
         self
+    }
+
+    /// Thread budget used by restoration and the storage codec.
+    pub fn parallel(&self) -> hc_tensor::ParallelConfig {
+        self.parallel
     }
 
     /// The model (e.g. for inspecting the config).
@@ -164,20 +194,26 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
     }
 
     /// Restores a session's KV cache from host storage (the cache-miss
-    /// path). Exposed for tests and examples; [`HCacheSystem::round`] calls
-    /// it internally.
+    /// path), through the bubble-free two-stage pipeline: storage prefetch
+    /// on an IO thread overlapping the compute stage, whose hidden→KV
+    /// projection GEMMs (and the chunk codec) run under this system's
+    /// thread budget. A recompute prefix, if the scheme has one, runs
+    /// serially on the compute stream — it overlaps the prefetcher but
+    /// does not use the budget. Exposed for tests and examples;
+    /// [`HCacheSystem::round`] calls it internally.
     pub fn restore(&self, session: u64) -> Result<KvCache, SystemError> {
         let state = self
             .sessions
             .get(&session)
             .ok_or(SystemError::UnknownSession(session))?;
-        Ok(hc_restore::engine::restore_session(
+        Ok(hc_restore::engine::restore_session_pipelined(
             &self.model,
             &self.mgr,
             session,
             &state.tokens,
             state.tokens.len(),
             &self.scheme,
+            &self.parallel,
         )?)
     }
 
@@ -406,6 +442,38 @@ mod tests {
         s.round(sid, &[8], 2).unwrap();
         let restored = s.restore(sid).unwrap();
         assert_eq!(restored.n_tokens(), 10);
+    }
+
+    #[test]
+    fn parallel_system_generates_identically_to_serial() {
+        // The whole serving workflow — save, two-stage daemon, pipelined
+        // restore, decode — must be deterministic across thread budgets.
+        let cfg = ModelConfig::tiny_llama();
+        let mk = |par| {
+            HCacheSystem::with_store_parallel(
+                &cfg,
+                7,
+                Arc::new(MemStore::new(4)),
+                PartitionScheme {
+                    l_h: 3,
+                    l_o: 1,
+                    complement: LayerMethod::KvOffload,
+                },
+                par,
+            )
+        };
+        let mut serial = mk(hc_tensor::ParallelConfig::serial());
+        let mut parallel = mk(hc_tensor::ParallelConfig::new(4));
+        let ss = serial.open_session();
+        let sp = parallel.open_session();
+        for (prompt, n) in [(vec![1u32, 2, 3], 5usize), (vec![4, 5], 4)] {
+            let a = serial.round(ss, &prompt, n).unwrap();
+            let b = parallel.round(sp, &prompt, n).unwrap();
+            assert_eq!(a, b, "generation diverged under a parallel budget");
+        }
+        let ra = serial.restore(ss).unwrap();
+        let rb = parallel.restore(sp).unwrap();
+        assert_eq!(hc_restore::engine::kv_max_error(&ra, &rb), 0.0);
     }
 
     #[test]

@@ -11,10 +11,10 @@
 //! pass — the losslessness claim of the paper, checked by tests in
 //! `weights.rs` and the integration suite.
 
-use hc_tensor::gemm::{matmul, matmul_nt};
+use hc_tensor::gemm::{matmul, matmul_nt, matmul_nt_par};
 use hc_tensor::ops::{gelu, layernorm, map_inplace, rmsnorm, silu, softmax_inplace};
 use hc_tensor::rope::{rope_row, DEFAULT_ROPE_BASE};
-use hc_tensor::Tensor2;
+use hc_tensor::{ParallelConfig, Tensor2};
 
 use crate::config::{ModelConfig, NormKind, PosKind};
 use crate::weights::LayerWeights;
@@ -51,9 +51,24 @@ pub fn project_kv(
     hidden: &Tensor2,
     start_pos: usize,
 ) -> (Tensor2, Tensor2) {
+    project_kv_par(cfg, lw, hidden, start_pos, &ParallelConfig::serial())
+}
+
+/// [`project_kv`] with the two projection GEMMs running under `par`'s
+/// thread budget. The parallel GEMM is bit-for-bit equal to the serial one,
+/// so this produces exactly the K/V that `project_kv` (and therefore the
+/// prefill forward pass) produces — the restoration-losslessness invariant
+/// holds at any thread count.
+pub fn project_kv_par(
+    cfg: &ModelConfig,
+    lw: &LayerWeights,
+    hidden: &Tensor2,
+    start_pos: usize,
+    par: &ParallelConfig,
+) -> (Tensor2, Tensor2) {
     let normed = norm_rows(cfg, hidden, &lw.attn_gain, &lw.attn_bias);
-    let mut k = matmul_nt(&normed, &lw.wk);
-    let v = matmul_nt(&normed, &lw.wv);
+    let mut k = matmul_nt_par(&normed, &lw.wk, par);
+    let v = matmul_nt_par(&normed, &lw.wv, par);
     if cfg.pos == PosKind::Rope {
         for r in 0..k.rows() {
             rope_row(k.row_mut(r), start_pos + r, cfg.n_heads, DEFAULT_ROPE_BASE);

@@ -213,6 +213,18 @@ impl Model {
         layer::project_kv(&self.cfg, &self.layers[layer], hidden, start_pos)
     }
 
+    /// [`Model::restore_layer_kv`] with the projection GEMMs running under
+    /// `par`'s thread budget; bit-for-bit equal to the serial path.
+    pub fn restore_layer_kv_par(
+        &self,
+        layer: usize,
+        hidden: &Tensor2,
+        start_pos: usize,
+        par: &hc_tensor::ParallelConfig,
+    ) -> (Tensor2, Tensor2) {
+        layer::project_kv_par(&self.cfg, &self.layers[layer], hidden, start_pos, par)
+    }
+
     /// Greedy next-token choice by similarity against the embedding table
     /// (weight-tied readout). Deterministic; used by examples to "generate".
     pub fn greedy_next_token(&self, final_hidden_row: &[f32]) -> u32 {
@@ -301,8 +313,8 @@ mod tests {
         let mut kv = KvCache::new(&m.cfg);
         let out = m.prefill(&tokens(17, 2), &mut kv, true);
         let hs = out.hidden_per_layer.unwrap();
-        for l in 0..m.cfg.n_layers {
-            let (k, v) = m.restore_layer_kv(l, &hs[l], 0);
+        for (l, h) in hs.iter().enumerate() {
+            let (k, v) = m.restore_layer_kv(l, h, 0);
             assert_eq!(&k, kv.keys(l), "layer {l} keys differ");
             assert_eq!(&v, kv.values(l), "layer {l} values differ");
         }
@@ -321,8 +333,8 @@ mod tests {
         // Rebuild the cache purely from hidden states.
         let hs = cap.hidden_per_layer.unwrap();
         let mut kv_restored = KvCache::new(&m.cfg);
-        for l in 0..m.cfg.n_layers {
-            let (k, v) = m.restore_layer_kv(l, &hs[l], 0);
+        for (l, h) in hs.iter().enumerate() {
+            let (k, v) = m.restore_layer_kv(l, h, 0);
             kv_restored.append(l, &k, &v);
         }
         let (restored_row, _) = m.decode_step(42, &mut kv_restored, false);
@@ -398,8 +410,8 @@ mod tests {
         let mut kv = KvCache::new(&m.cfg);
         let out = m.prefill(&tokens(12, 8), &mut kv, true);
         let hs = out.hidden_per_layer.unwrap();
-        for l in 0..m.cfg.n_layers {
-            let tail = hs[l].slice_rows(4, 12);
+        for (l, h) in hs.iter().enumerate() {
+            let tail = h.slice_rows(4, 12);
             let (k, v) = m.restore_layer_kv(l, &tail, 4);
             let expect_k = kv.keys(l).slice_rows(4, 12);
             let expect_v = kv.values(l).slice_rows(4, 12);

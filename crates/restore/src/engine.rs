@@ -13,13 +13,44 @@
 //! State round-trips through the f16 chunk store, so restored values carry
 //! (only) the fp16 quantization the paper's fp16-native implementation has
 //! natively.
+//!
+//! # The two-stage pipeline (§4.1.2, executed for real)
+//!
+//! [`restore_session`] is the sequential reference: it reads layer `l`'s
+//! streams, projects/loads them, and only then reads layer `l+1`.
+//! [`restore_session_pipelined`] runs the *same* work as the two-stream
+//! schedule that `hc_sched::pipeline` models analytically:
+//!
+//! * an **IO stream** (one prefetch thread) walks the non-recompute layers
+//!   in restoration order, pulling each layer's chunks out of the
+//!   [`StorageManager`], and
+//! * a **compute stream** (the caller's thread) consumes fetched layers in
+//!   the same order, running the hidden→KV projection GEMMs — under a
+//!   [`ParallelConfig`] thread budget — or installing K/V rows; the
+//!   recompute prefix's forward pass runs *before* the first `recv`, so it
+//!   overlaps the prefetcher exactly like the `compute_needs_io = false`
+//!   tasks at the front of a `sched::pipeline::Timeline`.
+//!
+//! The two stages are linked by a **bounded channel of two layer payloads**,
+//! so host memory holds at most the layer being computed plus two fetched
+//! layers (the paper's O(1)-layers staging buffer), and the IO stream is
+//! backpressured instead of racing ahead. Each `sched::pipeline::LayerTask`
+//! maps 1:1 onto what this executor does: `io > 0` ⇔ the prefetch thread
+//! reads the layer's streams, `compute > 0` ⇔ the compute stage projects or
+//! recomputes, `compute_needs_io` ⇔ the compute stage blocks on `recv` for
+//! that layer. Because the parallel kernels are bit-for-bit equal to the
+//! serial ones and both executors visit layers in the same order, the
+//! pipelined restore returns a [`KvCache`] *bit-identical* to
+//! [`restore_session`]'s — the tests at the bottom enforce this across
+//! every scheme shape and thread counts 1–8.
 
+use crossbeam::channel::bounded;
 use hc_model::{layer, KvCache, Model};
 use hc_sched::partition::{LayerMethod, PartitionScheme};
 use hc_storage::backend::ChunkStore;
 use hc_storage::manager::StorageManager;
 use hc_storage::{StorageError, StreamId};
-use hc_tensor::Tensor2;
+use hc_tensor::{ParallelConfig, Tensor2};
 
 /// Saves a prefilled session's state according to `scheme`.
 ///
@@ -121,6 +152,122 @@ pub fn restore_session<S: ChunkStore>(
             LayerMethod::Recompute => unreachable!("prefix checked above"),
         }
     }
+
+    debug_assert!(kv.is_consistent());
+    Ok(kv)
+}
+
+/// One layer's worth of state, fetched by the IO stream.
+enum Fetched {
+    /// Hidden-state rows awaiting the KV projection.
+    Hidden(usize, Tensor2),
+    /// K and V rows ready to install.
+    Kv(usize, Tensor2, Tensor2),
+}
+
+/// How many fetched layers may sit between the IO stream and the compute
+/// stream. Two keeps the prefetcher one layer ahead (the bubble-free fill)
+/// while bounding staging memory to O(2 layers).
+const PIPELINE_DEPTH: usize = 2;
+
+/// [`restore_session`] restructured as the paper's bubble-free two-stream
+/// pipeline: a prefetch thread reads layer `l+1`'s streams while the
+/// calling thread runs layer `l`'s projection (under `par`'s thread budget)
+/// or the recompute prefix's forward pass (serial — `layer_forward` is the
+/// prefill code path; it overlaps the prefetcher but not itself). See the
+/// module docs for the correspondence to `hc_sched::pipeline`'s Timeline
+/// model.
+///
+/// Returns a cache bit-identical to [`restore_session`]'s for every scheme,
+/// model and thread count.
+///
+/// # Panics
+/// Panics if recompute layers are not a prefix of the model (§4.1.2), like
+/// the sequential path.
+pub fn restore_session_pipelined<S: ChunkStore>(
+    model: &Model,
+    mgr: &StorageManager<S>,
+    session: u64,
+    tokens: &[u32],
+    n_tokens: usize,
+    scheme: &PartitionScheme,
+    par: &ParallelConfig,
+) -> Result<KvCache, StorageError> {
+    let cfg = &model.cfg;
+    let methods = scheme.layer_methods(cfg.n_layers);
+
+    let n_recompute = methods
+        .iter()
+        .take_while(|m| **m == LayerMethod::Recompute)
+        .count();
+    assert!(
+        methods[n_recompute..]
+            .iter()
+            .all(|m| *m != LayerMethod::Recompute),
+        "recompute layers must form a prefix (§4.1.2)"
+    );
+
+    let mut kv = KvCache::new(cfg);
+    let methods = &methods;
+    std::thread::scope(|scope| -> Result<(), StorageError> {
+        // IO stream: walk storage-backed layers in restoration order,
+        // sending each fetched layer through the bounded staging channel.
+        let (tx, rx) = bounded::<Result<Fetched, StorageError>>(PIPELINE_DEPTH);
+        scope.spawn(move || {
+            for (l, method) in methods.iter().enumerate().skip(n_recompute) {
+                let fetched = match method {
+                    LayerMethod::Hidden => mgr
+                        .read_rows(StreamId::hidden(session, l as u32), 0, n_tokens as u64)
+                        .map(|h| Fetched::Hidden(l, h)),
+                    LayerMethod::KvOffload => {
+                        let k = mgr.read_rows(StreamId::key(session, l as u32), 0, n_tokens as u64);
+                        let v =
+                            mgr.read_rows(StreamId::value(session, l as u32), 0, n_tokens as u64);
+                        match (k, v) {
+                            (Ok(k), Ok(v)) => Ok(Fetched::Kv(l, k, v)),
+                            (Err(e), _) | (_, Err(e)) => Err(e),
+                        }
+                    }
+                    LayerMethod::Recompute => unreachable!("prefix checked above"),
+                };
+                let failed = fetched.is_err();
+                // A send error means the compute stage is gone (panic or
+                // early error return); either way this stream is done.
+                if tx.send(fetched).is_err() || failed {
+                    return;
+                }
+            }
+        });
+
+        // Compute stream. The recompute prefix needs no IO, so it runs
+        // first and overlaps the prefetcher — the schedule's fill stage.
+        if n_recompute > 0 {
+            assert!(
+                tokens.len() >= n_tokens,
+                "recompute layers need the original tokens"
+            );
+            let mut hidden = model.embed_tokens(&tokens[..n_tokens], 0);
+            for (l, lw) in model.layers.iter().take(n_recompute).enumerate() {
+                let (next, new_k, new_v) =
+                    layer::layer_forward(cfg, lw, &hidden, kv.keys(l), kv.values(l), 0);
+                kv.append(l, &new_k, &new_v);
+                hidden = next;
+            }
+        }
+
+        // Then consume fetched layers in order, projecting hidden layers
+        // under the shared thread budget.
+        for _ in n_recompute..cfg.n_layers {
+            match rx.recv().expect("IO stream ended early without an error")? {
+                Fetched::Hidden(l, h) => {
+                    let (k, v) = model.restore_layer_kv_par(l, &h, 0, par);
+                    kv.append(l, &k, &v);
+                }
+                Fetched::Kv(l, k, v) => kv.append(l, &k, &v),
+            }
+        }
+        Ok(())
+    })?;
 
     debug_assert!(kv.is_consistent());
     Ok(kv)
@@ -327,6 +474,108 @@ mod tests {
             complement: LayerMethod::Recompute,
         });
         assert_eq!(err, 0.0, "pure recompute never quantizes");
+    }
+
+    /// Every distinct scheme shape over a 4-layer model: pure hidden, pure
+    /// KV, pure recompute, and both mixed complements.
+    fn all_scheme_mixes() -> Vec<PartitionScheme> {
+        vec![
+            PartitionScheme::pure_hidden(4),
+            PartitionScheme {
+                l_h: 0,
+                l_o: 4,
+                complement: LayerMethod::KvOffload,
+            },
+            PartitionScheme {
+                l_h: 0,
+                l_o: 4,
+                complement: LayerMethod::Recompute,
+            },
+            PartitionScheme {
+                l_h: 3,
+                l_o: 1,
+                complement: LayerMethod::KvOffload,
+            },
+            PartitionScheme {
+                l_h: 2,
+                l_o: 2,
+                complement: LayerMethod::Recompute,
+            },
+        ]
+    }
+
+    #[test]
+    fn pipelined_restore_is_bit_identical_to_sequential_for_all_mixes() {
+        for (i, scheme) in all_scheme_mixes().into_iter().enumerate() {
+            let f = fixture(41 + i as u64);
+            save_session_state(&f.model, &f.mgr, 1, &f.hidden, &f.reference_kv, &scheme).unwrap();
+            let seq = restore_session(&f.model, &f.mgr, 1, &f.tokens, N_TOKENS, &scheme).unwrap();
+            for threads in [1usize, 2, 4, 8] {
+                let par = hc_tensor::ParallelConfig::new(threads);
+                let piped = restore_session_pipelined(
+                    &f.model, &f.mgr, 1, &f.tokens, N_TOKENS, &scheme, &par,
+                )
+                .unwrap();
+                assert_eq!(seq.n_tokens(), piped.n_tokens());
+                for l in 0..seq.n_layers() {
+                    assert_eq!(
+                        seq.keys(l),
+                        piped.keys(l),
+                        "scheme #{i} layer {l} keys diverged at {threads} threads"
+                    );
+                    assert_eq!(
+                        seq.values(l),
+                        piped.values(l),
+                        "scheme #{i} layer {l} values diverged at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_restore_missing_state_is_an_error_not_a_hang() {
+        let f = fixture(43);
+        let scheme = PartitionScheme::pure_hidden(4);
+        // Nothing saved for session 77: the IO stream must surface the
+        // error and both stages must shut down (no deadlock on the bounded
+        // channel).
+        let err = restore_session_pipelined(
+            &f.model,
+            &f.mgr,
+            77,
+            &f.tokens,
+            N_TOKENS,
+            &scheme,
+            &hc_tensor::ParallelConfig::new(4),
+        );
+        assert!(matches!(err, Err(StorageError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn pipelined_generation_matches_sequential_generation() {
+        // Decode one token on both restored caches: identical rows.
+        let f = fixture(47);
+        let scheme = PartitionScheme {
+            l_h: 3,
+            l_o: 1,
+            complement: LayerMethod::KvOffload,
+        };
+        save_session_state(&f.model, &f.mgr, 9, &f.hidden, &f.reference_kv, &scheme).unwrap();
+        let mut seq = restore_session(&f.model, &f.mgr, 9, &f.tokens, N_TOKENS, &scheme).unwrap();
+        let mut piped = restore_session_pipelined(
+            &f.model,
+            &f.mgr,
+            9,
+            &f.tokens,
+            N_TOKENS,
+            &scheme,
+            &hc_tensor::ParallelConfig::auto(),
+        )
+        .unwrap();
+        let (row_seq, _) = f.model.decode_step(42, &mut seq, false);
+        let (row_piped, _) = f.model.decode_step(42, &mut piped, false);
+        assert_eq!(row_seq, row_piped);
     }
 
     #[test]

@@ -51,6 +51,13 @@ pub struct ServingConfig {
     /// restoration of follow-up rounds streams at PCIe speed instead of
     /// SSD speed. Off by default (the paper evaluates without it).
     pub prefetch_to_dram: bool,
+    /// Host thread budget handed to the functional layer when this config
+    /// drives real restoration (`hcache::HCacheSystem`): sizes the restore
+    /// pipeline's projection GEMMs and the storage chunk codec, so the
+    /// chunk daemon and the restore prefetcher never oversubscribe the
+    /// host. The virtual-time engine carries it so a simulated deployment
+    /// and its functional counterpart are configured identically.
+    pub parallel: hc_tensor::ParallelConfig,
 }
 
 impl ServingConfig {
@@ -74,6 +81,7 @@ impl ServingConfig {
             serialize_sessions: true,
             round_think_time: 30.0,
             prefetch_to_dram: false,
+            parallel: hc_tensor::ParallelConfig::serial(),
         }
     }
 }
@@ -96,5 +104,11 @@ mod tests {
             ServingConfig::for_method(RestoreMethod::Recompute).save_mode,
             SaveOverheadMode::None
         );
+    }
+
+    #[test]
+    fn default_thread_budget_is_serial() {
+        let cfg = ServingConfig::for_method(RestoreMethod::HCache);
+        assert!(cfg.parallel.is_serial());
     }
 }

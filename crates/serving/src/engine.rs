@@ -67,6 +67,13 @@ impl ServingEngine {
         self.capacity_tokens
     }
 
+    /// Host thread budget this deployment hands to the functional restore
+    /// and batch-prefill entry points (`hcache::HCacheSystem` consumes it;
+    /// the virtual-time engine itself models time, not host threads).
+    pub fn parallel(&self) -> hc_tensor::ParallelConfig {
+        self.cfg.parallel
+    }
+
     /// Decode-time saving overhead for one iteration of `batch` sequences.
     fn save_overhead(&self, batch: usize) -> Sec {
         if batch == 0 {
@@ -475,7 +482,7 @@ mod tests {
         let e_kv = engine(RestoreMethod::KvOffload);
         let e_hc = engine(RestoreMethod::HCache);
         let r = req(1, 0.0, 10603, 143, 5);
-        let kv = e_kv.run(&[r.clone()]).requests[0].ttft();
+        let kv = e_kv.run(std::slice::from_ref(&r)).requests[0].ttft();
         let hc = e_hc.run(&[r]).requests[0].ttft();
         let speedup = kv / hc;
         assert!((1.3..2.2).contains(&speedup), "speedup {speedup}");

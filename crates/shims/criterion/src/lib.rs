@@ -1,0 +1,304 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the slice of the criterion API its benches use: groups, `bench_function`
+//! / `bench_with_input`, `iter` / `iter_batched`, `BenchmarkId`, `BatchSize`
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: after a short warm-up, each sample times a batch of
+//! iterations sized so one sample takes ≳1 ms, and the harness reports the
+//! median / min / max per-iteration time over `sample_size` samples. No
+//! statistical regression analysis, plots, or saved baselines — stdout only.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. Only the variants used by this
+/// workspace are modeled; all behave like small per-iteration batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is cheap to hold; batch many per sample.
+    SmallInput,
+    /// Setup output is large; one per sample.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group, e.g. `matmul/128x128x128`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter display, criterion's two-part id.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    /// Iterations per measured sample (tuned by the harness).
+    iters_per_sample: u64,
+    /// Collected per-sample durations.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(iters_per_sample: u64) -> Self {
+        Self {
+            iters_per_sample,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the sample.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters_per_sample {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples.push(total);
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, mut body: impl FnMut(&mut Bencher)) {
+    // Calibrate: how many iterations make one sample take ~1 ms?
+    let mut calib = Bencher::new(1);
+    let start = Instant::now();
+    body(&mut calib);
+    let one = start.elapsed().max(Duration::from_nanos(50));
+    let iters_per_sample = (Duration::from_millis(1).as_nanos() / one.as_nanos()).clamp(1, 10_000);
+
+    let mut bench = Bencher::new(iters_per_sample as u64);
+    // Warm-up sample, then the measured ones.
+    body(&mut bench);
+    bench.samples.clear();
+    for _ in 0..sample_size.max(2) {
+        body(&mut bench);
+    }
+
+    let mut per_iter: Vec<f64> = bench
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let (min, max) = (per_iter[0], per_iter[per_iter.len() - 1]);
+    println!(
+        "{label:<50} time: [{} {} {}]",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(max)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark identified by a string or [`BenchmarkId`].
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_benchmark(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (formatting no-op here).
+    pub fn finish(&mut self) {}
+}
+
+/// Conversion into [`BenchmarkId`], so ids can be given as plain strings.
+pub trait IntoBenchmarkId {
+    /// Converts to the two-part id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.sample_size == 0 {
+            20
+        } else {
+            self.sample_size
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, 20, &mut f);
+        self
+    }
+
+    /// Accepts CLI args (ignored; kept for `criterion_main!` parity).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Prints the closing summary (no-op).
+    pub fn final_summary(&self) {}
+}
+
+/// Declares a function running a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut ran = 0u32;
+        group.bench_function("counts", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut b = Bencher::new(4);
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 8]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 4);
+        assert_eq!(b.samples.len(), 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats_two_parts() {
+        let id = BenchmarkId::new("matmul", "64x64");
+        assert_eq!(id.id, "matmul/64x64");
+    }
+}

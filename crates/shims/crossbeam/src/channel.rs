@@ -1,0 +1,179 @@
+//! MPSC channels with the `crossbeam::channel` surface used here.
+
+use std::fmt;
+use std::sync::mpsc;
+
+/// Error returned by [`Sender::send`] when the receiver is gone. Carries the
+/// unsent message, like `crossbeam`'s.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+// Like the real crate: Debug without requiring `T: Debug`, so `.expect()`
+// works on channels of non-Debug messages.
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel is currently empty.
+    Empty,
+    /// All senders disconnected and the buffer drained.
+    Disconnected,
+}
+
+enum Tx<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
+}
+
+impl<T> Clone for Tx<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+            Tx::Bounded(s) => Tx::Bounded(s.clone()),
+        }
+    }
+}
+
+/// The sending half of a channel. Cloneable; the channel disconnects when
+/// every clone is dropped.
+pub struct Sender<T>(Tx<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self(self.0.clone())
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, blocking on a full bounded channel. Errors only when
+    /// the receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        match &self.0 {
+            Tx::Unbounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+            Tx::Bounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+        }
+    }
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or all senders disconnect.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv().map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Iterates over messages until the channel disconnects.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.0.iter()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = mpsc::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+/// Creates an unbounded channel: sends never block.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(Tx::Unbounded(tx)), Receiver(rx))
+}
+
+/// Creates a bounded channel holding at most `cap` in-flight messages;
+/// sends block while the channel is full (backpressure).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender(Tx::Bounded(tx)), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_roundtrip_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn clone_keeps_channel_alive() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(7).unwrap();
+        assert_eq!(rx.recv(), Ok(7));
+        drop(tx2);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_applies_backpressure() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        // A second send must block until the first is consumed; do it from a
+        // thread and make sure it completes once we drain.
+        let h = std::thread::spawn(move || tx.send(2).map(|_| ()).is_ok());
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors_with_payload() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+}

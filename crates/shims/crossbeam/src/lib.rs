@@ -1,0 +1,9 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the slice of the `crossbeam::channel` API the codebase uses (`unbounded`,
+//! `bounded`, cloneable senders, disconnect-on-drop semantics) on top of
+//! `std::sync::mpsc`. MPMC receiving is not provided — every consumer in
+//! this workspace is single-receiver.
+
+pub mod channel;

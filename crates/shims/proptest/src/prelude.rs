@@ -1,0 +1,10 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+};
+
+/// Nested module alias mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+}

@@ -76,6 +76,28 @@ impl Precision {
             Precision::Int8 => hc_tensor::quant::decode_int8(bytes, width),
         }
     }
+
+    /// [`Precision::encode`] under `par`'s thread budget (f16 has a
+    /// bit-identical parallel encoder; int8 stays serial).
+    pub fn encode_par(&self, xs: &[f32], width: usize, par: &hc_tensor::ParallelConfig) -> Vec<u8> {
+        match self {
+            Precision::F16 => hc_tensor::f16::encode_f16_par(xs, par),
+            Precision::Int8 => hc_tensor::quant::encode_int8(xs, width),
+        }
+    }
+
+    /// [`Precision::decode`] under `par`'s thread budget.
+    pub fn decode_par(
+        &self,
+        bytes: &[u8],
+        width: usize,
+        par: &hc_tensor::ParallelConfig,
+    ) -> Vec<f32> {
+        match self {
+            Precision::F16 => hc_tensor::f16::decode_f16_par(bytes, par),
+            Precision::Int8 => hc_tensor::quant::decode_int8(bytes, width),
+        }
+    }
 }
 
 /// Which state a stream holds.

@@ -33,6 +33,10 @@ pub struct StorageManager<S: ChunkStore> {
     store: Arc<S>,
     d_model: usize,
     precision: Precision,
+    /// Thread budget for chunk encode/decode (shared with the two-stage
+    /// saver's daemon and the restore prefetcher, which run through this
+    /// manager).
+    parallel: hc_tensor::ParallelConfig,
     streams: Mutex<HashMap<StreamId, StreamState>>,
 }
 
@@ -51,8 +55,22 @@ impl<S: ChunkStore> StorageManager<S> {
             store,
             d_model,
             precision,
+            parallel: hc_tensor::ParallelConfig::serial(),
             streams: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Sets the thread budget used for chunk encode/decode. The parallel
+    /// codec is bit-identical to the serial one, so this changes wall-clock
+    /// only, never stored bytes.
+    pub fn with_parallel(mut self, parallel: hc_tensor::ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Thread budget used for chunk encode/decode.
+    pub fn parallel(&self) -> hc_tensor::ParallelConfig {
+        self.parallel
     }
 
     /// Storage precision in use.
@@ -98,7 +116,9 @@ impl<S: ChunkStore> StorageManager<S> {
             let chunk_idx = (state.n_durable / CHUNK_TOKENS) as u32;
             let rest = state.partial.split_off(chunk_elems);
             let full = std::mem::replace(&mut state.partial, rest);
-            let bytes = self.precision.encode(&full, self.d_model);
+            let bytes = self
+                .precision
+                .encode_par(&full, self.d_model, &self.parallel);
             self.store
                 .write_chunk(ChunkKey { stream, chunk_idx }, &bytes)?;
             state.n_durable += CHUNK_TOKENS;
@@ -119,7 +139,9 @@ impl<S: ChunkStore> StorageManager<S> {
         if let Some(state) = streams.get(&stream) {
             if !state.partial.is_empty() {
                 let chunk_idx = (state.n_durable / CHUNK_TOKENS) as u32;
-                let bytes = self.precision.encode(&state.partial, self.d_model);
+                let bytes = self
+                    .precision
+                    .encode_par(&state.partial, self.d_model, &self.parallel);
                 self.store
                     .write_chunk(ChunkKey { stream, chunk_idx }, &bytes)?;
             }
@@ -180,15 +202,19 @@ impl<S: ChunkStore> StorageManager<S> {
             let rows: Vec<f32> = if chunk_start_token + slice.start_in_chunk + slice.len <= durable
             {
                 let bytes = self.store.read_chunk(key)?;
-                self.precision.decode(&bytes, self.d_model)
+                self.precision
+                    .decode_par(&bytes, self.d_model, &self.parallel)
             } else {
                 // Tail chunk: rebuild from buffer (buffer rows start at
                 // token n_durable == chunk_start_token for the tail).
                 debug_assert_eq!(chunk_start_token, durable);
                 // Apply the same quantization a durable path would.
-                self.precision.decode(
-                    &self.precision.encode(&state.partial, self.d_model),
+                self.precision.decode_par(
+                    &self
+                        .precision
+                        .encode_par(&state.partial, self.d_model, &self.parallel),
                     self.d_model,
+                    &self.parallel,
                 )
             };
             let src_row0 = slice.start_in_chunk as usize;

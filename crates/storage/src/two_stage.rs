@@ -16,6 +16,15 @@
 //! baseline: rows go to the backend synchronously, flushing the tail chunk
 //! on every call — the scattered-write pattern the backend statistics make
 //! visible.
+//!
+//! The daemon's chunk encoding runs under the [`StorageManager`]'s
+//! `ParallelConfig` (set via `StorageManager::with_parallel`), so the save
+//! path and the restore prefetcher draw from one shared thread budget.
+//!
+//! Shutdown: dropping the saver closes the channel and **joins** the daemon
+//! thread, so every batch submitted before the drop is demultiplexed into
+//! the manager (full chunks durable, tails buffered) before `drop` returns
+//! — nothing is detached or leaked.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -300,6 +309,42 @@ mod tests {
             // No barrier: Drop must still drain the queue.
         }
         assert_eq!(mgr.n_tokens(StreamId::hidden(9, 0)), 64);
+    }
+
+    #[test]
+    fn drop_mid_stream_loses_no_flushed_chunks() {
+        // Regression for the daemon shutdown path: drop the saver while the
+        // queue still holds a mix of chunk-crossing batches for several
+        // streams — every row must survive, full chunks as durable backend
+        // writes and the tails via the manager's partial buffers.
+        let mgr = Arc::new(StorageManager::new(Arc::new(MemStore::new(3)), D));
+        {
+            let saver = StateSaver::new(Arc::clone(&mgr), SaveMode::TwoStage);
+            for i in 0..100 {
+                for layer in 0..2u32 {
+                    let r = row(i as f32 + layer as f32 * 0.5);
+                    saver.save_batch(&[(StreamId::hidden(4, layer), r.as_slice())]);
+                }
+            }
+            // No barrier: Drop closes the channel and joins the daemon.
+        }
+        // 100 rows = 1 durable chunk (64) + 36 buffered, per stream.
+        assert!(
+            mgr.stats().total_writes() >= 2,
+            "full chunks must have been flushed by the daemon before drop"
+        );
+        for layer in 0..2u32 {
+            let s = StreamId::hidden(4, layer);
+            assert_eq!(mgr.n_tokens(s), 100, "layer {layer} lost rows");
+            let t = mgr.read_rows(s, 0, 100).unwrap();
+            for i in 0..100 {
+                assert_eq!(
+                    t.get(i, 0),
+                    hc_tensor::f16::f16_roundtrip(i as f32 + layer as f32 * 0.5),
+                    "layer {layer} row {i} corrupted"
+                );
+            }
+        }
     }
 
     #[test]

@@ -115,6 +115,46 @@ pub fn decode_f16(bytes: &[u8]) -> Vec<f32> {
         .collect()
 }
 
+/// [`encode_f16`] with elements converted in parallel under `par`'s thread
+/// budget. Conversion is element-wise, so the output is byte-identical to
+/// the serial encoder for every thread count.
+pub fn encode_f16_par(xs: &[f32], par: &crate::ParallelConfig) -> Vec<u8> {
+    if par.is_serial() {
+        return encode_f16(xs);
+    }
+    let mut out = vec![0u8; xs.len() * BYTES_PER_ELEM];
+    par.run_row_blocks(&mut out, xs.len(), BYTES_PER_ELEM, |e0, chunk| {
+        for (x, b) in xs[e0..].iter().zip(chunk.chunks_exact_mut(BYTES_PER_ELEM)) {
+            b.copy_from_slice(&f32_to_f16_bits(*x).to_le_bytes());
+        }
+    });
+    out
+}
+
+/// [`decode_f16`] with elements converted in parallel under `par`'s thread
+/// budget. Byte-identical to the serial decoder for every thread count.
+///
+/// # Panics
+/// Panics if `bytes.len()` is odd.
+pub fn decode_f16_par(bytes: &[u8], par: &crate::ParallelConfig) -> Vec<f32> {
+    if par.is_serial() {
+        return decode_f16(bytes);
+    }
+    assert!(
+        bytes.len().is_multiple_of(2),
+        "f16 byte stream must have even length"
+    );
+    let n = bytes.len() / BYTES_PER_ELEM;
+    let mut out = vec![0.0_f32; n];
+    par.run_row_blocks(&mut out, n, 1, |e0, chunk| {
+        let src = &bytes[e0 * BYTES_PER_ELEM..];
+        for (dst, c) in chunk.iter_mut().zip(src.chunks_exact(BYTES_PER_ELEM)) {
+            *dst = f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]]));
+        }
+    });
+    out
+}
+
 /// Bytes needed to store `n` f16 elements.
 pub const BYTES_PER_ELEM: usize = 2;
 
@@ -182,6 +222,24 @@ mod tests {
         // Slightly above the halfway point must round up.
         let above = 1.0 + 2f32.powi(-11) + 2f32.powi(-13);
         assert_eq!(f16_roundtrip(above), 1.0 + 2f32.powi(-10));
+    }
+
+    #[test]
+    fn parallel_codec_is_byte_identical_across_thread_counts() {
+        let xs: Vec<f32> = (0..1000)
+            .map(|i| (i as f32 - 500.0) * 0.37 + 1.0 / (i + 1) as f32)
+            .collect();
+        let serial_bytes = encode_f16(&xs);
+        let serial_back = decode_f16(&serial_bytes);
+        for threads in 1..=8 {
+            let par = crate::ParallelConfig::new(threads);
+            assert_eq!(encode_f16_par(&xs, &par), serial_bytes, "{threads} threads");
+            assert_eq!(
+                decode_f16_par(&serial_bytes, &par),
+                serial_back,
+                "{threads} threads"
+            );
+        }
     }
 
     proptest! {

@@ -1,22 +1,73 @@
 //! Matrix multiplication kernels.
 //!
-//! The paper restores KV via cuBLAS GEMMs; here we provide a cache-blocked
-//! CPU GEMM that is fast enough for the functional test models while keeping
-//! a bit-for-bit deterministic accumulation order (plain loop order inside a
-//! block, blocks visited in row-major order), which lets tests compare the
-//! prefill path and the restoration path for *exact* equality when they
-//! perform the same mathematical operation.
+//! The paper restores KV via cuBLAS GEMMs; here we provide cache-blocked
+//! CPU GEMMs that are fast enough for the functional test models while
+//! keeping a bit-for-bit deterministic accumulation order: every output
+//! element accumulates its products in one ascending-`k` chain, in every
+//! entry point — serial, multi-threaded, `matmul_nt` and the single-row
+//! `matvec_nt` — which lets tests compare the prefill path and the
+//! restoration path for *exact* equality when they perform the same
+//! mathematical operation.
+//!
+//! The performance-critical choice: the inner loop always runs over the
+//! *output* axis `j` (`c[j] += a_ik · b[j]`), whose lanes are independent
+//! and therefore vectorize, instead of over the reduction axis `k`, whose
+//! floating-point adds form a serial dependency chain the compiler must not
+//! reorder. `matmul_nt` gets this treatment by materializing `Bᵀ` once
+//! (O(n·k), negligible against the O(m·n·k) multiply) and running the same
+//! blocked kernel — measured ~4× over the naïve dot-product triple loop at
+//! projection sizes.
+//!
+//! The `*_par` variants split work by output rows across scoped threads
+//! (budget from [`ParallelConfig`]); each row is computed by the same code
+//! the serial kernel runs, so thread count never changes a single bit of
+//! the result.
 
+use crate::parallel::ParallelConfig;
 use crate::Tensor2;
 
 /// Cache block edge used by the blocked kernels.
 const BLOCK: usize = 64;
+
+/// Computes C rows `[row0, row0 + c_rows.len()/n)` of `C = A · B` into the
+/// caller's row-major slice. i-k blocked with the inner loop streaming over
+/// contiguous rows of B and C.
+fn matmul_rows(a: &Tensor2, b: &Tensor2, row0: usize, c_rows: &mut [f32]) {
+    let k = a.cols();
+    let n = b.cols();
+    let rows = c_rows.len() / n;
+    for i0 in (0..rows).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(rows);
+        for k0 in (0..k).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(k);
+            for i in i0..i1 {
+                let a_row = a.row(row0 + i);
+                let c_row = &mut c_rows[i * n..(i + 1) * n];
+                for (kk, &aval) in a_row.iter().enumerate().take(k1).skip(k0) {
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    let b_row = b.row(kk);
+                    for j in 0..n {
+                        c_row[j] += aval * b_row[j];
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// `C = A · B` where `A` is `m×k` and `B` is `k×n`.
 ///
 /// # Panics
 /// Panics when the inner dimensions disagree.
 pub fn matmul(a: &Tensor2, b: &Tensor2) -> Tensor2 {
+    matmul_par(a, b, &ParallelConfig::serial())
+}
+
+/// [`matmul`] with C's rows computed in parallel under `par`'s thread
+/// budget. Bit-for-bit equal to the serial kernel for every thread count.
+pub fn matmul_par(a: &Tensor2, b: &Tensor2, par: &ParallelConfig) -> Tensor2 {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -26,32 +77,15 @@ pub fn matmul(a: &Tensor2, b: &Tensor2) -> Tensor2 {
         b.rows(),
         b.cols()
     );
-    let (m, k) = a.shape();
+    let m = a.rows();
     let n = b.cols();
     let mut c = Tensor2::zeros(m, n);
-    // i-k-j loop order with the inner loop streaming over contiguous rows of
-    // B and C: decent locality without any unsafe code.
-    for i0 in (0..m).step_by(BLOCK) {
-        let i1 = (i0 + BLOCK).min(m);
-        for k0 in (0..k).step_by(BLOCK) {
-            let k1 = (k0 + BLOCK).min(k);
-            for i in i0..i1 {
-                let a_row = a.row(i);
-                let c_row_start = i * n;
-                for kk in k0..k1 {
-                    let aval = a_row[kk];
-                    if aval == 0.0 {
-                        continue;
-                    }
-                    let b_row = b.row(kk);
-                    let c_data = c.as_mut_slice();
-                    for j in 0..n {
-                        c_data[c_row_start + j] += aval * b_row[j];
-                    }
-                }
-            }
-        }
+    if n == 0 {
+        return c; // degenerate output: nothing to compute (and rows/n below would be 0/0)
     }
+    par.run_row_blocks(c.as_mut_slice(), m, n, |row0, chunk| {
+        matmul_rows(a, b, row0, chunk)
+    });
     c
 }
 
@@ -59,8 +93,15 @@ pub fn matmul(a: &Tensor2, b: &Tensor2) -> Tensor2 {
 ///
 /// This is the natural layout for attention scores (`Q · Kᵀ`) when K is
 /// stored tokens-major, and for projections whose weights are stored
-/// `out×in` (as this crate's model layer does).
+/// `out×in` (as this crate's model layer does). Internally transposes `B`
+/// once and runs the blocked vectorizable kernel; see the module docs.
 pub fn matmul_nt(a: &Tensor2, b: &Tensor2) -> Tensor2 {
+    matmul_nt_par(a, b, &ParallelConfig::serial())
+}
+
+/// [`matmul_nt`] with C's rows computed in parallel under `par`'s thread
+/// budget. Bit-for-bit equal to the serial kernel for every thread count.
+pub fn matmul_nt_par(a: &Tensor2, b: &Tensor2, par: &ParallelConfig) -> Tensor2 {
     assert_eq!(
         a.cols(),
         b.cols(),
@@ -70,6 +111,25 @@ pub fn matmul_nt(a: &Tensor2, b: &Tensor2) -> Tensor2 {
         b.rows(),
         b.cols()
     );
+    let bt = b.transpose();
+    let m = a.rows();
+    let n = bt.cols();
+    let mut c = Tensor2::zeros(m, n);
+    if n == 0 {
+        return c; // degenerate output: nothing to compute (and rows/n below would be 0/0)
+    }
+    par.run_row_blocks(c.as_mut_slice(), m, n, |row0, chunk| {
+        matmul_rows(a, &bt, row0, chunk)
+    });
+    c
+}
+
+/// Reference `A · Bᵀ` kernel: the naïve triple loop with one scalar
+/// accumulator, exactly as the original (pre-blocking) kernel computed it.
+/// Kept for equivalence tests and as the baseline the `hc-bench` restore
+/// benchmark measures kernel speedups against.
+pub fn matmul_nt_naive(a: &Tensor2, b: &Tensor2) -> Tensor2 {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt_naive dimension mismatch");
     let (m, k) = a.shape();
     let n = b.rows();
     let mut c = Tensor2::zeros(m, n);
@@ -89,7 +149,10 @@ pub fn matmul_nt(a: &Tensor2, b: &Tensor2) -> Tensor2 {
 
 /// `y = x · Wᵀ` for a single row vector `x` (len `k`) and weight `W` (`n×k`).
 ///
-/// Used on the decode path where activations are a single token.
+/// Used on the decode path where activations are a single token. The plain
+/// ascending-`k` chain per output matches the blocked kernels' accumulation
+/// order, so a one-row `matmul_nt` and `matvec_nt` agree bitwise (up to
+/// `±0.0`, which compares equal).
 pub fn matvec_nt(x: &[f32], w: &Tensor2) -> Vec<f32> {
     assert_eq!(x.len(), w.cols(), "matvec_nt dimension mismatch");
     let mut y = vec![0.0_f32; w.rows()];
@@ -124,6 +187,17 @@ mod tests {
         })
     }
 
+    fn pseudo_tensor(rows: usize, cols: usize, seed: u64) -> Tensor2 {
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as i32 % 19) as f32 * 0.25 - 0.5
+        };
+        Tensor2::from_fn(rows, cols, |_, _| next())
+    }
+
     #[test]
     fn matmul_identity() {
         let a = Tensor2::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
@@ -150,6 +224,19 @@ mod tests {
     }
 
     #[test]
+    fn matmul_nt_matches_naive_reference_exactly() {
+        // The blocked kernel accumulates each output in the same
+        // ascending-k chain as the naïve triple loop, so the results agree
+        // to the last bit (±0.0 compares equal). Sizes cross block
+        // boundaries; the generator emits zeros to exercise the skip path.
+        for (m, k, n) in [(3, 5, 4), (70, 65, 33), (65, 130, 67)] {
+            let a = pseudo_tensor(m, k, 11);
+            let b = pseudo_tensor(n, k, 23);
+            assert_tensor_eq(&matmul_nt(&a, &b), &matmul_nt_naive(&a, &b), 0.0);
+        }
+    }
+
+    #[test]
     fn matvec_matches_matmul_nt_single_row() {
         let w = Tensor2::from_fn(3, 4, |r, c| (r + c) as f32);
         let x = vec![1.0, -1.0, 2.0, 0.5];
@@ -165,11 +252,51 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_shapes_produce_empty_or_zero_tensors() {
+        // Zero output columns / rows / reduction length must not panic.
+        let a = Tensor2::zeros(2, 3);
+        assert_eq!(matmul(&a, &Tensor2::zeros(3, 0)).shape(), (2, 0));
+        assert_eq!(matmul_nt(&a, &Tensor2::zeros(0, 3)).shape(), (2, 0));
+        assert_eq!(
+            matmul(&Tensor2::zeros(0, 3), &Tensor2::zeros(3, 4)).shape(),
+            (0, 4)
+        );
+        // k == 0: all-zero C of the right shape.
+        let c = matmul(&Tensor2::zeros(2, 0), &Tensor2::zeros(0, 4));
+        assert_eq!(c.shape(), (2, 4));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
     fn matmul_rectangular_blocked_crosses_block_boundary() {
         // Sizes chosen to exceed one BLOCK so the blocked path is exercised.
         let a = Tensor2::from_fn(70, 65, |r, c| ((r + 2 * c) % 9) as f32 * 0.25 - 1.0);
         let b = Tensor2::from_fn(65, 33, |r, c| ((3 * r + c) % 11) as f32 * 0.125 - 0.5);
         assert_tensor_eq(&matmul(&a, &b), &naive_matmul(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn parallel_kernels_are_bitwise_equal_across_thread_counts() {
+        // Exhaustive fixed-size check (the proptest below samples shapes):
+        // C from N threads must equal serial C *exactly*, for both kernels.
+        let a = pseudo_tensor(67, 33, 1);
+        let b = pseudo_tensor(33, 29, 2);
+        let bt = pseudo_tensor(29, 33, 3);
+        let serial = matmul(&a, &b);
+        let serial_nt = matmul_nt(&a, &bt);
+        for threads in 1..=8 {
+            let par = ParallelConfig::new(threads);
+            assert_eq!(
+                matmul_par(&a, &b, &par).as_slice(),
+                serial.as_slice(),
+                "matmul diverged at {threads} threads"
+            );
+            assert_eq!(
+                matmul_nt_par(&a, &bt, &par).as_slice(),
+                serial_nt.as_slice(),
+                "matmul_nt diverged at {threads} threads"
+            );
+        }
     }
 
     proptest! {
@@ -209,6 +336,30 @@ mod tests {
                     prop_assert!(crate::approx_eq(lhs.get(i, j), rhs.get(i, j), 1e-3));
                 }
             }
+        }
+
+        #[test]
+        fn parallel_matmul_is_bitwise_equal_to_serial(
+            m in 1usize..40, k in 1usize..24, n in 1usize..24,
+            seed in 0u64..500, threads in 1usize..9
+        ) {
+            let a = pseudo_tensor(m, k, seed);
+            let b = pseudo_tensor(k, n, seed ^ 0xabcd);
+            let serial = matmul(&a, &b);
+            let par = matmul_par(&a, &b, &ParallelConfig::new(threads));
+            prop_assert_eq!(serial.as_slice(), par.as_slice());
+        }
+
+        #[test]
+        fn parallel_matmul_nt_is_bitwise_equal_to_serial(
+            m in 1usize..40, k in 1usize..24, n in 1usize..24,
+            seed in 0u64..500, threads in 1usize..9
+        ) {
+            let a = pseudo_tensor(m, k, seed);
+            let b = pseudo_tensor(n, k, seed ^ 0x1234);
+            let serial = matmul_nt(&a, &b);
+            let par = matmul_nt_par(&a, &b, &ParallelConfig::new(threads));
+            prop_assert_eq!(serial.as_slice(), par.as_slice());
         }
     }
 }

@@ -17,14 +17,20 @@
 //!   on-disk sizes faithful to the paper's fp16 state (2 bytes/element).
 //! * [`quant`] — symmetric per-row int8 quantization (the §7 extension for
 //!   compressing stored hidden states further).
+//! * [`parallel`] — the [`ParallelConfig`] thread budget shared by the
+//!   multi-threaded kernel variants (`gemm::matmul_par`,
+//!   `gemm::matmul_nt_par`, `f16::encode_f16_par`, `f16::decode_f16_par`),
+//!   all bit-for-bit equal to their serial counterparts.
 
 pub mod f16;
 pub mod gemm;
 pub mod ops;
+pub mod parallel;
 pub mod quant;
 pub mod rope;
 pub mod tensor;
 
+pub use parallel::ParallelConfig;
 pub use tensor::Tensor2;
 
 /// Maximum relative error tolerated when comparing two floats that went

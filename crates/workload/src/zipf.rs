@@ -102,8 +102,8 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..5 {
-            let emp = counts[k] as f64 / n as f64;
+        for (k, &count) in counts.iter().enumerate().take(5) {
+            let emp = count as f64 / n as f64;
             let rel = (emp - z.pmf(k)).abs() / z.pmf(k);
             assert!(rel < 0.05, "rank {k}: emp {emp} vs pmf {}", z.pmf(k));
         }
