@@ -1,0 +1,712 @@
+//! # hc-cachectl
+//!
+//! The capacity control plane the paper's economics presuppose: hidden
+//! states only beat recomputation and KV reload *per byte actually kept*,
+//! so something must decide which sessions keep cached state when host
+//! storage is finite — and a serving system resumes many sessions at once,
+//! not one at a time. This crate supplies both halves:
+//!
+//! * [`CacheController`] — tracks every session's resident bytes (via
+//!   `hc-storage`'s byte-accounting hooks) against a configurable
+//!   [`quota`], makes cost-model-driven placement decisions at admission
+//!   ([`placement::choose_placement`], fed by `hc_restore::cost`), and
+//!   under pressure **demotes** victims chosen by a pluggable
+//!   [`policy`] — LRU or benefit-per-byte — one layer at a time down the
+//!   ladder *hidden → KV → recompute*. Demotion deletes streams and edits
+//!   the session's `LayerMethod` mix; it never corrupts saved state, so a
+//!   restore after any eviction sequence is still bit-identical to a
+//!   sequential restore of the surviving mix (and recomputed layers are
+//!   bit-exact against a fresh forward pass).
+//! * [`scheduler::RestoreScheduler`] — admits N concurrent pipelined
+//!   restores from an arrival trace, splitting one host `ParallelConfig`
+//!   budget across in-flight sessions.
+//!
+//! `hcache::HCacheSystem` routes session open/save/restore/close through
+//! the controller when one is attached; `hc-serving` mirrors the same
+//! quota/policy knobs in virtual time and reports hit/evict/fallback
+//! counts.
+
+pub mod metrics;
+pub mod placement;
+pub mod policy;
+pub mod quota;
+pub mod scheduler;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hc_model::{KvCache, Model};
+use hc_restore::cost::CostInputs;
+use hc_restore::engine::restore_session_pipelined_with_methods;
+use hc_sched::partition::{LayerMethod, PartitionScheme};
+use hc_storage::backend::ChunkStore;
+use hc_storage::manager::StorageManager;
+use hc_storage::{StorageError, StreamId};
+use hc_tensor::ParallelConfig;
+use parking_lot::Mutex;
+
+use metrics::{CtlMetrics, MetricsSnapshot};
+use placement::{choose_placement, Placement};
+use policy::{make_policy, EvictionPolicy, PolicyKind, SessionMeta};
+use quota::QuotaTracker;
+
+/// Errors from the cache controller.
+#[derive(Debug)]
+pub enum CtlError {
+    /// Session was never opened (or already closed).
+    UnknownSession(u64),
+    /// Storage failure during restore or eviction.
+    Storage(StorageError),
+}
+
+impl std::fmt::Display for CtlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CtlError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            CtlError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CtlError {}
+
+impl From<StorageError> for CtlError {
+    fn from(e: StorageError) -> Self {
+        CtlError::Storage(e)
+    }
+}
+
+/// Controller tunables.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Host cache storage quota in bytes.
+    pub quota_bytes: u64,
+    /// Victim-selection policy under pressure.
+    pub policy: PolicyKind,
+    /// Host→GPU bandwidth for the placement cost model (B/s).
+    pub bandwidth: f64,
+    /// GPU FLOPS for the placement cost model.
+    pub flops: f64,
+    /// Stored bytes per element (2 = fp16).
+    pub elem_bytes: u64,
+    /// History length assumed for admission-time placement when a session
+    /// has no better hint yet.
+    pub expected_tokens: u64,
+}
+
+impl ControllerConfig {
+    /// A quota-governed config with the paper's A100 testbed cost terms
+    /// and the LRU policy.
+    pub fn with_quota(quota_bytes: u64) -> Self {
+        Self {
+            quota_bytes,
+            policy: PolicyKind::Lru,
+            bandwidth: 32e9,
+            flops: 312e12,
+            elem_bytes: 2,
+            expected_tokens: 256,
+        }
+    }
+
+    /// An effectively-unlimited config (tracking and metrics only).
+    pub fn unlimited() -> Self {
+        Self::with_quota(u64::MAX)
+    }
+
+    /// Same config with a different eviction policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Same config with a different admission-time history-length hint.
+    pub fn with_expected_tokens(mut self, expected_tokens: u64) -> Self {
+        self.expected_tokens = expected_tokens;
+        self
+    }
+}
+
+struct SessionEntry {
+    placement: Placement,
+    n_tokens: u64,
+    last_access: u64,
+}
+
+struct CtlState {
+    sessions: HashMap<u64, SessionEntry>,
+    quota: QuotaTracker,
+    policy: Box<dyn EvictionPolicy>,
+    clock: u64,
+}
+
+/// The capacity-governed cache controller. All methods take `&self`; the
+/// bookkeeping lives behind one mutex, and restores run outside it so
+/// concurrent sessions only serialize on metadata.
+pub struct CacheController<S: ChunkStore + 'static> {
+    mgr: Arc<StorageManager<S>>,
+    n_layers: usize,
+    d_model: usize,
+    cfg: ControllerConfig,
+    state: Mutex<CtlState>,
+    metrics: CtlMetrics,
+}
+
+impl<S: ChunkStore + 'static> CacheController<S> {
+    /// Builds a controller over a storage manager for a model of
+    /// `n_layers × d_model`.
+    pub fn new(
+        mgr: Arc<StorageManager<S>>,
+        n_layers: usize,
+        d_model: usize,
+        cfg: ControllerConfig,
+    ) -> Self {
+        assert!(n_layers > 0 && d_model > 0, "model dims must be positive");
+        let quota = QuotaTracker::new(cfg.quota_bytes);
+        let policy = make_policy(cfg.policy);
+        Self {
+            mgr,
+            n_layers,
+            d_model,
+            cfg,
+            state: Mutex::new(CtlState {
+                sessions: HashMap::new(),
+                quota,
+                policy,
+                clock: 0,
+            }),
+            metrics: CtlMetrics::default(),
+        }
+    }
+
+    /// The storage manager this controller governs.
+    pub fn mgr(&self) -> &Arc<StorageManager<S>> {
+        &self.mgr
+    }
+
+    /// Configured quota in bytes.
+    pub fn quota_bytes(&self) -> u64 {
+        self.cfg.quota_bytes
+    }
+
+    /// Bytes currently charged across sessions.
+    pub fn used_bytes(&self) -> u64 {
+        self.state.lock().quota.used()
+    }
+
+    /// Counter snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The policy in force.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.cfg.policy
+    }
+
+    /// A session's current per-layer method mix (`None` if unknown).
+    pub fn session_methods(&self, session: u64) -> Option<Vec<LayerMethod>> {
+        self.state
+            .lock()
+            .sessions
+            .get(&session)
+            .map(|e| e.placement.methods().to_vec())
+    }
+
+    /// A session's tracked history length.
+    pub fn session_tokens(&self, session: u64) -> Option<u64> {
+        self.state.lock().sessions.get(&session).map(|e| e.n_tokens)
+    }
+
+    fn cost_inputs(&self, n_tokens: u64) -> CostInputs {
+        CostInputs {
+            n_seq: n_tokens.max(1),
+            d_hidden: self.d_model as u64,
+            bandwidth: self.cfg.bandwidth,
+            flops: self.cfg.flops,
+            elem_bytes: self.cfg.elem_bytes,
+        }
+    }
+
+    /// Registers a session and decides its placement. The caller's desired
+    /// scheme is honored when its projected footprint can ever fit the
+    /// quota; otherwise the cost model picks the fastest feasible pure
+    /// method (KV, or drop-to-recompute for sessions larger than the pool).
+    /// Returns the methods the session's state must be saved under.
+    pub fn open_session(&self, session: u64, desired: &PartitionScheme) -> Vec<LayerMethod> {
+        let mut st = self.state.lock();
+        st.clock += 1;
+        let clock = st.clock;
+        let expected = self.cfg.expected_tokens.max(1);
+        let desired_p = Placement::from_scheme(desired, self.n_layers);
+        let projected =
+            desired_p.bytes_per_token(self.d_model, self.cfg.elem_bytes as usize) * expected;
+        let placement = if projected <= self.cfg.quota_bytes {
+            desired_p
+        } else {
+            let c = self.cost_inputs(expected);
+            let decision = choose_placement(&c, self.n_layers, self.cfg.quota_bytes);
+            Placement::from_scheme(&decision.scheme(self.n_layers), self.n_layers)
+        };
+        let counter = if placement.is_fully_dropped() {
+            &self.metrics.placed_dropped
+        } else if placement.methods().contains(&LayerMethod::Hidden) {
+            &self.metrics.placed_hidden
+        } else {
+            &self.metrics.placed_kv
+        };
+        CtlMetrics::bump(counter, 1);
+        let methods = placement.methods().to_vec();
+        st.sessions.insert(
+            session,
+            SessionEntry {
+                placement,
+                n_tokens: 0,
+                last_access: clock,
+            },
+        );
+        methods
+    }
+
+    /// Reconciles a session's charge after its state was saved and flushed
+    /// (`n_tokens` = new total history length), then runs the eviction
+    /// ladder until the pool is back under quota.
+    pub fn on_saved(&self, session: u64, n_tokens: u64) -> Result<(), CtlError> {
+        let mut st = self.state.lock();
+        st.clock += 1;
+        let clock = st.clock;
+        let entry = st
+            .sessions
+            .get_mut(&session)
+            .ok_or(CtlError::UnknownSession(session))?;
+        entry.n_tokens = n_tokens;
+        entry.last_access = clock;
+        let bytes = self.mgr.session_bytes(session);
+        st.quota.set_session(session, bytes);
+        self.enforce_quota(&mut st);
+        Ok(())
+    }
+
+    /// Demotes policy-chosen victims one layer at a time until usage fits
+    /// the quota (or nothing demotable remains).
+    fn enforce_quota(&self, st: &mut CtlState) {
+        while st.quota.over_quota() {
+            let candidates: Vec<SessionMeta> = st
+                .sessions
+                .iter()
+                .filter(|(id, e)| {
+                    e.placement.next_demotable().is_some() && st.quota.session(**id) > 0
+                })
+                .map(|(id, e)| {
+                    let c = self.cost_inputs(e.n_tokens);
+                    SessionMeta {
+                        session: *id,
+                        resident_bytes: st.quota.session(*id),
+                        last_access: e.last_access,
+                        n_tokens: e.n_tokens,
+                        restore_secs_current: e.placement.restore_secs(&c),
+                        restore_secs_dropped: Placement::dropped(self.n_layers).restore_secs(&c),
+                    }
+                })
+                .collect();
+            if candidates.is_empty() {
+                break; // nothing left to free; usage is all untracked state
+            }
+            let victim = st.policy.pick_victim(&candidates);
+            let entry = st.sessions.get_mut(&victim).expect("candidate exists");
+            let (layer, old) = entry
+                .placement
+                .demote_first()
+                .expect("candidate had a demotable layer");
+            let freed = match old {
+                LayerMethod::Hidden => self
+                    .mgr
+                    .delete_stream(StreamId::hidden(victim, layer as u32)),
+                LayerMethod::KvOffload => {
+                    self.mgr.delete_stream(StreamId::key(victim, layer as u32))
+                        + self
+                            .mgr
+                            .delete_stream(StreamId::value(victim, layer as u32))
+                }
+                LayerMethod::Recompute => unreachable!("demotion never returns Recompute"),
+            };
+            let now_dropped = entry.placement.is_fully_dropped();
+            st.quota.release(victim, freed);
+            CtlMetrics::bump(&self.metrics.demotions, 1);
+            CtlMetrics::bump(&self.metrics.bytes_evicted, freed);
+            if now_dropped {
+                CtlMetrics::bump(&self.metrics.sessions_dropped, 1);
+            }
+        }
+    }
+
+    /// Restores a session's KV cache under its *current* (possibly
+    /// demoted) method mix, through the bubble-free pipelined engine with
+    /// `par`'s thread budget. Counts a hit when any layer was served from
+    /// cache, a fallback when the session had been dropped to token-only.
+    ///
+    /// The mix is snapshotted under the state lock but streams are read
+    /// outside it, so a concurrent save on another thread can demote this
+    /// session mid-restore and delete a stream the snapshot still expects.
+    /// A storage error is therefore retried under the refreshed mix when
+    /// the placement changed — demotion only ever shrinks the set of
+    /// streams a restore needs, so the retry count is bounded by the layer
+    /// count and a restorable session never fails spuriously.
+    pub fn restore(
+        &self,
+        model: &Model,
+        session: u64,
+        tokens: &[u32],
+        par: &ParallelConfig,
+    ) -> Result<KvCache, CtlError> {
+        assert_eq!(model.cfg.n_layers, self.n_layers, "model mismatch");
+        let mut last_methods: Option<Vec<LayerMethod>> = None;
+        loop {
+            let (methods, n_tokens) = {
+                let mut st = self.state.lock();
+                st.clock += 1;
+                let clock = st.clock;
+                let entry = st
+                    .sessions
+                    .get_mut(&session)
+                    .ok_or(CtlError::UnknownSession(session))?;
+                entry.last_access = clock;
+                if last_methods.is_none() {
+                    // Count the attempt once, by the mix first seen.
+                    let counter = if entry.placement.is_fully_dropped() {
+                        &self.metrics.restore_fallbacks
+                    } else {
+                        &self.metrics.restore_hits
+                    };
+                    CtlMetrics::bump(counter, 1);
+                }
+                (entry.placement.methods().to_vec(), entry.n_tokens as usize)
+            };
+            let stale = last_methods.as_deref() == Some(&methods);
+            match restore_session_pipelined_with_methods(
+                model, &self.mgr, session, tokens, n_tokens, &methods, par,
+            ) {
+                Ok(kv) => return Ok(kv),
+                // The mix did not change since the failed attempt: the
+                // error is real, not a racing demotion.
+                Err(e) if stale => return Err(e.into()),
+                Err(_) => last_methods = Some(methods),
+            }
+        }
+    }
+
+    /// Closes a session: deletes its storage and releases its charge.
+    /// Returns bytes freed.
+    pub fn close_session(&self, session: u64) -> Result<u64, CtlError> {
+        let mut st = self.state.lock();
+        st.sessions
+            .remove(&session)
+            .ok_or(CtlError::UnknownSession(session))?;
+        let freed = self.mgr.delete_session(session);
+        st.quota.forget(session);
+        Ok(freed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_model::ModelConfig;
+    use hc_restore::engine::{kv_max_error, restore_session_with_methods, save_session_state};
+    use hc_storage::backend::MemStore;
+    use hc_tensor::Tensor2;
+
+    fn mgr() -> Arc<StorageManager<MemStore>> {
+        Arc::new(StorageManager::new(Arc::new(MemStore::new(2)), 8))
+    }
+
+    /// Emulates a round's save under the controller's methods: appends
+    /// `n_tokens` rows to each cached stream and flushes, then reconciles.
+    fn save_rows(
+        ctl: &CacheController<MemStore>,
+        session: u64,
+        methods: &[LayerMethod],
+        n_tokens: u64,
+        prev_tokens: u64,
+    ) {
+        let rows = Tensor2::from_fn((n_tokens - prev_tokens) as usize, 8, |r, c| {
+            (session * 31 + r as u64 * 7 + c as u64) as f32 * 0.01
+        });
+        for (l, m) in methods.iter().enumerate() {
+            match m {
+                LayerMethod::Hidden => {
+                    ctl.mgr()
+                        .append_rows(StreamId::hidden(session, l as u32), &rows)
+                        .unwrap();
+                }
+                LayerMethod::KvOffload => {
+                    ctl.mgr()
+                        .append_rows(StreamId::key(session, l as u32), &rows)
+                        .unwrap();
+                    ctl.mgr()
+                        .append_rows(StreamId::value(session, l as u32), &rows)
+                        .unwrap();
+                }
+                LayerMethod::Recompute => {}
+            }
+        }
+        ctl.mgr().flush_session(session).unwrap();
+        ctl.on_saved(session, n_tokens).unwrap();
+    }
+
+    #[test]
+    fn admission_honors_desired_scheme_when_it_fits() {
+        let ctl = CacheController::new(mgr(), 4, 8, ControllerConfig::unlimited());
+        let scheme = PartitionScheme {
+            l_h: 3,
+            l_o: 1,
+            complement: LayerMethod::KvOffload,
+        };
+        let methods = ctl.open_session(1, &scheme);
+        assert_eq!(methods, scheme.layer_methods(4));
+        assert_eq!(ctl.metrics().placed_hidden, 1);
+    }
+
+    #[test]
+    fn admission_drops_sessions_larger_than_the_pool() {
+        // Quota of 64 bytes: even one token per layer cannot fit.
+        let ctl = CacheController::new(mgr(), 4, 8, ControllerConfig::with_quota(64));
+        let methods = ctl.open_session(1, &PartitionScheme::pure_hidden(4));
+        assert!(methods.iter().all(|m| *m == LayerMethod::Recompute));
+        assert_eq!(ctl.metrics().placed_dropped, 1);
+    }
+
+    #[test]
+    fn over_quota_saves_trigger_lru_demotion() {
+        // Quota of 3 chunks (at D=8, f16: 64 tokens * 16 B = 1024 B/chunk).
+        let quota = 3 * 64 * 8 * 2;
+        let cfg = ControllerConfig::with_quota(quota).with_expected_tokens(64);
+        let ctl = CacheController::new(mgr(), 2, 8, cfg);
+        let scheme = PartitionScheme::pure_hidden(2);
+        let m1 = ctl.open_session(1, &scheme);
+        let m2 = ctl.open_session(2, &scheme);
+        // Session 1 saves 64 tokens over 2 hidden layers = 2 chunks.
+        save_rows(&ctl, 1, &m1, 64, 0);
+        assert!(ctl.used_bytes() <= quota);
+        assert_eq!(ctl.metrics().demotions, 0);
+        // Session 2 saves the same: 4 chunks total > 3 → session 1 (LRU)
+        // loses a layer.
+        save_rows(&ctl, 2, &m2, 64, 0);
+        assert!(ctl.used_bytes() <= quota, "quota enforced");
+        assert!(ctl.metrics().demotions >= 1);
+        let demoted = ctl.session_methods(1).unwrap();
+        assert_eq!(demoted[0], LayerMethod::Recompute, "LRU victim demoted");
+        // Session 2 (most recent) kept everything.
+        assert_eq!(
+            ctl.session_methods(2).unwrap(),
+            vec![LayerMethod::Hidden; 2]
+        );
+    }
+
+    #[test]
+    fn cost_aware_policy_demotes_lowest_benefit_per_byte() {
+        // Two sessions, same bytes — but session 1 is *short* (cheap to
+        // recompute) and session 2 is long (expensive): cost-aware demotes
+        // session 1 even though session 2 is colder.
+        let quota = 3 * 64 * 8 * 2;
+        let mut cfg = ControllerConfig::with_quota(quota)
+            .with_policy(PolicyKind::CostAware)
+            .with_expected_tokens(64);
+        // Compute-poor, IO-rich cost terms so hidden restoration is
+        // compute-bound and the recompute-vs-hidden benefit is positive —
+        // the regime where benefit-per-byte ordering matters.
+        cfg.bandwidth = 1e15;
+        cfg.flops = 1e9;
+        let ctl = CacheController::new(mgr(), 1, 8, cfg);
+        let scheme = PartitionScheme::pure_hidden(1);
+        let m2 = ctl.open_session(2, &scheme);
+        save_rows(&ctl, 2, &m2, 128, 0); // long session, accessed FIRST (colder)
+        let m1 = ctl.open_session(1, &scheme);
+        save_rows(&ctl, 1, &m1, 64, 0); // short session, accessed last
+                                        // 3 chunks resident now; one more for session 2 tips it over.
+        save_rows(&ctl, 2, &m2, 192, 128);
+        assert!(ctl.used_bytes() <= quota);
+        assert_eq!(
+            ctl.session_methods(1).unwrap(),
+            vec![LayerMethod::Recompute],
+            "short session has the lowest benefit per byte"
+        );
+        assert_eq!(ctl.session_methods(2).unwrap(), vec![LayerMethod::Hidden]);
+    }
+
+    #[test]
+    fn restore_after_demotion_is_bit_identical_to_sequential_and_correct() {
+        let cfg_m = ModelConfig::tiny_llama();
+        let model = Model::new(&cfg_m, 5);
+        let mgr = Arc::new(StorageManager::new(
+            Arc::new(MemStore::new(2)),
+            cfg_m.d_model,
+        ));
+        // Quota that fits ~2 of the 4 hidden layer streams of 80 tokens.
+        let stream_bytes = 80 * cfg_m.d_model as u64 * 2;
+        let ctl = CacheController::new(
+            Arc::clone(&mgr),
+            cfg_m.n_layers,
+            cfg_m.d_model,
+            ControllerConfig::with_quota(2 * stream_bytes).with_expected_tokens(32),
+        );
+        let scheme = PartitionScheme::pure_hidden(cfg_m.n_layers);
+        let methods = ctl.open_session(1, &scheme);
+        let tokens: Vec<u32> = (0..80u32).map(|i| (i * 37) % 256).collect();
+        let mut reference = KvCache::new(&cfg_m);
+        let out = model.prefill(&tokens, &mut reference, true);
+        save_session_state(
+            &model,
+            &mgr,
+            1,
+            &out.hidden_per_layer.unwrap(),
+            &reference,
+            &PartitionScheme::pure_hidden(cfg_m.n_layers),
+        )
+        .unwrap();
+        assert_eq!(methods, vec![LayerMethod::Hidden; 4]);
+        ctl.on_saved(1, 80).unwrap();
+        // Pressure demoted the first two layers.
+        assert!(ctl.used_bytes() <= 2 * stream_bytes);
+        let demoted = ctl.session_methods(1).unwrap();
+        assert_eq!(
+            demoted,
+            vec![
+                LayerMethod::Recompute,
+                LayerMethod::Recompute,
+                LayerMethod::Hidden,
+                LayerMethod::Hidden,
+            ]
+        );
+        // Controller restore == sequential restore of the surviving mix,
+        // bit for bit, at several thread budgets.
+        let seq = restore_session_with_methods(&model, &mgr, 1, &tokens, 80, &demoted).unwrap();
+        for threads in [1usize, 4] {
+            let kv = ctl
+                .restore(&model, 1, &tokens, &ParallelConfig::new(threads))
+                .unwrap();
+            assert_eq!(kv_max_error(&kv, &seq), 0.0);
+        }
+        // Demoted layers are bit-exact against the fresh forward pass;
+        // surviving hidden layers carry only f16 noise.
+        assert_eq!(seq.keys(0), reference.keys(0));
+        assert_eq!(seq.keys(1), reference.keys(1));
+        assert!(kv_max_error(&seq, &reference) < 0.05);
+        assert_eq!(ctl.metrics().restore_hits, 2);
+    }
+
+    #[test]
+    fn fully_dropped_session_restores_by_recompute_and_counts_fallback() {
+        let cfg_m = ModelConfig::tiny_llama();
+        let model = Model::new(&cfg_m, 7);
+        let mgr = Arc::new(StorageManager::new(
+            Arc::new(MemStore::new(2)),
+            cfg_m.d_model,
+        ));
+        let ctl = CacheController::new(
+            Arc::clone(&mgr),
+            cfg_m.n_layers,
+            cfg_m.d_model,
+            ControllerConfig::with_quota(64), // nothing fits
+        );
+        let methods = ctl.open_session(1, &PartitionScheme::pure_hidden(cfg_m.n_layers));
+        assert!(methods.iter().all(|m| *m == LayerMethod::Recompute));
+        let tokens: Vec<u32> = (0..40u32).collect();
+        // Nothing to save (all recompute); just record the round.
+        ctl.on_saved(1, 40).unwrap();
+        let kv = ctl
+            .restore(&model, 1, &tokens, &ParallelConfig::serial())
+            .unwrap();
+        let mut reference = KvCache::new(&cfg_m);
+        model.prefill(&tokens, &mut reference, false);
+        assert_eq!(kv_max_error(&kv, &reference), 0.0, "recompute is exact");
+        assert_eq!(ctl.metrics().restore_fallbacks, 1);
+        assert_eq!(ctl.metrics().restore_hits, 0);
+    }
+
+    #[test]
+    fn close_session_releases_quota() {
+        let ctl = CacheController::new(mgr(), 2, 8, ControllerConfig::unlimited());
+        let m = ctl.open_session(1, &PartitionScheme::pure_hidden(2));
+        save_rows(&ctl, 1, &m, 64, 0);
+        assert!(ctl.used_bytes() > 0);
+        let freed = ctl.close_session(1).unwrap();
+        assert_eq!(freed, 2 * 64 * 8 * 2);
+        assert_eq!(ctl.used_bytes(), 0);
+        assert!(matches!(
+            ctl.close_session(1),
+            Err(CtlError::UnknownSession(1))
+        ));
+    }
+
+    #[test]
+    fn unknown_session_operations_error() {
+        let ctl = CacheController::new(mgr(), 2, 8, ControllerConfig::unlimited());
+        assert!(matches!(
+            ctl.on_saved(9, 10),
+            Err(CtlError::UnknownSession(9))
+        ));
+        let model = Model::new(&ModelConfig::tiny_llama(), 1);
+        let ctl4 = CacheController::new(mgr(), 4, 8, ControllerConfig::unlimited());
+        assert!(matches!(
+            ctl4.restore(&model, 9, &[1, 2], &ParallelConfig::serial()),
+            Err(CtlError::UnknownSession(9))
+        ));
+    }
+
+    mod quota_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// THE controller safety property: across any sequence of
+            /// session opens, incremental saves and closes, under either
+            /// policy and any quota, usage never ends a reconciliation
+            /// above the quota while anything remains demotable — and the
+            /// ledger always agrees with the storage layer's resident
+            /// bytes.
+            #[test]
+            fn controller_never_exceeds_quota(
+                quota_chunks in 1u64..6,
+                policy_sel in 0u64..2,
+                ops in proptest::collection::vec(0u64..12, 1..12),
+            ) {
+                let quota = quota_chunks * 64 * 8 * 2;
+                let kind = if policy_sel == 0 { PolicyKind::Lru } else { PolicyKind::CostAware };
+                let ctl = CacheController::new(
+                    mgr(), 2, 8,
+                    ControllerConfig::with_quota(quota)
+                        .with_policy(kind)
+                        .with_expected_tokens(16),
+                );
+                let scheme = PartitionScheme {
+                    l_h: 1,
+                    l_o: 1,
+                    complement: LayerMethod::KvOffload,
+                };
+                let mut tokens: HashMap<u64, u64> = HashMap::new();
+                // Each op encodes (session ∈ 0..4, chunks ∈ 1..=3).
+                for op in ops.iter().copied() {
+                    let (session, chunks) = (op % 4, 1 + op / 4 % 3);
+                    let methods = match ctl.session_methods(session) {
+                        Some(m) => m,
+                        None => {
+                            tokens.insert(session, 0);
+                            ctl.open_session(session, &scheme)
+                        }
+                    };
+                    let prev = tokens[&session];
+                    let next = prev + chunks * 64;
+                    save_rows(&ctl, session, &methods, next, prev);
+                    tokens.insert(session, next);
+                    // The invariant: after every reconciliation the pool is
+                    // under quota (demotion always has victims here since
+                    // every byte belongs to a demotable layer).
+                    prop_assert!(ctl.used_bytes() <= quota,
+                        "used {} > quota {quota}", ctl.used_bytes());
+                    // Ledger agrees with storage.
+                    prop_assert_eq!(ctl.used_bytes(), ctl.mgr().total_resident_bytes());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Controller observability: hit/evict/fallback counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters the controller bumps on its hot paths.
+#[derive(Debug, Default)]
+pub struct CtlMetrics {
+    /// Restores served with at least one cached (non-recompute) layer.
+    pub restore_hits: AtomicU64,
+    /// Restores that found nothing cached and fell back to full
+    /// recomputation (the session was dropped or demoted to the floor).
+    pub restore_fallbacks: AtomicU64,
+    /// Layer demotions performed under quota pressure.
+    pub demotions: AtomicU64,
+    /// Sessions demoted all the way to token-only.
+    pub sessions_dropped: AtomicU64,
+    /// Bytes released by demotions.
+    pub bytes_evicted: AtomicU64,
+    /// Sessions admitted with a hidden-state placement.
+    pub placed_hidden: AtomicU64,
+    /// Sessions admitted with a KV placement.
+    pub placed_kv: AtomicU64,
+    /// Sessions admitted already dropped (footprint infeasible).
+    pub placed_dropped: AtomicU64,
+}
+
+impl CtlMetrics {
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            restore_hits: self.restore_hits.load(Ordering::Relaxed),
+            restore_fallbacks: self.restore_fallbacks.load(Ordering::Relaxed),
+            demotions: self.demotions.load(Ordering::Relaxed),
+            sessions_dropped: self.sessions_dropped.load(Ordering::Relaxed),
+            bytes_evicted: self.bytes_evicted.load(Ordering::Relaxed),
+            placed_hidden: self.placed_hidden.load(Ordering::Relaxed),
+            placed_kv: self.placed_kv.load(Ordering::Relaxed),
+            placed_dropped: self.placed_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Adds `n` to a counter (convenience for the controller internals).
+    pub fn bump(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// A plain-data copy of [`CtlMetrics`] for reports and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Restores served with at least one cached layer.
+    pub restore_hits: u64,
+    /// Restores that fell back to full recomputation.
+    pub restore_fallbacks: u64,
+    /// Layer demotions under quota pressure.
+    pub demotions: u64,
+    /// Sessions demoted to token-only.
+    pub sessions_dropped: u64,
+    /// Bytes released by demotions.
+    pub bytes_evicted: u64,
+    /// Hidden-state admissions.
+    pub placed_hidden: u64,
+    /// KV admissions.
+    pub placed_kv: u64,
+    /// Dropped admissions.
+    pub placed_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Hit fraction over restores with history (`None` before any restore).
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.restore_hits + self.restore_fallbacks;
+        if total == 0 {
+            None
+        } else {
+            Some(self.restore_hits as f64 / total as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let m = CtlMetrics::default();
+        CtlMetrics::bump(&m.restore_hits, 3);
+        CtlMetrics::bump(&m.demotions, 2);
+        let s = m.snapshot();
+        assert_eq!(s.restore_hits, 3);
+        assert_eq!(s.demotions, 2);
+        assert_eq!(s.restore_fallbacks, 0);
+    }
+
+    #[test]
+    fn hit_ratio_handles_empty_and_mixed() {
+        let mut s = MetricsSnapshot::default();
+        assert_eq!(s.hit_ratio(), None);
+        s.restore_hits = 3;
+        s.restore_fallbacks = 1;
+        assert_eq!(s.hit_ratio(), Some(0.75));
+    }
+}

@@ -1,0 +1,287 @@
+//! Per-session placement: which form each layer's state is cached in, and
+//! the demotion ladder eviction walks under capacity pressure.
+//!
+//! A [`Placement`] is a per-layer [`LayerMethod`] vector upholding the
+//! §4.1.2 invariant (recompute layers form a prefix — the forward pass can
+//! only start from the embedding). Demotion converts the *first*
+//! non-recompute layer to `Recompute` and deletes its streams, so the
+//! prefix grows monotonically and every intermediate mix stays restorable:
+//! eviction degrades a session's restore *time*, never its correctness.
+//!
+//! [`choose_placement`] is the admission-time decision: given the §3.2
+//! closed-form costs and the pool quota, cache hidden states, fall back to
+//! KV, or drop to recompute — always the fastest method whose storage
+//! footprint is feasible at all.
+
+use hc_restore::cost::{t_hidden, t_kv, t_recompute, CostInputs};
+use hc_sched::partition::{LayerMethod, PartitionScheme};
+
+/// A session's current per-layer cache placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    methods: Vec<LayerMethod>,
+}
+
+impl Placement {
+    /// Builds a placement from a partition scheme.
+    pub fn from_scheme(scheme: &PartitionScheme, n_layers: usize) -> Self {
+        Self::from_methods(scheme.layer_methods(n_layers))
+    }
+
+    /// Builds a placement from an explicit method vector.
+    ///
+    /// # Panics
+    /// Panics when recompute layers do not form a prefix.
+    pub fn from_methods(methods: Vec<LayerMethod>) -> Self {
+        let n_recompute = methods
+            .iter()
+            .take_while(|m| **m == LayerMethod::Recompute)
+            .count();
+        assert!(
+            methods[n_recompute..]
+                .iter()
+                .all(|m| *m != LayerMethod::Recompute),
+            "recompute layers must form a prefix (§4.1.2)"
+        );
+        Self { methods }
+    }
+
+    /// The fully-dropped placement (token-only session).
+    pub fn dropped(n_layers: usize) -> Self {
+        Self {
+            methods: vec![LayerMethod::Recompute; n_layers],
+        }
+    }
+
+    /// The current method vector.
+    pub fn methods(&self) -> &[LayerMethod] {
+        &self.methods
+    }
+
+    /// Number of layers covered.
+    pub fn n_layers(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// True when every layer recomputes (nothing cached).
+    pub fn is_fully_dropped(&self) -> bool {
+        self.methods.iter().all(|m| *m == LayerMethod::Recompute)
+    }
+
+    /// The layer the next demotion would drop (the first non-recompute
+    /// layer), or `None` when fully dropped.
+    pub fn next_demotable(&self) -> Option<usize> {
+        self.methods
+            .iter()
+            .position(|m| *m != LayerMethod::Recompute)
+    }
+
+    /// Demotes the first non-recompute layer to `Recompute`; returns the
+    /// layer index and the method it held (so the caller can delete the
+    /// matching streams). `None` when already fully dropped.
+    pub fn demote_first(&mut self) -> Option<(usize, LayerMethod)> {
+        let l = self.next_demotable()?;
+        let old = self.methods[l];
+        self.methods[l] = LayerMethod::Recompute;
+        Some((l, old))
+    }
+
+    /// Storage bytes per token under this placement: hidden layers store
+    /// `D·e`, KV layers `2·D·e`, recompute layers nothing.
+    pub fn bytes_per_token(&self, d_model: usize, elem_bytes: usize) -> u64 {
+        let unit = (d_model * elem_bytes) as u64;
+        self.methods
+            .iter()
+            .map(|m| match m {
+                LayerMethod::Hidden => unit,
+                LayerMethod::KvOffload => 2 * unit,
+                LayerMethod::Recompute => 0,
+            })
+            .sum()
+    }
+
+    /// Estimated restore seconds of an `n_tokens` history under this
+    /// placement, from the §3.2 per-layer closed forms. Hidden and KV
+    /// layers charge their pipelined per-layer terms; recompute layers the
+    /// per-layer prefill term.
+    pub fn restore_secs(&self, c: &CostInputs) -> f64 {
+        self.methods
+            .iter()
+            .map(|m| match m {
+                LayerMethod::Hidden => t_hidden(c),
+                LayerMethod::KvOffload => t_kv(c),
+                LayerMethod::Recompute => t_recompute(c),
+            })
+            .sum()
+    }
+}
+
+/// The admission-time placement decision for a whole session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementDecision {
+    /// Cache hidden states (restore = transmit + project).
+    Hidden,
+    /// Cache the KV pairs (restore = transmit only, twice the bytes).
+    KvOffload,
+    /// Cache nothing; restore recomputes from tokens.
+    Drop,
+}
+
+impl PlacementDecision {
+    /// The pure partition scheme realizing this decision.
+    pub fn scheme(&self, n_layers: usize) -> PartitionScheme {
+        match self {
+            PlacementDecision::Hidden => PartitionScheme::pure_hidden(n_layers),
+            PlacementDecision::KvOffload => PartitionScheme {
+                l_h: 0,
+                l_o: n_layers,
+                complement: LayerMethod::KvOffload,
+            },
+            PlacementDecision::Drop => PartitionScheme {
+                l_h: 0,
+                l_o: n_layers,
+                complement: LayerMethod::Recompute,
+            },
+        }
+    }
+}
+
+/// Picks the fastest-restoring method whose per-session storage footprint
+/// is feasible against `quota_bytes` at all (dropping is always feasible).
+/// Cross-session pressure is not this function's job — the eviction ladder
+/// handles it — so feasibility is against the whole quota, not current
+/// headroom: a session bigger than the pool itself must never be admitted
+/// in a cached form.
+pub fn choose_placement(c: &CostInputs, n_layers: usize, quota_bytes: u64) -> PlacementDecision {
+    let unit = c.n_seq * c.d_hidden * c.elem_bytes * n_layers as u64;
+    let l = n_layers as f64;
+    let mut candidates = vec![(t_recompute(c) * l, 0u64, PlacementDecision::Drop)];
+    if unit <= quota_bytes {
+        candidates.push((t_hidden(c) * l, unit, PlacementDecision::Hidden));
+    }
+    if 2 * unit <= quota_bytes {
+        candidates.push((t_kv(c) * l, 2 * unit, PlacementDecision::KvOffload));
+    }
+    candidates
+        .into_iter()
+        .min_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)))
+        .expect("Drop is always a candidate")
+        .2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a100(n_seq: u64) -> CostInputs {
+        CostInputs {
+            n_seq,
+            d_hidden: 4096,
+            bandwidth: 32e9,
+            flops: 312e12,
+            elem_bytes: 2,
+        }
+    }
+
+    #[test]
+    fn demotion_ladder_walks_hidden_then_kv_into_a_growing_prefix() {
+        let scheme = PartitionScheme {
+            l_h: 2,
+            l_o: 2,
+            complement: LayerMethod::KvOffload,
+        };
+        let mut p = Placement::from_scheme(&scheme, 4);
+        assert_eq!(p.demote_first(), Some((0, LayerMethod::Hidden)));
+        assert_eq!(p.demote_first(), Some((1, LayerMethod::Hidden)));
+        assert_eq!(p.demote_first(), Some((2, LayerMethod::KvOffload)));
+        // Every intermediate state keeps the recompute prefix.
+        assert_eq!(
+            p.methods(),
+            &[
+                LayerMethod::Recompute,
+                LayerMethod::Recompute,
+                LayerMethod::Recompute,
+                LayerMethod::KvOffload,
+            ]
+        );
+        assert_eq!(p.demote_first(), Some((3, LayerMethod::KvOffload)));
+        assert!(p.is_fully_dropped());
+        assert_eq!(p.demote_first(), None);
+    }
+
+    #[test]
+    fn recompute_complement_scheme_demotes_its_hidden_suffix() {
+        let scheme = PartitionScheme {
+            l_h: 3,
+            l_o: 1,
+            complement: LayerMethod::Recompute,
+        };
+        let mut p = Placement::from_scheme(&scheme, 4);
+        assert_eq!(p.next_demotable(), Some(1));
+        assert_eq!(p.demote_first(), Some((1, LayerMethod::Hidden)));
+        Placement::from_methods(p.methods().to_vec()); // invariant holds
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix")]
+    fn non_prefix_recompute_is_rejected() {
+        Placement::from_methods(vec![
+            LayerMethod::Hidden,
+            LayerMethod::Recompute,
+            LayerMethod::Hidden,
+        ]);
+    }
+
+    #[test]
+    fn bytes_per_token_counts_methods() {
+        let p = Placement::from_methods(vec![
+            LayerMethod::Recompute,
+            LayerMethod::Hidden,
+            LayerMethod::KvOffload,
+        ]);
+        assert_eq!(p.bytes_per_token(8, 2), 16 + 32);
+    }
+
+    #[test]
+    fn restore_cost_orders_methods_as_figure1() {
+        let c = a100(2048);
+        let hidden = Placement::from_scheme(&PartitionScheme::pure_hidden(4), 4);
+        let kv = Placement::from_scheme(&PlacementDecision::KvOffload.scheme(4), 4);
+        let drop = Placement::dropped(4);
+        assert!(hidden.restore_secs(&c) < kv.restore_secs(&c));
+        assert!(kv.restore_secs(&c) < drop.restore_secs(&c));
+    }
+
+    #[test]
+    fn placement_prefers_hidden_when_it_fits() {
+        let c = a100(1024);
+        assert_eq!(choose_placement(&c, 4, u64::MAX), PlacementDecision::Hidden);
+    }
+
+    #[test]
+    fn placement_drops_sessions_bigger_than_the_pool() {
+        let c = a100(1024);
+        let hidden_bytes = 1024 * 4096 * 2 * 4;
+        assert_eq!(
+            choose_placement(&c, 4, hidden_bytes - 1),
+            PlacementDecision::Drop
+        );
+    }
+
+    #[test]
+    fn placement_picks_kv_on_io_rich_compute_poor_platforms() {
+        // A platform with huge bandwidth and weak compute: KV reload beats
+        // hidden projection; pick KV when it fits.
+        let c = CostInputs {
+            n_seq: 4096,
+            d_hidden: 4096,
+            bandwidth: 1e12,
+            flops: 1e12,
+            elem_bytes: 2,
+        };
+        assert_eq!(
+            choose_placement(&c, 4, u64::MAX),
+            PlacementDecision::KvOffload
+        );
+    }
+}

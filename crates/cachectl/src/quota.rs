@@ -1,0 +1,151 @@
+//! Per-session resident-byte accounting against a fixed storage quota.
+//!
+//! The tracker is deliberately dumb: it holds numbers, not policy. The
+//! controller charges it with the figures `hc-storage`'s byte-accounting
+//! APIs report (`StorageManager::session_bytes`, the return values of
+//! `delete_stream`/`delete_session`), asks whether the pool is over quota,
+//! and runs the eviction ladder until it no longer is.
+
+use std::collections::HashMap;
+
+/// Resident-byte ledger for one storage pool.
+#[derive(Debug, Clone)]
+pub struct QuotaTracker {
+    quota: u64,
+    used: u64,
+    per_session: HashMap<u64, u64>,
+}
+
+impl QuotaTracker {
+    /// A tracker governing `quota_bytes` of host cache storage.
+    pub fn new(quota_bytes: u64) -> Self {
+        Self {
+            quota: quota_bytes,
+            used: 0,
+            per_session: HashMap::new(),
+        }
+    }
+
+    /// The configured quota.
+    pub fn quota(&self) -> u64 {
+        self.quota
+    }
+
+    /// Bytes currently charged across all sessions.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Quota headroom (0 when over quota).
+    pub fn free(&self) -> u64 {
+        self.quota.saturating_sub(self.used)
+    }
+
+    /// Bytes charged to one session.
+    pub fn session(&self, session: u64) -> u64 {
+        self.per_session.get(&session).copied().unwrap_or(0)
+    }
+
+    /// True when usage exceeds the quota (eviction must run).
+    pub fn over_quota(&self) -> bool {
+        self.used > self.quota
+    }
+
+    /// Bytes that must be freed to get back under quota.
+    pub fn excess(&self) -> u64 {
+        self.used.saturating_sub(self.quota)
+    }
+
+    /// Sessions with a non-zero charge.
+    pub fn sessions(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .per_session
+            .iter()
+            .filter(|(_, b)| **b > 0)
+            .map(|(s, _)| *s)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Adds `bytes` to a session's charge.
+    pub fn charge(&mut self, session: u64, bytes: u64) {
+        *self.per_session.entry(session).or_insert(0) += bytes;
+        self.used += bytes;
+    }
+
+    /// Subtracts `bytes` from a session's charge (saturating — releasing
+    /// more than was charged clamps to zero, keeping the ledger sane even
+    /// if a caller double-releases).
+    pub fn release(&mut self, session: u64, bytes: u64) {
+        let entry = self.per_session.entry(session).or_insert(0);
+        let take = bytes.min(*entry);
+        *entry -= take;
+        self.used -= take;
+    }
+
+    /// Reconciles a session's charge to an observed figure (what the
+    /// storage layer reports as resident right now).
+    pub fn set_session(&mut self, session: u64, bytes: u64) {
+        let entry = self.per_session.entry(session).or_insert(0);
+        self.used = self.used - *entry + bytes;
+        *entry = bytes;
+    }
+
+    /// Drops a session from the ledger; returns the bytes it was charged.
+    pub fn forget(&mut self, session: u64) -> u64 {
+        let bytes = self.per_session.remove(&session).unwrap_or(0);
+        self.used -= bytes;
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_release_roundtrip() {
+        let mut q = QuotaTracker::new(100);
+        q.charge(1, 60);
+        q.charge(2, 30);
+        assert_eq!(q.used(), 90);
+        assert_eq!(q.free(), 10);
+        assert!(!q.over_quota());
+        q.charge(1, 20);
+        assert!(q.over_quota());
+        assert_eq!(q.excess(), 10);
+        q.release(1, 40);
+        assert_eq!(q.session(1), 40);
+        assert_eq!(q.used(), 70);
+        assert_eq!(q.sessions(), vec![1, 2]);
+    }
+
+    #[test]
+    fn release_saturates_instead_of_underflowing() {
+        let mut q = QuotaTracker::new(10);
+        q.charge(1, 5);
+        q.release(1, 50);
+        assert_eq!(q.session(1), 0);
+        assert_eq!(q.used(), 0);
+    }
+
+    #[test]
+    fn set_session_reconciles() {
+        let mut q = QuotaTracker::new(100);
+        q.charge(1, 10);
+        q.set_session(1, 45);
+        assert_eq!(q.used(), 45);
+        q.set_session(1, 5);
+        assert_eq!(q.used(), 5);
+    }
+
+    #[test]
+    fn forget_returns_charge() {
+        let mut q = QuotaTracker::new(100);
+        q.charge(3, 33);
+        assert_eq!(q.forget(3), 33);
+        assert_eq!(q.used(), 0);
+        assert_eq!(q.forget(3), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Multi-session restore scheduling.
+//!
+//! One resuming conversation is a pipeline (`hc-restore`'s two-stream
+//! schedule); a *serving burst* is many of them at once. The
+//! [`RestoreScheduler`] admits up to `n_workers` concurrent pipelined
+//! restores from an ordered job list (typically a `workload::arrival`
+//! trace) and splits the host [`ParallelConfig`] thread budget evenly
+//! across in-flight restores, so the aggregate never oversubscribes the
+//! cores the caller granted — the same discipline the chunk daemon and a
+//! single restore pipeline already follow.
+//!
+//! Jobs are pulled from a shared queue (work stealing), so one session
+//! with a long history never convoys the sessions behind it onto an idle
+//! worker. Results preserve job order and each is bit-identical to what a
+//! sequential restore of that session would produce: the per-session
+//! pipelines share no mutable state and every parallel kernel is bit-equal
+//! to its serial form.
+
+use hc_model::{KvCache, Model};
+use hc_restore::engine::map_concurrent;
+use hc_storage::backend::ChunkStore;
+use hc_tensor::ParallelConfig;
+use hc_workload::Request;
+
+use crate::{CacheController, CtlError};
+
+/// One session's restore work.
+#[derive(Debug, Clone)]
+pub struct RestoreJob {
+    /// Session to restore.
+    pub session: u64,
+    /// The session's full history tokens (recompute layers replay them).
+    pub tokens: Vec<u32>,
+}
+
+/// Admits N concurrent controller restores over a shared host budget.
+#[derive(Debug, Clone)]
+pub struct RestoreScheduler {
+    n_workers: usize,
+    host_budget: ParallelConfig,
+}
+
+impl RestoreScheduler {
+    /// A scheduler running up to `n_workers` restores in flight under the
+    /// `host_budget` thread budget (workers clamped to ≥ 1).
+    pub fn new(n_workers: usize, host_budget: ParallelConfig) -> Self {
+        Self {
+            n_workers: n_workers.max(1),
+            host_budget,
+        }
+    }
+
+    /// Maximum restores in flight.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// The shared host thread budget.
+    pub fn host_budget(&self) -> ParallelConfig {
+        self.host_budget
+    }
+
+    /// The thread budget each of `workers` in-flight restores projects
+    /// under: `⌊host_threads / workers⌋`, never less than one. Flooring
+    /// keeps the aggregate within the granted budget (when the budget has
+    /// at least one thread per worker; fewer workers than threads always
+    /// get ≥ 1 each).
+    fn budget_for(&self, workers: usize) -> ParallelConfig {
+        ParallelConfig::new((self.host_budget.threads() / workers.max(1)).max(1))
+    }
+
+    /// The thread budget each in-flight restore projects under when all
+    /// `n_workers` are busy (fewer jobs than workers get a larger share).
+    pub fn per_restore_budget(&self) -> ParallelConfig {
+        self.budget_for(self.n_workers)
+    }
+
+    /// Runs every job, at most `n_workers` concurrently, in queue order.
+    /// Returns `(session, result)` pairs in job order.
+    pub fn run<S: ChunkStore + Sync + 'static>(
+        &self,
+        model: &Model,
+        ctl: &CacheController<S>,
+        jobs: &[RestoreJob],
+    ) -> Vec<(u64, Result<KvCache, CtlError>)> {
+        // Split the budget over the workers that will actually run, so a
+        // short job list doesn't strand granted threads.
+        let workers = self.n_workers.min(jobs.len()).max(1);
+        let per_budget = self.budget_for(workers);
+        let results = map_concurrent(jobs, workers, |job| {
+            ctl.restore(model, job.session, &job.tokens, &per_budget)
+        });
+        jobs.iter()
+            .zip(results)
+            .map(|(j, r)| (j.session, r))
+            .collect()
+    }
+
+    /// Runs the restores a `workload::arrival` request trace demands, in
+    /// arrival order: every request with restorable history becomes a job,
+    /// `tokens_for` supplying the session's history tokens. Requests whose
+    /// session the lookup does not know yield `CtlError::UnknownSession`.
+    ///
+    /// # Panics
+    /// Panics when `requests` is not sorted by arrival time (the contract
+    /// `workload::arrival::schedule_sessions` already guarantees).
+    pub fn run_trace<S: ChunkStore + Sync + 'static>(
+        &self,
+        model: &Model,
+        ctl: &CacheController<S>,
+        requests: &[Request],
+        tokens_for: impl Fn(u64) -> Option<Vec<u32>>,
+    ) -> Vec<(u64, Result<KvCache, CtlError>)> {
+        assert!(
+            requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "requests must be sorted by arrival"
+        );
+        enum Slot {
+            Job(usize),
+            Unknown(u64),
+        }
+        let mut jobs = Vec::new();
+        let mut slots = Vec::new();
+        for r in requests.iter().filter(|r| r.history_tokens > 0) {
+            match tokens_for(r.session_id) {
+                Some(tokens) => {
+                    slots.push(Slot::Job(jobs.len()));
+                    jobs.push(RestoreJob {
+                        session: r.session_id,
+                        tokens,
+                    });
+                }
+                None => slots.push(Slot::Unknown(r.session_id)),
+            }
+        }
+        let mut results: Vec<Option<(u64, Result<KvCache, CtlError>)>> =
+            self.run(model, ctl, &jobs).into_iter().map(Some).collect();
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Job(i) => results[i].take().expect("each job consumed once"),
+                Slot::Unknown(s) => (s, Err(CtlError::UnknownSession(s))),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_split_never_oversubscribes_and_never_zeroes() {
+        let s = RestoreScheduler::new(4, ParallelConfig::new(8));
+        assert_eq!(s.per_restore_budget().threads(), 2);
+        let s = RestoreScheduler::new(8, ParallelConfig::new(4));
+        assert_eq!(s.per_restore_budget().threads(), 1);
+        // Flooring: 3 workers on 8 threads get 2 each (6 ≤ 8), never 9.
+        let s = RestoreScheduler::new(3, ParallelConfig::new(8));
+        assert_eq!(s.per_restore_budget().threads(), 2);
+        assert!(s.per_restore_budget().threads() * s.n_workers() <= 8);
+        let s = RestoreScheduler::new(0, ParallelConfig::serial());
+        assert_eq!(s.n_workers(), 1);
+    }
+}

@@ -12,6 +12,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use hc_cachectl::metrics::MetricsSnapshot;
+use hc_cachectl::{CacheController, ControllerConfig, CtlError};
 use hc_model::{KvCache, Model, ModelConfig};
 use hc_sched::partition::{LayerMethod, PartitionScheme};
 use hc_storage::backend::{ChunkStore, MemStore, StoreStats};
@@ -45,6 +47,15 @@ impl From<StorageError> for SystemError {
     }
 }
 
+impl From<CtlError> for SystemError {
+    fn from(e: CtlError) -> Self {
+        match e {
+            CtlError::UnknownSession(id) => SystemError::UnknownSession(id),
+            CtlError::Storage(e) => SystemError::Storage(e),
+        }
+    }
+}
+
 /// Statistics of one conversation round.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoundStats {
@@ -74,6 +85,9 @@ pub struct HCacheSystem<S: ChunkStore + 'static> {
     /// the storage codec (the saver daemon encodes under the manager's
     /// matching budget).
     parallel: hc_tensor::ParallelConfig,
+    /// Optional capacity control plane: when attached, session placement,
+    /// byte accounting, eviction and restoration all route through it.
+    controller: Option<CacheController<S>>,
     sessions: HashMap<u64, SessionState>,
     next_session: u64,
     last_stats: Option<RoundStats>,
@@ -126,6 +140,7 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
             saver,
             scheme,
             parallel,
+            controller: None,
             sessions: HashMap::new(),
             next_session: 1,
             last_stats: None,
@@ -138,6 +153,47 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
     pub fn with_scheme(mut self, scheme: PartitionScheme) -> Self {
         self.scheme = scheme;
         self
+    }
+
+    /// Attaches a capacity-governed cache controller. From then on,
+    /// sessions are admitted through its cost-model placement (the
+    /// system's scheme is the *desired* placement), their resident bytes
+    /// are charged against the quota after every round, pressure demotes
+    /// victim sessions' layer mixes, and restoration runs under each
+    /// session's current (possibly demoted) mix. Attach before opening
+    /// sessions.
+    pub fn with_cache_controller(mut self, cfg: ControllerConfig) -> Self {
+        assert!(
+            self.sessions.is_empty(),
+            "attach the controller before opening sessions"
+        );
+        self.controller = Some(CacheController::new(
+            Arc::clone(&self.mgr),
+            self.model.cfg.n_layers,
+            self.model.cfg.d_model,
+            cfg,
+        ));
+        self
+    }
+
+    /// The attached cache controller, if any.
+    pub fn controller(&self) -> Option<&CacheController<S>> {
+        self.controller.as_ref()
+    }
+
+    /// Controller counter snapshot (`None` without a controller).
+    pub fn cache_metrics(&self) -> Option<MetricsSnapshot> {
+        self.controller.as_ref().map(|c| c.metrics())
+    }
+
+    /// The method mix a session's state is currently cached under: the
+    /// controller's live placement when one is attached, the static scheme
+    /// otherwise.
+    fn effective_methods(&self, session: u64) -> Vec<LayerMethod> {
+        self.controller
+            .as_ref()
+            .and_then(|c| c.session_methods(session))
+            .unwrap_or_else(|| self.scheme.layer_methods(self.model.cfg.n_layers))
     }
 
     /// Thread budget used by restoration and the storage codec.
@@ -165,10 +221,16 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
         self.last_stats.as_ref()
     }
 
-    /// Opens a new conversation session.
+    /// Opens a new conversation session. With a controller attached, the
+    /// session is admitted through the cost-model placement decision (the
+    /// system scheme is the desired placement; quota feasibility may
+    /// demote it to KV or token-only at admission).
     pub fn open_session(&mut self) -> u64 {
         let id = self.next_session;
         self.next_session += 1;
+        if let Some(ctl) = &self.controller {
+            ctl.open_session(id, &self.scheme);
+        }
         self.sessions
             .insert(id, SessionState { tokens: Vec::new() });
         id
@@ -176,12 +238,18 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
 
     /// Context length of a session.
     pub fn context_len(&self, session: u64) -> Result<usize, SystemError> {
-        Ok(self
+        Ok(self.session_tokens(session)?.len())
+    }
+
+    /// The full token history of a session (prompts + generations) — the
+    /// source of truth recompute layers replay; exposed so external
+    /// verifiers and schedulers can drive methods-based restores.
+    pub fn session_tokens(&self, session: u64) -> Result<&[u32], SystemError> {
+        Ok(&self
             .sessions
             .get(&session)
             .ok_or(SystemError::UnknownSession(session))?
-            .tokens
-            .len())
+            .tokens)
     }
 
     /// Closes a session and deletes its host-storage state; returns bytes
@@ -190,22 +258,30 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
         self.sessions
             .remove(&session)
             .ok_or(SystemError::UnknownSession(session))?;
-        Ok(self.mgr.delete_session(session))
+        if let Some(ctl) = &self.controller {
+            Ok(ctl.close_session(session)?)
+        } else {
+            Ok(self.mgr.delete_session(session))
+        }
     }
 
     /// Restores a session's KV cache from host storage (the cache-miss
     /// path), through the bubble-free two-stage pipeline: storage prefetch
     /// on an IO thread overlapping the compute stage, whose hidden→KV
-    /// projection GEMMs (and the chunk codec) run under this system's
-    /// thread budget. A recompute prefix, if the scheme has one, runs
-    /// serially on the compute stream — it overlaps the prefetcher but
-    /// does not use the budget. Exposed for tests and examples;
+    /// projection GEMMs, recompute-prefix forward pass and chunk codec all
+    /// run under this system's thread budget (the head-parallel kernels
+    /// are bit-identical to serial). Exposed for tests and examples;
     /// [`HCacheSystem::round`] calls it internally.
     pub fn restore(&self, session: u64) -> Result<KvCache, SystemError> {
         let state = self
             .sessions
             .get(&session)
             .ok_or(SystemError::UnknownSession(session))?;
+        if let Some(ctl) = &self.controller {
+            // The controller restores under the session's current (possibly
+            // demoted) method mix and counts hits/fallbacks.
+            return Ok(ctl.restore(&self.model, session, &state.tokens, &self.parallel)?);
+        }
         Ok(hc_restore::engine::restore_session_pipelined(
             &self.model,
             &self.mgr,
@@ -234,6 +310,11 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
             state.tokens.len()
         };
 
+        // The mix this round saves under: the controller's live placement
+        // (stable within a round — demotion only runs at round boundaries)
+        // or the static scheme.
+        let methods = self.effective_methods(session);
+
         // 1. Restore evicted history (no GPU KV reuse, as in §4: "we do not
         //    cache and reuse KV cache in GPU").
         let mut kv = if history_len > 0 {
@@ -242,10 +323,14 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
             KvCache::new(&self.model.cfg)
         };
 
-        // 2. Prefill the new prompt, capturing hidden states for saving.
-        let out = self.model.prefill(prompt, &mut kv, true);
+        // 2. Prefill the new prompt under the host thread budget (the
+        //    head-parallel kernels are bit-identical to serial), capturing
+        //    hidden states for saving.
+        let out = self
+            .model
+            .prefill_par(prompt, &mut kv, true, &self.parallel);
         let hidden = out.hidden_per_layer.expect("capture enabled");
-        self.save_new_rows(session, &hidden, &kv, history_len + prompt.len());
+        self.save_new_rows(session, &methods, &hidden, &kv, history_len + prompt.len());
 
         // 3. Greedy generation; every decoded token's hidden states go
         //    through the two-stage saver (§4.2.2).
@@ -255,9 +340,7 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
             let next = self.model.greedy_next_token(&last_row);
             let (row, captured) = self.model.decode_step(next, &mut kv, true);
             let per_layer = captured.expect("capture enabled");
-            let items: Vec<(StreamId, &[f32])> = self
-                .scheme
-                .layer_methods(self.model.cfg.n_layers)
+            let items: Vec<(StreamId, &[f32])> = methods
                 .iter()
                 .enumerate()
                 .filter(|(_, m)| **m == LayerMethod::Hidden)
@@ -269,7 +352,7 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
         }
         // KV-offload layers persist their decode-time K/V rows in one batch.
         let total = kv.n_tokens();
-        self.save_kv_rows(session, &kv, history_len + prompt.len(), total);
+        self.save_kv_rows(session, &methods, &kv, history_len + prompt.len(), total);
 
         // 4. Make everything durable, then evict (drop) the KV cache.
         self.saver.barrier_and_flush(session);
@@ -277,11 +360,19 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
         let state = self.sessions.get_mut(&session).expect("checked above");
         state.tokens.extend_from_slice(prompt);
         state.tokens.extend_from_slice(&generated);
+        let context_tokens = state.tokens.len();
+
+        // 5. Settle the quota ledger: reconcile this session's resident
+        //    bytes and let the controller demote victims if the pool is
+        //    over quota.
+        if let Some(ctl) = &self.controller {
+            ctl.on_saved(session, context_tokens as u64)?;
+        }
         self.last_stats = Some(RoundStats {
             restored_tokens: history_len,
             prompt_tokens: prompt.len(),
             generated_tokens: generated.len(),
-            context_tokens: state.tokens.len(),
+            context_tokens,
         });
         Ok(generated)
     }
@@ -291,11 +382,11 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
     fn save_new_rows(
         &self,
         session: u64,
+        methods: &[LayerMethod],
         hidden: &[hc_tensor::Tensor2],
         kv: &KvCache,
         upto: usize,
     ) {
-        let methods = self.scheme.layer_methods(self.model.cfg.n_layers);
         let items: Vec<(StreamId, &[f32])> = methods
             .iter()
             .enumerate()
@@ -304,20 +395,22 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
             .collect();
         self.saver.save_batch(&items);
         let start = upto - hidden[0].rows();
-        self.save_kv_rows(session, kv, start, upto);
+        self.save_kv_rows(session, methods, kv, start, upto);
     }
 
     /// Appends K/V rows `[start, end)` for KV-offload layers.
-    fn save_kv_rows(&self, session: u64, kv: &KvCache, start: usize, end: usize) {
+    fn save_kv_rows(
+        &self,
+        session: u64,
+        methods: &[LayerMethod],
+        kv: &KvCache,
+        start: usize,
+        end: usize,
+    ) {
         if start >= end {
             return;
         }
-        for (l, m) in self
-            .scheme
-            .layer_methods(self.model.cfg.n_layers)
-            .iter()
-            .enumerate()
-        {
+        for (l, m) in methods.iter().enumerate() {
             if *m == LayerMethod::KvOffload {
                 let k = kv.keys(l).slice_rows(start, end);
                 let v = kv.values(l).slice_rows(start, end);
@@ -519,6 +612,111 @@ mod tests {
             s.context_len(99),
             Err(SystemError::UnknownSession(99))
         ));
+    }
+
+    #[test]
+    fn controller_quota_demotes_but_never_corrupts() {
+        use hc_cachectl::ControllerConfig;
+        use hc_restore::engine::restore_session_with_methods;
+
+        let cfg = ModelConfig::tiny_llama();
+        // Quota fits roughly half the steady-state footprint of three
+        // 26-token pure-hidden sessions (26 tokens × 4 layers × 64 × 2 B
+        // ≈ 13 KiB each once flushed as whole chunks).
+        let quota = 2 * 64 * 64 * 2; // two chunks of D=64
+        let mut s = HCacheSystem::with_store_parallel(
+            &cfg,
+            7,
+            Arc::new(MemStore::new(4)),
+            PartitionScheme::pure_hidden(cfg.n_layers),
+            hc_tensor::ParallelConfig::new(2),
+        )
+        .with_cache_controller(ControllerConfig::with_quota(quota).with_expected_tokens(16));
+
+        let mut sids = Vec::new();
+        for i in 0..3u32 {
+            let sid = s.open_session();
+            let prompt: Vec<u32> = (0..20).map(|j| (i * 20 + j) % 256).collect();
+            s.round(sid, &prompt, 6).unwrap();
+            sids.push(sid);
+        }
+        let ctl = s.controller().unwrap();
+        assert!(ctl.used_bytes() <= quota, "quota must hold after rounds");
+        assert!(ctl.metrics().demotions > 0, "pressure must have demoted");
+
+        for &sid in &sids {
+            let methods = ctl.session_methods(sid).unwrap();
+            // Controller restore == sequential restore of the surviving
+            // mix, bit for bit.
+            let restored = s.restore(sid).unwrap();
+            let tokens = s.sessions[&sid].tokens.clone();
+            let seq = restore_session_with_methods(
+                s.model(),
+                &s.mgr,
+                sid,
+                &tokens,
+                tokens.len(),
+                &methods,
+            )
+            .unwrap();
+            assert_eq!(
+                hc_restore::engine::kv_max_error(&restored, &seq),
+                0.0,
+                "session {sid} diverged from its sequential restore"
+            );
+            // And it still matches a fresh replay of the conversation
+            // within f16 tolerance (demoted layers are bit-exact).
+            let model = Model::new(&cfg, 7);
+            let mut reference = KvCache::new(&cfg);
+            model.prefill(&tokens, &mut reference, false);
+            let err = hc_restore::engine::kv_max_error(&restored, &reference);
+            assert!(err < 0.05, "session {sid} deviates: {err}");
+        }
+    }
+
+    #[test]
+    fn controller_rounds_generate_identically_to_replay_when_nothing_is_evicted() {
+        use hc_cachectl::ControllerConfig;
+        // Unlimited quota: the controller is pure bookkeeping and the
+        // conversation must be exactly what a controller-free system
+        // produces.
+        let cfg = ModelConfig::tiny_llama();
+        let mk = |controlled: bool| {
+            let sys = HCacheSystem::in_memory(&cfg, 7, 4);
+            if controlled {
+                sys.with_cache_controller(ControllerConfig::unlimited())
+            } else {
+                sys
+            }
+        };
+        let mut plain = mk(false);
+        let mut governed = mk(true);
+        let sp = plain.open_session();
+        let sg = governed.open_session();
+        for (prompt, n) in [(vec![1u32, 2, 3], 5usize), (vec![4, 5], 4)] {
+            let a = plain.round(sp, &prompt, n).unwrap();
+            let b = governed.round(sg, &prompt, n).unwrap();
+            assert_eq!(a, b);
+        }
+        let m = governed.cache_metrics().unwrap();
+        assert_eq!(m.restore_hits, 1, "round 2 restored from cache");
+        assert_eq!(m.restore_fallbacks, 0);
+        assert_eq!(m.demotions, 0);
+    }
+
+    #[test]
+    fn controller_close_session_releases_quota() {
+        use hc_cachectl::ControllerConfig;
+        let cfg = ModelConfig::tiny_llama();
+        let mut s = HCacheSystem::in_memory(&cfg, 3, 2)
+            .with_cache_controller(ControllerConfig::unlimited());
+        let sid = s.open_session();
+        s.round(sid, &[1, 2, 3], 5).unwrap();
+        let used = s.controller().unwrap().used_bytes();
+        assert!(used > 0);
+        let freed = s.close_session(sid).unwrap();
+        assert_eq!(freed, used);
+        assert_eq!(s.controller().unwrap().used_bytes(), 0);
     }
 
     #[test]

@@ -87,14 +87,26 @@ pub fn project_qkv(
     hidden: &Tensor2,
     start_pos: usize,
 ) -> (Tensor2, Tensor2, Tensor2) {
+    project_qkv_par(cfg, lw, hidden, start_pos, &ParallelConfig::serial())
+}
+
+/// [`project_qkv`] with the three projection GEMMs under `par`'s thread
+/// budget; bit-for-bit equal to the serial path at any thread count.
+pub fn project_qkv_par(
+    cfg: &ModelConfig,
+    lw: &LayerWeights,
+    hidden: &Tensor2,
+    start_pos: usize,
+    par: &ParallelConfig,
+) -> (Tensor2, Tensor2, Tensor2) {
     let normed = norm_rows(cfg, hidden, &lw.attn_gain, &lw.attn_bias);
-    let mut q = matmul_nt(&normed, &lw.wq);
+    let mut q = matmul_nt_par(&normed, &lw.wq, par);
     if cfg.pos == PosKind::Rope {
         for r in 0..q.rows() {
             rope_row(q.row_mut(r), start_pos + r, cfg.n_heads, DEFAULT_ROPE_BASE);
         }
     }
-    let (k, v) = project_kv(cfg, lw, hidden, start_pos);
+    let (k, v) = project_kv_par(cfg, lw, hidden, start_pos, par);
     (q, k, v)
 }
 
@@ -111,6 +123,26 @@ pub fn attention(
     values: &Tensor2,
     start_pos: usize,
 ) -> Tensor2 {
+    attention_par(cfg, q, keys, values, start_pos, &ParallelConfig::serial())
+}
+
+/// [`attention`] parallelized over heads.
+///
+/// Heads are fully independent (each reads its own `head_dim` slice of
+/// Q/K/V and writes its own slice of the output), so the head loop splits
+/// across `par`'s thread budget: every head's scores/softmax/weighted-sum
+/// runs the exact per-element instruction sequence of the serial loop,
+/// making the result bit-for-bit identical at any thread count — the same
+/// invariant the parallel GEMMs uphold. This was the last scalar hand loop
+/// on the functional prefill path.
+pub fn attention_par(
+    cfg: &ModelConfig,
+    q: &Tensor2,
+    keys: &Tensor2,
+    values: &Tensor2,
+    start_pos: usize,
+    par: &ParallelConfig,
+) -> Tensor2 {
     assert_eq!(keys.shape(), values.shape(), "K/V shape mismatch");
     assert!(
         keys.rows() >= start_pos + q.rows(),
@@ -122,32 +154,51 @@ pub fn attention(
     let h = cfg.n_heads;
     let hd = cfg.head_dim();
     let scale = 1.0 / (hd as f32).sqrt();
+    let n = q.rows();
+    if n == 0 {
+        // An empty query batch attends to nothing (and the row-block
+        // splitter cannot chunk zero-width head slices).
+        return Tensor2::zeros(0, d);
+    }
 
-    let mut out = Tensor2::zeros(q.rows(), d);
-    let mut scores = Vec::new();
-    for i in 0..q.rows() {
-        let visible = start_pos + i + 1; // causal horizon
-        let q_row = q.row(i);
-        for head in 0..h {
-            let hs = head * hd;
-            scores.clear();
-            scores.reserve(visible);
-            for t in 0..visible {
-                let k_row = keys.row(t);
-                let mut dot = 0.0_f32;
-                for j in 0..hd {
-                    dot += q_row[hs + j] * k_row[hs + j];
+    // Head-major scratch (`h × (n·hd)`): each head's output rows are
+    // contiguous, so the row-block helper hands whole heads to threads.
+    let mut scratch = vec![0.0_f32; h * n * hd];
+    par.run_row_blocks(&mut scratch, h, n * hd, |head0, chunk| {
+        let mut scores = Vec::new();
+        for (head_rel, head_out) in chunk.chunks_mut(n * hd).enumerate() {
+            let hs = (head0 + head_rel) * hd;
+            for i in 0..n {
+                let visible = start_pos + i + 1; // causal horizon
+                let q_row = q.row(i);
+                scores.clear();
+                scores.reserve(visible);
+                for t in 0..visible {
+                    let k_row = keys.row(t);
+                    let mut dot = 0.0_f32;
+                    for j in 0..hd {
+                        dot += q_row[hs + j] * k_row[hs + j];
+                    }
+                    scores.push(dot * scale);
                 }
-                scores.push(dot * scale);
-            }
-            softmax_inplace(&mut scores);
-            let out_row = out.row_mut(i);
-            for (t, &w) in scores.iter().enumerate() {
-                let v_row = values.row(t);
-                for j in 0..hd {
-                    out_row[hs + j] += w * v_row[hs + j];
+                softmax_inplace(&mut scores);
+                let out_row = &mut head_out[i * hd..(i + 1) * hd];
+                for (t, &w) in scores.iter().enumerate() {
+                    let v_row = values.row(t);
+                    for j in 0..hd {
+                        out_row[j] += w * v_row[hs + j];
+                    }
                 }
             }
+        }
+    });
+
+    // Interleave the head-major scratch back into row-major output.
+    let mut out = Tensor2::zeros(n, d);
+    for head in 0..h {
+        let hs = head * hd;
+        for i in 0..n {
+            out.row_mut(i)[hs..hs + hd].copy_from_slice(&scratch[(head * n + i) * hd..][..hd]);
         }
     }
     out
@@ -156,13 +207,23 @@ pub fn attention(
 /// FFN block: pre-norm, up-projection, activation (SiLU for Llama-style,
 /// GELU for OPT-style), down-projection.
 pub fn ffn(cfg: &ModelConfig, lw: &LayerWeights, hidden: &Tensor2) -> Tensor2 {
+    ffn_par(cfg, lw, hidden, &ParallelConfig::serial())
+}
+
+/// [`ffn`] with the two GEMMs under `par`'s thread budget.
+pub fn ffn_par(
+    cfg: &ModelConfig,
+    lw: &LayerWeights,
+    hidden: &Tensor2,
+    par: &ParallelConfig,
+) -> Tensor2 {
     let normed = norm_rows(cfg, hidden, &lw.ffn_gain, &lw.ffn_bias);
-    let mut up = matmul_nt(&normed, &lw.fc1);
+    let mut up = matmul_nt_par(&normed, &lw.fc1, par);
     match cfg.norm {
         NormKind::RmsNorm => map_inplace(&mut up, silu),
         NormKind::LayerNorm => map_inplace(&mut up, gelu),
     }
-    matmul_nt(&up, &lw.fc2)
+    matmul_nt_par(&up, &lw.fc2, par)
 }
 
 /// Full layer forward for a batch of new tokens.
@@ -179,19 +240,43 @@ pub fn layer_forward(
     cached_v: &Tensor2,
     start_pos: usize,
 ) -> (Tensor2, Tensor2, Tensor2) {
+    layer_forward_par(
+        cfg,
+        lw,
+        hidden,
+        cached_k,
+        cached_v,
+        start_pos,
+        &ParallelConfig::serial(),
+    )
+}
+
+/// [`layer_forward`] with every GEMM and the attention head loop running
+/// under `par`'s thread budget. Bit-for-bit equal to the serial path, so
+/// prefill, decode and the restoration recompute prefix stay deterministic
+/// across thread counts.
+pub fn layer_forward_par(
+    cfg: &ModelConfig,
+    lw: &LayerWeights,
+    hidden: &Tensor2,
+    cached_k: &Tensor2,
+    cached_v: &Tensor2,
+    start_pos: usize,
+    par: &ParallelConfig,
+) -> (Tensor2, Tensor2, Tensor2) {
     assert_eq!(
         cached_k.rows(),
         start_pos,
         "cache size vs start_pos mismatch"
     );
-    let (q, new_k, new_v) = project_qkv(cfg, lw, hidden, start_pos);
+    let (q, new_k, new_v) = project_qkv_par(cfg, lw, hidden, start_pos, par);
     let all_k = cached_k.vcat(&new_k);
     let all_v = cached_v.vcat(&new_v);
-    let attn = attention(cfg, &q, &all_k, &all_v, start_pos);
-    let proj = matmul_nt(&attn, &lw.wo);
+    let attn = attention_par(cfg, &q, &all_k, &all_v, start_pos, par);
+    let proj = matmul_nt_par(&attn, &lw.wo, par);
     let mut x = hidden.clone();
     x.add_assign(&proj); // residual 1
-    let f = ffn(cfg, lw, &x);
+    let f = ffn_par(cfg, lw, &x, par);
     x.add_assign(&f); // residual 2
     (x, new_k, new_v)
 }
@@ -341,5 +426,91 @@ mod tests {
         let h = Tensor2::zeros(2, cfg.d_model);
         let empty = Tensor2::zeros(0, cfg.d_model);
         let _ = layer_forward(&cfg, &m.layers[0], &h, &empty, &empty, 5);
+    }
+
+    #[test]
+    fn attention_handles_zero_query_rows() {
+        let (cfg, m) = setup();
+        let lw = &m.layers[0];
+        let h = Tensor2::from_fn(3, cfg.d_model, |r, c| ((r + c) % 5) as f32 * 0.1);
+        let (_, k, v) = project_qkv(&cfg, lw, &h, 0);
+        let empty_q = Tensor2::zeros(0, cfg.d_model);
+        for threads in [1, 4] {
+            let out = attention_par(&cfg, &empty_q, &k, &v, 3, &ParallelConfig::new(threads));
+            assert_eq!(out.shape(), (0, cfg.d_model));
+        }
+    }
+
+    #[test]
+    fn attention_par_is_bit_identical_across_thread_counts() {
+        let (cfg, m) = setup();
+        let lw = &m.layers[0];
+        let h = Tensor2::from_fn(9, cfg.d_model, |r, c| {
+            ((r * 13 + c * 3) % 17) as f32 * 0.1 - 0.8
+        });
+        let (q, k, v) = project_qkv(&cfg, lw, &h, 0);
+        let serial = attention(&cfg, &q, &k, &v, 0);
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let par = ParallelConfig::new(threads);
+            assert_eq!(
+                serial,
+                attention_par(&cfg, &q, &k, &v, 0, &par),
+                "attention diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn layer_forward_par_is_bit_identical_across_thread_counts() {
+        let (cfg, m) = setup();
+        let lw = &m.layers[1];
+        let cached = Tensor2::from_fn(3, cfg.d_model, |r, c| ((r + c) % 5) as f32 * 0.2 - 0.3);
+        let h = Tensor2::from_fn(4, cfg.d_model, |r, c| ((r * 7 + c) % 11) as f32 * 0.1 - 0.5);
+        let (x0, k0, v0) = layer_forward(&cfg, lw, &h, &cached, &cached, 3);
+        for threads in [2, 4, 8] {
+            let par = ParallelConfig::new(threads);
+            let (x, k, v) = layer_forward_par(&cfg, lw, &h, &cached, &cached, 3, &par);
+            assert_eq!(x0, x, "hidden diverged at {threads} threads");
+            assert_eq!(k0, k, "keys diverged at {threads} threads");
+            assert_eq!(v0, v, "values diverged at {threads} threads");
+        }
+    }
+
+    mod attention_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The head-parallel attention is bit-identical to the serial
+            /// hand loop for any token count, cache depth and thread
+            /// budget — the losslessness invariant of every parallel kernel
+            /// in the workspace, extended to the last scalar hot loop.
+            #[test]
+            fn parallel_attention_matches_serial(
+                n_new in 1usize..12,
+                n_cached in 0usize..12,
+                threads in 1usize..9,
+                seed in 0u64..1000,
+            ) {
+                let cfg = ModelConfig::tiny_llama();
+                let m = Model::new(&cfg, seed);
+                let lw = &m.layers[0];
+                let total = n_cached + n_new;
+                let all = Tensor2::from_fn(total, cfg.d_model, |r, c| {
+                    ((r * 31 + c * 7 + seed as usize) % 23) as f32 * 0.1 - 1.1
+                });
+                // K/V over all tokens; queries only for the new suffix.
+                let (_, k, v) = project_qkv(&cfg, lw, &all, 0);
+                let q_new = {
+                    let suffix = all.slice_rows(n_cached, total);
+                    let (q, _, _) = project_qkv(&cfg, lw, &suffix, n_cached);
+                    q
+                };
+                let serial = attention(&cfg, &q_new, &k, &v, n_cached);
+                let par = ParallelConfig::new(threads);
+                let parallel = attention_par(&cfg, &q_new, &k, &v, n_cached, &par);
+                prop_assert_eq!(serial, parallel);
+            }
+        }
     }
 }

@@ -166,6 +166,25 @@ impl Model {
     /// Panics if `kv` is inconsistent (layers holding different token
     /// counts).
     pub fn prefill(&self, tokens: &[u32], kv: &mut KvCache, capture_hidden: bool) -> PrefillOutput {
+        self.prefill_par(
+            tokens,
+            kv,
+            capture_hidden,
+            &hc_tensor::ParallelConfig::serial(),
+        )
+    }
+
+    /// [`Model::prefill`] with every layer's GEMMs and attention head loop
+    /// running under `par`'s thread budget. Bit-for-bit equal to the serial
+    /// path at any thread count, so generations (and captured hidden
+    /// states) are identical for every budget — only wall-clock changes.
+    pub fn prefill_par(
+        &self,
+        tokens: &[u32],
+        kv: &mut KvCache,
+        capture_hidden: bool,
+        par: &hc_tensor::ParallelConfig,
+    ) -> PrefillOutput {
         assert!(kv.is_consistent(), "prefill requires a consistent KV cache");
         let start_pos = kv.n_tokens();
         let mut hidden = self.embed_tokens(tokens, start_pos);
@@ -174,8 +193,15 @@ impl Model {
             if let Some(c) = captured.as_mut() {
                 c.push(hidden.clone());
             }
-            let (next, new_k, new_v) =
-                layer::layer_forward(&self.cfg, lw, &hidden, kv.keys(l), kv.values(l), start_pos);
+            let (next, new_k, new_v) = layer::layer_forward_par(
+                &self.cfg,
+                lw,
+                &hidden,
+                kv.keys(l),
+                kv.values(l),
+                start_pos,
+                par,
+            );
             kv.append(l, &new_k, &new_v);
             hidden = next;
         }
@@ -417,6 +443,28 @@ mod tests {
             let expect_v = kv.values(l).slice_rows(4, 12);
             assert_eq!(k, expect_k, "layer {l}");
             assert_eq!(v, expect_v, "layer {l}");
+        }
+    }
+
+    #[test]
+    fn parallel_prefill_is_bit_identical_to_serial() {
+        let m = model();
+        let toks = tokens(20, 11);
+        let mut kv_serial = KvCache::new(&m.cfg);
+        let out_serial = m.prefill(&toks, &mut kv_serial, true);
+        for threads in [2, 4, 8] {
+            let par = hc_tensor::ParallelConfig::new(threads);
+            let mut kv_par = KvCache::new(&m.cfg);
+            let out_par = m.prefill_par(&toks, &mut kv_par, true, &par);
+            assert_eq!(out_serial.final_hidden, out_par.final_hidden);
+            assert_eq!(
+                out_serial.hidden_per_layer.as_ref().unwrap(),
+                out_par.hidden_per_layer.as_ref().unwrap()
+            );
+            for l in 0..m.cfg.n_layers {
+                assert_eq!(kv_serial.keys(l), kv_par.keys(l), "layer {l}");
+                assert_eq!(kv_serial.values(l), kv_par.values(l), "layer {l}");
+            }
         }
     }
 

@@ -104,8 +104,37 @@ pub fn restore_session<S: ChunkStore>(
     n_tokens: usize,
     scheme: &PartitionScheme,
 ) -> Result<KvCache, StorageError> {
+    restore_session_with_methods(
+        model,
+        mgr,
+        session,
+        tokens,
+        n_tokens,
+        &scheme.layer_methods(model.cfg.n_layers),
+    )
+}
+
+/// [`restore_session`] for an explicit per-layer method vector.
+///
+/// A [`PartitionScheme`] can only express two-way mixes; the cache
+/// controller's demotion ladder produces three-way mixes (a recompute
+/// prefix left by evictions, then hidden layers, then KV layers), so the
+/// controller restores through this entry point with the session's *current*
+/// `LayerMethod` mix.
+///
+/// # Panics
+/// Panics when `methods` does not cover the model's layers or when its
+/// recompute layers are not a prefix (§4.1.2).
+pub fn restore_session_with_methods<S: ChunkStore>(
+    model: &Model,
+    mgr: &StorageManager<S>,
+    session: u64,
+    tokens: &[u32],
+    n_tokens: usize,
+    methods: &[LayerMethod],
+) -> Result<KvCache, StorageError> {
     let cfg = &model.cfg;
-    let methods = scheme.layer_methods(cfg.n_layers);
+    assert_eq!(methods.len(), cfg.n_layers, "methods do not cover model");
 
     // Validate the recompute-prefix invariant.
     let n_recompute = methods
@@ -173,10 +202,10 @@ const PIPELINE_DEPTH: usize = 2;
 /// [`restore_session`] restructured as the paper's bubble-free two-stream
 /// pipeline: a prefetch thread reads layer `l+1`'s streams while the
 /// calling thread runs layer `l`'s projection (under `par`'s thread budget)
-/// or the recompute prefix's forward pass (serial — `layer_forward` is the
-/// prefill code path; it overlaps the prefetcher but not itself). See the
-/// module docs for the correspondence to `hc_sched::pipeline`'s Timeline
-/// model.
+/// or the recompute prefix's forward pass (also under `par`'s budget via
+/// the head-parallel prefill kernels; it additionally overlaps the
+/// prefetcher). See the module docs for the correspondence to
+/// `hc_sched::pipeline`'s Timeline model.
 ///
 /// Returns a cache bit-identical to [`restore_session`]'s for every scheme,
 /// model and thread count.
@@ -193,8 +222,38 @@ pub fn restore_session_pipelined<S: ChunkStore>(
     scheme: &PartitionScheme,
     par: &ParallelConfig,
 ) -> Result<KvCache, StorageError> {
+    restore_session_pipelined_with_methods(
+        model,
+        mgr,
+        session,
+        tokens,
+        n_tokens,
+        &scheme.layer_methods(model.cfg.n_layers),
+        par,
+    )
+}
+
+/// [`restore_session_pipelined`] for an explicit per-layer method vector —
+/// the pipelined counterpart of [`restore_session_with_methods`], used by
+/// the cache controller (whose demotion ladder produces three-way mixes no
+/// [`PartitionScheme`] can express). The recompute prefix's forward pass
+/// also runs under `par`'s budget (bit-identical to serial), so a restore
+/// dominated by demoted layers still uses its thread share.
+///
+/// # Panics
+/// Panics when `methods` does not cover the model's layers or when its
+/// recompute layers are not a prefix (§4.1.2).
+pub fn restore_session_pipelined_with_methods<S: ChunkStore>(
+    model: &Model,
+    mgr: &StorageManager<S>,
+    session: u64,
+    tokens: &[u32],
+    n_tokens: usize,
+    methods: &[LayerMethod],
+    par: &ParallelConfig,
+) -> Result<KvCache, StorageError> {
     let cfg = &model.cfg;
-    let methods = scheme.layer_methods(cfg.n_layers);
+    assert_eq!(methods.len(), cfg.n_layers, "methods do not cover model");
 
     let n_recompute = methods
         .iter()
@@ -208,7 +267,6 @@ pub fn restore_session_pipelined<S: ChunkStore>(
     );
 
     let mut kv = KvCache::new(cfg);
-    let methods = &methods;
     std::thread::scope(|scope| -> Result<(), StorageError> {
         // IO stream: walk storage-backed layers in restoration order,
         // sending each fetched layer through the bounded staging channel.
@@ -249,7 +307,7 @@ pub fn restore_session_pipelined<S: ChunkStore>(
             let mut hidden = model.embed_tokens(&tokens[..n_tokens], 0);
             for (l, lw) in model.layers.iter().take(n_recompute).enumerate() {
                 let (next, new_k, new_v) =
-                    layer::layer_forward(cfg, lw, &hidden, kv.keys(l), kv.values(l), 0);
+                    layer::layer_forward_par(cfg, lw, &hidden, kv.keys(l), kv.values(l), 0, par);
                 kv.append(l, &new_k, &new_v);
                 hidden = next;
             }
@@ -271,6 +329,89 @@ pub fn restore_session_pipelined<S: ChunkStore>(
 
     debug_assert!(kv.is_consistent());
     Ok(kv)
+}
+
+/// One session's restore work for [`restore_sessions_concurrent`].
+#[derive(Debug, Clone)]
+pub struct RestoreRequest {
+    /// Session whose streams hold the state.
+    pub session: u64,
+    /// Original history tokens (needed by recompute layers).
+    pub tokens: Vec<u32>,
+    /// History length to restore.
+    pub n_tokens: usize,
+    /// The session's current per-layer method mix.
+    pub methods: Vec<LayerMethod>,
+}
+
+/// Restores many sessions concurrently: up to `n_workers` pipelined
+/// restores in flight, pulling requests from `requests` in order (a work
+/// queue, so a slow session never convoys the others behind a fixed
+/// assignment). The host thread budget `par` is split evenly across
+/// workers — each in-flight restore projects under
+/// `max(1, ⌊par.threads / n_workers⌋)` threads — so the aggregate never
+/// oversubscribes what the caller granted (whenever the budget has at
+/// least one thread per worker), exactly like the chunk daemon and the
+/// single-session pipeline share one budget.
+///
+/// Results arrive in request order, each the same `KvCache` a sequential
+/// [`restore_session_with_methods`] call would produce (bit-identical: the
+/// per-session pipelines never share mutable state, and the parallel
+/// kernels are bit-equal to serial at any thread count).
+pub fn restore_sessions_concurrent<S: ChunkStore + Sync>(
+    model: &Model,
+    mgr: &StorageManager<S>,
+    requests: &[RestoreRequest],
+    n_workers: usize,
+    par: &ParallelConfig,
+) -> Vec<Result<KvCache, StorageError>> {
+    let n_workers = n_workers.clamp(1, requests.len().max(1));
+    let per_worker = ParallelConfig::new((par.threads() / n_workers).max(1));
+    map_concurrent(requests, n_workers, |r| {
+        restore_session_pipelined_with_methods(
+            model,
+            mgr,
+            r.session,
+            &r.tokens,
+            r.n_tokens,
+            &r.methods,
+            &per_worker,
+        )
+    })
+}
+
+/// The work-queue harness behind [`restore_sessions_concurrent`] (and
+/// `hc-cachectl`'s `RestoreScheduler`): applies `f` to every item with up
+/// to `workers` scoped threads pulling from a shared queue, returning
+/// results in item order. With one worker (or ≤ 1 item) it runs inline —
+/// no threads spawned.
+pub fn map_concurrent<T: Sync, R: Send>(
+    items: &[T],
+    workers: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<Option<R>>> = items
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                *slots[i].lock() = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("worker filled every slot"))
+        .collect()
 }
 
 /// Maximum element-wise error between two KV caches (over keys and values
@@ -576,6 +717,133 @@ mod tests {
         let (row_seq, _) = f.model.decode_step(42, &mut seq, false);
         let (row_piped, _) = f.model.decode_step(42, &mut piped, false);
         assert_eq!(row_seq, row_piped);
+    }
+
+    #[test]
+    fn three_way_method_mix_restores_through_methods_entry_point() {
+        // The demotion ladder's shape: a recompute prefix carved out of a
+        // hidden+KV scheme — inexpressible as a PartitionScheme, restorable
+        // through the methods-based entry points.
+        let f = fixture(53);
+        let scheme = PartitionScheme {
+            l_h: 3,
+            l_o: 1,
+            complement: LayerMethod::KvOffload,
+        };
+        save_session_state(&f.model, &f.mgr, 4, &f.hidden, &f.reference_kv, &scheme).unwrap();
+        // Demote layer 0 (hidden) to recompute: its stream is simply unused.
+        let methods = vec![
+            LayerMethod::Recompute,
+            LayerMethod::Hidden,
+            LayerMethod::Hidden,
+            LayerMethod::KvOffload,
+        ];
+        let seq = restore_session_with_methods(&f.model, &f.mgr, 4, &f.tokens, N_TOKENS, &methods)
+            .unwrap();
+        assert!(seq.is_consistent());
+        assert!(kv_max_error(&seq, &f.reference_kv) < F16_TOL);
+        // The recomputed layer is bit-exact (never touched storage).
+        assert_eq!(seq.keys(0), f.reference_kv.keys(0));
+        // Pipelined restore of the same mix is bit-identical.
+        for threads in [1usize, 4] {
+            let piped = restore_session_pipelined_with_methods(
+                &f.model,
+                &f.mgr,
+                4,
+                &f.tokens,
+                N_TOKENS,
+                &methods,
+                &hc_tensor::ParallelConfig::new(threads),
+            )
+            .unwrap();
+            assert_eq!(kv_max_error(&seq, &piped), 0.0);
+        }
+    }
+
+    #[test]
+    fn concurrent_restores_are_bit_identical_to_sequential() {
+        // Save several distinct sessions, then restore them all through the
+        // concurrent entry point at several worker counts — every result
+        // must be bit-identical to its sequential restore.
+        let f = fixture(59);
+        let scheme = PartitionScheme {
+            l_h: 3,
+            l_o: 1,
+            complement: LayerMethod::KvOffload,
+        };
+        let mut requests = Vec::new();
+        let mut references = Vec::new();
+        for s in 0..5u64 {
+            let tokens: Vec<u32> = (0..N_TOKENS as u32)
+                .map(|i| (i * 13 + s as u32) % 256)
+                .collect();
+            let mut kv = KvCache::new(&f.model.cfg);
+            let out = f.model.prefill(&tokens, &mut kv, true);
+            save_session_state(
+                &f.model,
+                &f.mgr,
+                s,
+                &out.hidden_per_layer.unwrap(),
+                &kv,
+                &scheme,
+            )
+            .unwrap();
+            let methods = scheme.layer_methods(f.model.cfg.n_layers);
+            let seq =
+                restore_session_with_methods(&f.model, &f.mgr, s, &tokens, N_TOKENS, &methods)
+                    .unwrap();
+            requests.push(RestoreRequest {
+                session: s,
+                tokens,
+                n_tokens: N_TOKENS,
+                methods,
+            });
+            references.push(seq);
+        }
+        for workers in [1usize, 2, 4, 8] {
+            let results = restore_sessions_concurrent(
+                &f.model,
+                &f.mgr,
+                &requests,
+                workers,
+                &hc_tensor::ParallelConfig::new(4),
+            );
+            assert_eq!(results.len(), requests.len());
+            for (i, r) in results.into_iter().enumerate() {
+                let kv = r.unwrap();
+                assert_eq!(
+                    kv_max_error(&kv, &references[i]),
+                    0.0,
+                    "session {i} diverged at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_restore_surfaces_errors_per_session() {
+        let f = fixture(61);
+        let scheme = PartitionScheme::pure_hidden(4);
+        save_session_state(&f.model, &f.mgr, 1, &f.hidden, &f.reference_kv, &scheme).unwrap();
+        let methods = scheme.layer_methods(4);
+        let requests = vec![
+            RestoreRequest {
+                session: 1,
+                tokens: f.tokens.clone(),
+                n_tokens: N_TOKENS,
+                methods: methods.clone(),
+            },
+            RestoreRequest {
+                session: 999, // never saved
+                tokens: f.tokens.clone(),
+                n_tokens: N_TOKENS,
+                methods,
+            },
+        ];
+        let results =
+            restore_sessions_concurrent(&f.model, &f.mgr, &requests, 2, &ParallelConfig::new(2));
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(StorageError::OutOfRange { .. })));
     }
 
     #[test]

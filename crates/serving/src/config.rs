@@ -1,5 +1,6 @@
 //! Serving engine configuration.
 
+use hc_cachectl::policy::PolicyKind;
 use hc_restore::RestoreMethod;
 use hc_simhw::Sec;
 
@@ -58,6 +59,15 @@ pub struct ServingConfig {
     /// host. The virtual-time engine carries it so a simulated deployment
     /// and its functional counterpart are configured identically.
     pub parallel: hc_tensor::ParallelConfig,
+    /// Host cache storage quota in bytes for saved session state (the
+    /// `hc-cachectl` quota, mirrored in virtual time). `None` models an
+    /// unbounded pool (the paper's evaluation setting). With a quota set,
+    /// finished sessions' stored state competes for the pool; evicted
+    /// sessions fall back to token recomputation on their next round and
+    /// the engine reports hit/evict/fallback counts.
+    pub host_quota_bytes: Option<u64>,
+    /// Victim-selection policy for the host cache under quota pressure.
+    pub host_policy: PolicyKind,
 }
 
 impl ServingConfig {
@@ -82,6 +92,8 @@ impl ServingConfig {
             round_think_time: 30.0,
             prefetch_to_dram: false,
             parallel: hc_tensor::ParallelConfig::serial(),
+            host_quota_bytes: None,
+            host_policy: PolicyKind::Lru,
         }
     }
 }

@@ -1,8 +1,10 @@
 //! The virtual-time serving engine.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 
+use hc_cachectl::policy::{make_policy, EvictionPolicy, SessionMeta};
 use hc_restore::sim::restore_occupancy;
+use hc_restore::RestoreMethod;
 use hc_simhw::profile::PlatformProfile;
 use hc_simhw::storagehw::StorageTier;
 use hc_simhw::Sec;
@@ -10,7 +12,7 @@ use hc_workload::Request;
 
 use crate::config::{SaveOverheadMode, ServingConfig};
 use crate::gpu_cache::GpuKvCache;
-use crate::metrics::{RequestMetrics, ServingReport};
+use crate::metrics::{HostCacheStats, RequestMetrics, ServingReport};
 
 /// One in-flight request.
 #[derive(Debug, Clone)]
@@ -32,6 +34,95 @@ struct Run {
     footprint: u64,
     /// When the restoration phase began (service start).
     service_start: Sec,
+}
+
+/// One session's stored state in the simulated host cache pool.
+struct HostEntry {
+    bytes: u64,
+    last_access: Sec,
+    n_tokens: u64,
+    /// Restore seconds under the configured method (for benefit-per-byte).
+    restore_secs_current: f64,
+    /// Restore seconds if dropped to recomputation.
+    restore_secs_dropped: f64,
+}
+
+/// The virtual-time mirror of `hc-cachectl`: per-session stored bytes
+/// against a quota, policy-driven whole-session eviction, hit/fallback
+/// accounting. (The functional controller demotes layer by layer; the
+/// virtual-time engine models restoration per whole session, so eviction
+/// here drops the session's state in one step — the coarsest rung of the
+/// same ladder.)
+struct HostCacheSim {
+    quota: u64,
+    per_token_bytes: u64,
+    policy: Box<dyn EvictionPolicy>,
+    entries: HashMap<u64, HostEntry>,
+    evicted: HashSet<u64>,
+    used: u64,
+    stats: HostCacheStats,
+}
+
+impl HostCacheSim {
+    /// Records a restore attempt; returns true when the session's state
+    /// was evicted and the restore must fall back to recomputation.
+    /// Sessions never stored by this engine run (histories that predate
+    /// the trace) are assumed staged in the pool.
+    fn note_restore(&mut self, session: u64) -> bool {
+        if self.evicted.contains(&session) {
+            self.stats.fallbacks += 1;
+            true
+        } else {
+            self.stats.hits += 1;
+            false
+        }
+    }
+
+    /// Stores a session's post-round state and evicts until under quota.
+    fn on_round_complete(
+        &mut self,
+        session: u64,
+        n_tokens: u64,
+        now: Sec,
+        restore_secs_current: f64,
+        restore_secs_dropped: f64,
+    ) {
+        let bytes = n_tokens * self.per_token_bytes;
+        let old = self.entries.insert(
+            session,
+            HostEntry {
+                bytes,
+                last_access: now,
+                n_tokens,
+                restore_secs_current,
+                restore_secs_dropped,
+            },
+        );
+        self.used = self.used - old.map_or(0, |e| e.bytes) + bytes;
+        // A completed round re-persists the full context, so a previously
+        // evicted session is whole again.
+        self.evicted.remove(&session);
+        while self.used > self.quota && !self.entries.is_empty() {
+            let candidates: Vec<SessionMeta> = self
+                .entries
+                .iter()
+                .map(|(id, e)| SessionMeta {
+                    session: *id,
+                    resident_bytes: e.bytes,
+                    last_access: (e.last_access * 1e6) as u64,
+                    n_tokens: e.n_tokens,
+                    restore_secs_current: e.restore_secs_current,
+                    restore_secs_dropped: e.restore_secs_dropped,
+                })
+                .collect();
+            let victim = self.policy.pick_victim(&candidates);
+            let entry = self.entries.remove(&victim).expect("candidate exists");
+            self.used -= entry.bytes;
+            self.evicted.insert(victim);
+            self.stats.evictions += 1;
+            self.stats.bytes_evicted += entry.bytes;
+        }
+    }
 }
 
 /// Virtual-time continuous-batching serving engine.
@@ -72,6 +163,32 @@ impl ServingEngine {
     /// the virtual-time engine itself models time, not host threads).
     pub fn parallel(&self) -> hc_tensor::ParallelConfig {
         self.cfg.parallel
+    }
+
+    /// Builds the host-cache quota mirror, if configured and meaningful
+    /// for the restore method (methods that store nothing have no pool to
+    /// govern).
+    fn host_cache_sim(&self) -> Option<HostCacheSim> {
+        let quota = self.cfg.host_quota_bytes?;
+        let shape = &self.profile.shape;
+        let unit = shape.d_model as u64 * shape.elem_bytes as u64 * shape.n_layers as u64;
+        let per_token_bytes = match self.cfg.restore_method {
+            RestoreMethod::HCache | RestoreMethod::HCacheO => unit,
+            RestoreMethod::KvOffload | RestoreMethod::NaiveHybrid => 2 * unit,
+            RestoreMethod::Recompute | RestoreMethod::Ideal => 0,
+        };
+        if per_token_bytes == 0 {
+            return None;
+        }
+        Some(HostCacheSim {
+            quota,
+            per_token_bytes,
+            policy: make_policy(self.cfg.host_policy),
+            entries: HashMap::new(),
+            evicted: HashSet::new(),
+            used: 0,
+            stats: HostCacheStats::default(),
+        })
     }
 
     /// Decode-time saving overhead for one iteration of `batch` sequences.
@@ -148,6 +265,8 @@ impl ServingEngine {
         // Sessions that completed at least one round (their host state can
         // have been prefetched into DRAM during think time).
         let mut warm_sessions: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        // Host cache pool mirror (None = unlimited, the paper's setting).
+        let mut host = self.host_cache_sim();
 
         let mut released_cursor = 0usize;
         loop {
@@ -216,13 +335,25 @@ impl ServingEngine {
                 let prefetched = self.cfg.prefetch_to_dram
                     && needs_restore
                     && warm_sessions.contains(&req.session_id);
+                // Quota check: an evicted session's state is gone; its
+                // restore falls back to token recomputation (and there is
+                // nothing staged in DRAM for it either).
+                let host_fallback = needs_restore
+                    && host
+                        .as_mut()
+                        .is_some_and(|h| h.note_restore(req.session_id));
                 let occ = if needs_restore {
-                    let profile = if prefetched {
+                    let method = if host_fallback {
+                        RestoreMethod::Recompute
+                    } else {
+                        self.cfg.restore_method
+                    };
+                    let profile = if prefetched && !host_fallback {
                         &self.dram_profile
                     } else {
                         &self.profile
                     };
-                    restore_occupancy(profile, self.cfg.restore_method, history)
+                    restore_occupancy(profile, method, history)
                 } else {
                     hc_restore::sim::RestoreOccupancy {
                         io: 0.0,
@@ -325,6 +456,7 @@ impl ServingEngine {
                         &mut held_rounds,
                         &mut released,
                         &mut warm_sessions,
+                        &mut host,
                     );
                 } else {
                     still_decoding.push(run);
@@ -351,6 +483,7 @@ impl ServingEngine {
                             &mut held_rounds,
                             &mut released,
                             &mut warm_sessions,
+                            &mut host,
                         );
                     } else {
                         run.tokens_left = run.req.output_tokens - 1;
@@ -367,6 +500,7 @@ impl ServingEngine {
         ServingReport {
             requests: done,
             makespan: t,
+            host_cache: host.map(|h| h.stats).unwrap_or_default(),
         }
     }
 
@@ -381,10 +515,25 @@ impl ServingEngine {
         held_rounds: &mut std::collections::HashMap<u64, VecDeque<Request>>,
         released: &mut Vec<Request>,
         warm: &mut std::collections::HashSet<u64>,
+        host: &mut Option<HostCacheSim>,
     ) {
         *active_resident -= run.footprint;
         if self.cfg.reuse_gpu_cache {
             lru.insert(run.req.session_id, run.footprint);
+        }
+        // The session's post-round state lands in the host pool; quota
+        // pressure may evict victims (their next round recomputes).
+        if let Some(h) = host {
+            let n = run.req.final_context() as u64;
+            let current = restore_occupancy(&self.profile, self.cfg.restore_method, n);
+            let dropped = restore_occupancy(&self.profile, RestoreMethod::Recompute, n);
+            h.on_round_complete(
+                run.req.session_id,
+                n,
+                t,
+                current.io + current.compute,
+                dropped.io + dropped.compute,
+            );
         }
         // Think time: the session's next round arrives after the user reads
         // this response.
@@ -631,6 +780,127 @@ mod tests {
             e.run(&reqs).mean_ttft()
         };
         assert!((run_with(false) - run_with(true)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn host_quota_eviction_forces_recompute_fallback() {
+        // Two sessions alternate; the pool holds only one session's state,
+        // so every follow-up round finds its state evicted and pays the
+        // recompute penalty — visible in both the counters and the TTFT.
+        let history = 8192u32;
+        let shape = shape_7b();
+        let per_token = (shape.d_model * shape.elem_bytes * shape.n_layers) as u64;
+        let run_with = |quota: Option<u64>| {
+            let mut cfg = ServingConfig::for_method(RestoreMethod::HCache);
+            cfg.host_quota_bytes = quota;
+            cfg.round_think_time = 1.0;
+            let e = ServingEngine::new(profile(), cfg);
+            // Round 1 of each session has no history; round 2 restores.
+            let reqs = vec![
+                req(1, 0.0, 0, 64, 4),
+                req(2, 0.1, 0, 64, 4),
+                req(1, 0.2, history, 64, 4),
+                req(2, 0.3, history, 64, 4),
+            ];
+            e.run(&reqs)
+        };
+        // Quota below one session's stored state: everything evicts.
+        let tight = run_with(Some(per_token * 64));
+        assert!(tight.host_cache.evictions >= 2, "{:?}", tight.host_cache);
+        assert_eq!(tight.host_cache.fallbacks, 2, "{:?}", tight.host_cache);
+        assert_eq!(tight.host_cache.hits, 0);
+        assert_eq!(tight.host_cache.hit_ratio(), Some(0.0));
+
+        let unlimited = run_with(None);
+        assert_eq!(unlimited.host_cache, HostCacheStats::default());
+
+        // Fallback restores recompute: the history rounds are slower.
+        let ttft = |r: &ServingReport, session: u64| {
+            r.requests
+                .iter()
+                .filter(|m| m.session_id == session && m.restored_tokens > 0)
+                .map(|m| m.ttft())
+                .next_back()
+                .unwrap()
+        };
+        assert!(
+            ttft(&tight, 1) > ttft(&unlimited, 1) * 1.5,
+            "evicted session must pay recompute: tight {} vs unlimited {}",
+            ttft(&tight, 1),
+            ttft(&unlimited, 1)
+        );
+    }
+
+    #[test]
+    fn generous_host_quota_serves_hits() {
+        let mut cfg = ServingConfig::for_method(RestoreMethod::HCache);
+        cfg.host_quota_bytes = Some(u64::MAX);
+        cfg.round_think_time = 1.0;
+        let e = ServingEngine::new(profile(), cfg);
+        let reqs = vec![req(1, 0.0, 0, 64, 4), req(1, 0.1, 4096, 64, 4)];
+        let r = e.run(&reqs);
+        assert_eq!(r.host_cache.hits, 1);
+        assert_eq!(r.host_cache.fallbacks, 0);
+        assert_eq!(r.host_cache.evictions, 0);
+        assert_eq!(r.host_cache.hit_ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn methods_that_store_nothing_ignore_the_quota() {
+        let mut cfg = ServingConfig::for_method(RestoreMethod::Recompute);
+        cfg.host_quota_bytes = Some(1);
+        let e = ServingEngine::new(profile(), cfg);
+        let r = e.run(&[req(1, 0.0, 0, 64, 4), req(1, 0.1, 4096, 64, 4)]);
+        assert_eq!(r.host_cache, HostCacheStats::default());
+    }
+
+    #[test]
+    fn cost_aware_host_policy_keeps_the_expensive_session() {
+        // Session 1 is long (expensive to recompute), session 2 short.
+        // Pool fits one: LRU evicts the colder session 1; cost-aware
+        // prefers to sacrifice the cheap session 2 even though it is
+        // hotter.
+        let shape = shape_7b();
+        let per_token = (shape.d_model * shape.elem_bytes * shape.n_layers) as u64;
+        let run_with = |policy| {
+            let mut cfg = ServingConfig::for_method(RestoreMethod::HCache);
+            // Fits the long session (~8196 tokens of state) xor both.
+            cfg.host_quota_bytes = Some(per_token * 8500);
+            cfg.host_policy = policy;
+            // Long think time so session 1's follow-up is released only
+            // after session 2's first round stressed the pool.
+            cfg.round_think_time = 120.0;
+            let e = ServingEngine::new(profile(), cfg);
+            let reqs = vec![
+                req(1, 0.0, 0, 8192, 4), // long session finishes first
+                req(2, 60.0, 0, 512, 4), // short session finishes second
+                req(1, 120.0, 8192, 64, 4),
+                req(2, 121.0, 512, 64, 4),
+            ];
+            e.run(&reqs)
+        };
+        let s1_followup_ttft = |r: &ServingReport| {
+            r.requests
+                .iter()
+                .find(|m| m.session_id == 1 && m.restored_tokens > 0)
+                .unwrap()
+                .ttft()
+        };
+        let lru = run_with(hc_cachectl::policy::PolicyKind::Lru);
+        // LRU: storing session 2 (hot) evicts session 1 → session 1's
+        // follow-up falls back.
+        assert!(lru.host_cache.fallbacks >= 1, "{:?}", lru.host_cache);
+        let lru_s1 = s1_followup_ttft(&lru);
+        let ca = run_with(hc_cachectl::policy::PolicyKind::CostAware);
+        // Cost-aware sacrifices the cheap session instead.
+        assert!(ca.host_cache.evictions >= 1, "{:?}", ca.host_cache);
+        let ca_s1 = s1_followup_ttft(&ca);
+        // Cost-aware kept the long session cached, so its follow-up is
+        // fast; under LRU it recomputed.
+        assert!(
+            ca_s1 < lru_s1,
+            "cost-aware {ca_s1} should beat lru {lru_s1} on the long session"
+        );
     }
 
     #[test]

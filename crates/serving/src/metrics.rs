@@ -49,6 +49,34 @@ impl RequestMetrics {
     }
 }
 
+/// Host-cache control-plane counters (the virtual-time mirror of
+/// `hc-cachectl`'s hit/evict/fallback metrics). All zero when the engine
+/// runs without a host quota.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostCacheStats {
+    /// Restores whose host state was present.
+    pub hits: u64,
+    /// Restores that found their state evicted and recomputed instead.
+    pub fallbacks: u64,
+    /// Sessions evicted from the host pool under quota pressure.
+    pub evictions: u64,
+    /// Bytes released by those evictions.
+    pub bytes_evicted: u64,
+}
+
+impl HostCacheStats {
+    /// Hit fraction over restores that consulted the host cache (`None`
+    /// before any such restore).
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.hits + self.fallbacks;
+        if total == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / total as f64)
+        }
+    }
+}
+
 /// Aggregate serving report.
 #[derive(Debug, Clone, Default)]
 pub struct ServingReport {
@@ -56,6 +84,8 @@ pub struct ServingReport {
     pub requests: Vec<RequestMetrics>,
     /// Virtual time when the last request completed.
     pub makespan: Sec,
+    /// Host-cache quota counters (zero without a quota).
+    pub host_cache: HostCacheStats,
 }
 
 impl ServingReport {
@@ -158,6 +188,7 @@ mod tests {
         let report = ServingReport {
             requests: vec![req(0.0, 1.0, 2.0, 2), req(0.0, 3.0, 4.0, 2)],
             makespan: 4.0,
+            host_cache: HostCacheStats::default(),
         };
         assert_eq!(report.mean_ttft(), 2.0);
         assert_eq!(report.throughput(), 0.5);
@@ -176,6 +207,7 @@ mod tests {
         let report = ServingReport {
             requests: vec![hit, miss, fresh],
             makespan: 2.0,
+            host_cache: HostCacheStats::default(),
         };
         assert_eq!(report.cache_hit_ratio(), Some(0.5));
     }

@@ -20,6 +20,16 @@ struct StreamState {
     /// Buffered rows of the partial tail chunk (`< CHUNK_TOKENS` rows,
     /// row-major f32).
     partial: Vec<f32>,
+    /// Encoded bytes this stream currently holds in the backend. This is
+    /// *resident* state, not traffic: rewriting a flushed tail chunk
+    /// replaces its bytes instead of adding to them, so the figure equals
+    /// exactly what [`ChunkStore::delete_stream`] would free — the number a
+    /// capacity/quota tracker must account against.
+    resident_bytes: u64,
+    /// Encoded bytes of the currently-flushed partial tail chunk (subset of
+    /// `resident_bytes`; replaced on re-flush, absorbed when the chunk
+    /// completes).
+    tail_bytes: u64,
 }
 
 /// Chunked f16 storage for token-row streams, generic over the backend.
@@ -121,6 +131,10 @@ impl<S: ChunkStore> StorageManager<S> {
                 .encode_par(&full, self.d_model, &self.parallel);
             self.store
                 .write_chunk(ChunkKey { stream, chunk_idx }, &bytes)?;
+            // The full chunk lands at the index a flushed tail (if any)
+            // occupied, replacing those bytes rather than adding to them.
+            state.resident_bytes += bytes.len() as u64 - state.tail_bytes;
+            state.tail_bytes = 0;
             state.n_durable += CHUNK_TOKENS;
         }
         Ok(())
@@ -135,8 +149,8 @@ impl<S: ChunkStore> StorageManager<S> {
     /// Writes the buffered partial tail chunk (if any) to the backend. The
     /// buffer is retained so later appends can extend and rewrite the tail.
     pub fn flush_stream(&self, stream: StreamId) -> Result<(), StorageError> {
-        let streams = self.streams.lock();
-        if let Some(state) = streams.get(&stream) {
+        let mut streams = self.streams.lock();
+        if let Some(state) = streams.get_mut(&stream) {
             if !state.partial.is_empty() {
                 let chunk_idx = (state.n_durable / CHUNK_TOKENS) as u32;
                 let bytes = self
@@ -144,6 +158,9 @@ impl<S: ChunkStore> StorageManager<S> {
                     .encode_par(&state.partial, self.d_model, &self.parallel);
                 self.store
                     .write_chunk(ChunkKey { stream, chunk_idx }, &bytes)?;
+                // Re-flushing replaces the previous tail image in place.
+                state.resident_bytes += bytes.len() as u64 - state.tail_bytes;
+                state.tail_bytes = bytes.len() as u64;
             }
         }
         Ok(())
@@ -227,7 +244,65 @@ impl<S: ChunkStore> StorageManager<S> {
         Ok(out)
     }
 
+    /// Backend bytes currently held by `stream` (durable chunks including
+    /// the flushed tail; rows still sitting in the partial buffer occupy no
+    /// backend bytes until a flush).
+    pub fn stream_bytes(&self, stream: StreamId) -> u64 {
+        self.streams
+            .lock()
+            .get(&stream)
+            .map_or(0, |s| s.resident_bytes)
+    }
+
+    /// Backend bytes currently held by every stream of `session` — the
+    /// figure a quota tracker charges, and exactly what
+    /// [`StorageManager::delete_session`] will report as freed.
+    pub fn session_bytes(&self, session: u64) -> u64 {
+        self.streams
+            .lock()
+            .iter()
+            .filter(|(id, _)| id.session == session)
+            .map(|(_, s)| s.resident_bytes)
+            .sum()
+    }
+
+    /// Backend bytes currently held across all streams.
+    pub fn total_resident_bytes(&self) -> u64 {
+        self.streams.lock().values().map(|s| s.resident_bytes).sum()
+    }
+
+    /// Distinct sessions with any tracked stream state, ascending.
+    pub fn sessions(&self) -> Vec<u64> {
+        self.streams
+            .lock()
+            .keys()
+            .map(|s| s.session)
+            .collect::<std::collections::BTreeSet<u64>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// Deletes one stream (tracked state + backend chunks); returns bytes
+    /// freed in the backend. This is the cache controller's demotion
+    /// primitive: dropping a layer's hidden/K/V stream while leaving the
+    /// session's other streams intact.
+    pub fn delete_stream(&self, stream: StreamId) -> u64 {
+        let tracked = {
+            let mut streams = self.streams.lock();
+            streams.remove(&stream).map_or(0, |s| s.resident_bytes)
+        };
+        let freed = self.store.delete_stream(stream);
+        debug_assert_eq!(
+            freed, tracked,
+            "resident-byte tracking diverged from the backend for {stream:?}"
+        );
+        freed
+    }
+
     /// Deletes all state of `session`; returns bytes freed in the backend.
+    /// The count equals the sum the tracking APIs reported
+    /// ([`StorageManager::session_bytes`]), so callers can release quota by
+    /// exactly this amount.
     pub fn delete_session(&self, session: u64) -> u64 {
         let ids: Vec<StreamId> = {
             let mut streams = self.streams.lock();
@@ -435,6 +510,57 @@ mod tests {
         let b16 = m16.stats().total_bytes_written();
         let b8 = m8.stats().total_bytes_written();
         assert!((b8 as f64) < 0.55 * b16 as f64, "int8 {b8} vs f16 {b16}");
+    }
+
+    #[test]
+    fn resident_bytes_track_backend_exactly_under_tail_rewrites() {
+        let m = mgr();
+        let s = StreamId::hidden(1, 0);
+        // Nothing durable yet: 70 rows = 1 full chunk + 6 buffered.
+        m.append_rows(s, &rows(70, 1)).unwrap();
+        assert_eq!(m.stream_bytes(s), 64 * D as u64 * 2);
+        // Flushing the 6-row tail adds exactly its encoded bytes.
+        m.flush_stream(s).unwrap();
+        assert_eq!(m.stream_bytes(s), 70 * D as u64 * 2);
+        // Re-flushing a grown tail replaces, not adds.
+        m.append_rows(s, &rows(10, 2)).unwrap();
+        m.flush_stream(s).unwrap();
+        assert_eq!(m.stream_bytes(s), 80 * D as u64 * 2);
+        // Completing the chunk absorbs the flushed tail in place.
+        m.append_rows(s, &rows(48, 3)).unwrap();
+        assert_eq!(m.stream_bytes(s), 128 * D as u64 * 2);
+        // Total traffic exceeds residency (rewrites counted every time)...
+        assert!(m.stats().total_bytes_written() > m.stream_bytes(s));
+        // ...but delete frees exactly the resident figure.
+        assert_eq!(m.delete_stream(s), 128 * D as u64 * 2);
+        assert_eq!(m.stream_bytes(s), 0);
+    }
+
+    #[test]
+    fn session_bytes_sum_streams_and_match_delete_freed() {
+        let m = mgr();
+        m.append_rows(StreamId::hidden(7, 0), &rows(80, 0)).unwrap();
+        m.append_rows(StreamId::key(7, 1), &rows(70, 1)).unwrap();
+        m.append_rows(StreamId::value(7, 1), &rows(70, 2)).unwrap();
+        m.append_rows(StreamId::hidden(8, 0), &rows(64, 3)).unwrap();
+        m.flush_session(7).unwrap();
+        let tracked = m.session_bytes(7);
+        assert_eq!(tracked, (80 + 70 + 70) * D as u64 * 2);
+        assert_eq!(m.total_resident_bytes(), tracked + 64 * D as u64 * 2);
+        assert_eq!(m.sessions(), vec![7, 8]);
+        let freed = m.delete_session(7);
+        assert_eq!(freed, tracked, "freed bytes must equal the tracked figure");
+        assert_eq!(m.session_bytes(7), 0);
+        assert_eq!(m.sessions(), vec![8]);
+    }
+
+    #[test]
+    fn unflushed_tails_occupy_no_backend_bytes() {
+        let m = mgr();
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(10, 0)).unwrap();
+        assert_eq!(m.stream_bytes(s), 0, "buffered rows are not resident");
+        assert_eq!(m.delete_session(1), 0);
     }
 
     #[test]

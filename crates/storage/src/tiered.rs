@@ -9,6 +9,16 @@
 //! capacity backing store, write-through on saves, promote-on-read with LRU
 //! eviction. Hot contexts restore from DRAM at link speed; cold ones stream
 //! from the backing SSDs.
+//!
+//! The front tier reports its movements to the capacity control plane:
+//! * an optional **eviction callback** fires for every chunk the LRU pushes
+//!   out under capacity pressure (the `hc-cachectl` controller and tests
+//!   subscribe to it), and
+//! * [`TieredStore::delete_stream`] purges the front tier too and accounts
+//!   the released DRAM bytes ([`TieredStore::front_bytes_released`]), while
+//!   its return value remains the *backing* bytes freed — the durable
+//!   figure a quota tracker charges (the front copy is write-through
+//!   shadow state, never additional durability).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,6 +29,10 @@ use parking_lot::Mutex;
 use crate::backend::{ChunkStore, StoreStats};
 use crate::chunk::ChunkKey;
 use crate::{StorageError, StreamId};
+
+/// Callback invoked (outside the front-cache lock) for each chunk the LRU
+/// evicts under capacity pressure: `(key, bytes)`.
+pub type EvictListener = Arc<dyn Fn(ChunkKey, u64) + Send + Sync>;
 
 struct FrontCache {
     chunks: HashMap<ChunkKey, (Vec<u8>, u64)>,
@@ -36,14 +50,16 @@ impl FrontCache {
         })
     }
 
-    fn insert(&mut self, key: ChunkKey, data: &[u8], capacity: u64) {
+    /// Inserts `data`, returning the chunks evicted to make room.
+    fn insert(&mut self, key: ChunkKey, data: &[u8], capacity: u64) -> Vec<(ChunkKey, u64)> {
         if data.len() as u64 > capacity {
-            return;
+            return Vec::new();
         }
         self.clock += 1;
         if let Some((old, _)) = self.chunks.remove(&key) {
             self.used_bytes -= old.len() as u64;
         }
+        let mut evicted = Vec::new();
         while self.used_bytes + data.len() as u64 > capacity && !self.chunks.is_empty() {
             let victim = *self
                 .chunks
@@ -53,24 +69,30 @@ impl FrontCache {
                 .expect("non-empty");
             if let Some((old, _)) = self.chunks.remove(&victim) {
                 self.used_bytes -= old.len() as u64;
+                evicted.push((victim, old.len() as u64));
             }
         }
         self.used_bytes += data.len() as u64;
         self.chunks.insert(key, (data.to_vec(), self.clock));
+        evicted
     }
 
-    fn delete_stream(&mut self, stream: StreamId) {
+    /// Removes every chunk of `stream`; returns DRAM bytes released.
+    fn delete_stream(&mut self, stream: StreamId) -> u64 {
         let keys: Vec<ChunkKey> = self
             .chunks
             .keys()
             .filter(|k| k.stream == stream)
             .cloned()
             .collect();
+        let mut freed = 0;
         for k in keys {
             if let Some((old, _)) = self.chunks.remove(&k) {
                 self.used_bytes -= old.len() as u64;
+                freed += old.len() as u64;
             }
         }
+        freed
     }
 }
 
@@ -81,6 +103,9 @@ pub struct TieredStore<B: ChunkStore> {
     front_capacity: u64,
     front_hits: AtomicU64,
     front_misses: AtomicU64,
+    front_evictions: AtomicU64,
+    front_released: AtomicU64,
+    evict_listener: Mutex<Option<EvictListener>>,
 }
 
 impl<B: ChunkStore> TieredStore<B> {
@@ -96,6 +121,34 @@ impl<B: ChunkStore> TieredStore<B> {
             front_capacity: front_capacity_bytes,
             front_hits: AtomicU64::new(0),
             front_misses: AtomicU64::new(0),
+            front_evictions: AtomicU64::new(0),
+            front_released: AtomicU64::new(0),
+            evict_listener: Mutex::new(None),
+        }
+    }
+
+    /// Registers a callback fired for every chunk the front LRU evicts
+    /// under capacity pressure (not for overwrites or stream deletes). The
+    /// callback runs outside the cache lock, so it may query this store.
+    pub fn set_evict_listener(&self, listener: impl Fn(ChunkKey, u64) + Send + Sync + 'static) {
+        *self.evict_listener.lock() = Some(Arc::new(listener));
+    }
+
+    fn report_evictions(&self, evicted: Vec<(ChunkKey, u64)>) {
+        if evicted.is_empty() {
+            return;
+        }
+        self.front_evictions
+            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        // Clone the listener handle out of its lock before invoking it: a
+        // callback that reads this store can trigger a promote-on-read
+        // eviction, which re-enters here — holding the (non-reentrant)
+        // listener mutex across the call would self-deadlock.
+        let listener = self.evict_listener.lock().clone();
+        if let Some(cb) = listener {
+            for (key, bytes) in &evicted {
+                cb(*key, *bytes);
+            }
         }
     }
 
@@ -107,6 +160,16 @@ impl<B: ChunkStore> TieredStore<B> {
     /// Reads that had to go to the backing store.
     pub fn front_misses(&self) -> u64 {
         self.front_misses.load(Ordering::Relaxed)
+    }
+
+    /// Chunks evicted from DRAM by capacity pressure so far.
+    pub fn front_evictions(&self) -> u64 {
+        self.front_evictions.load(Ordering::Relaxed)
+    }
+
+    /// DRAM bytes released by `delete_stream` purges so far.
+    pub fn front_bytes_released(&self) -> u64 {
+        self.front_released.load(Ordering::Relaxed)
     }
 
     /// Bytes currently cached in DRAM.
@@ -125,7 +188,8 @@ impl<B: ChunkStore> ChunkStore for TieredStore<B> {
         // Write-through: durability lives in the backing store; the front
         // keeps the hot copy.
         self.back.write_chunk(key, data)?;
-        self.front.lock().insert(key, data, self.front_capacity);
+        let evicted = self.front.lock().insert(key, data, self.front_capacity);
+        self.report_evictions(evicted);
         Ok(())
     }
 
@@ -137,7 +201,8 @@ impl<B: ChunkStore> ChunkStore for TieredStore<B> {
         let data = self.back.read_chunk(key)?;
         self.front_misses.fetch_add(1, Ordering::Relaxed);
         // Promote on read.
-        self.front.lock().insert(key, &data, self.front_capacity);
+        let evicted = self.front.lock().insert(key, &data, self.front_capacity);
+        self.report_evictions(evicted);
         Ok(data)
     }
 
@@ -146,7 +211,11 @@ impl<B: ChunkStore> ChunkStore for TieredStore<B> {
     }
 
     fn delete_stream(&self, stream: StreamId) -> u64 {
-        self.front.lock().delete_stream(stream);
+        let front_freed = self.front.lock().delete_stream(stream);
+        self.front_released
+            .fetch_add(front_freed, Ordering::Relaxed);
+        // The durable figure: what the quota tracker charged for this
+        // stream lives in the backing store; the DRAM copy was a shadow.
         self.back.delete_stream(stream)
     }
 
@@ -244,9 +313,90 @@ mod tests {
         let t = tiered(1024);
         t.write_chunk(key(0), &[1; 16]).unwrap();
         let freed = t.delete_stream(StreamId::hidden(1, 0));
-        assert_eq!(freed, 16);
+        assert_eq!(freed, 16, "returned figure is the durable (back) bytes");
+        assert_eq!(t.front_bytes_released(), 16, "DRAM copy released too");
         assert_eq!(t.front_used_bytes(), 0);
         assert!(t.read_chunk(key(0)).is_err());
+    }
+
+    #[test]
+    fn evict_listener_sees_capacity_evictions_only() {
+        let t = Arc::new(tiered(64)); // two 32-byte chunks
+        let evicted: Arc<Mutex<Vec<(ChunkKey, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&evicted);
+        t.set_evict_listener(move |k, b| sink.lock().push((k, b)));
+        t.write_chunk(key(0), &[0u8; 32]).unwrap();
+        t.write_chunk(key(1), &[1u8; 32]).unwrap();
+        assert!(evicted.lock().is_empty(), "no pressure yet");
+        // Overwrite is replacement, not eviction.
+        t.write_chunk(key(1), &[9u8; 32]).unwrap();
+        assert!(evicted.lock().is_empty());
+        // Third chunk evicts the LRU (chunk 0).
+        t.write_chunk(key(2), &[2u8; 32]).unwrap();
+        assert_eq!(evicted.lock().as_slice(), &[(key(0), 32)]);
+        assert_eq!(t.front_evictions(), 1);
+        // Stream deletes do not fire the listener.
+        t.delete_stream(StreamId::hidden(1, 0));
+        assert_eq!(evicted.lock().len(), 1);
+    }
+
+    #[test]
+    fn evict_listener_may_reenter_the_store() {
+        // A listener that reads through the store can trigger a
+        // promote-on-read eviction and re-enter the reporting path; this
+        // must not deadlock on the listener mutex.
+        let t = Arc::new(tiered(64)); // two 32-byte chunks
+        t.write_chunk(key(0), &[0u8; 32]).unwrap();
+        t.write_chunk(key(1), &[1u8; 32]).unwrap();
+        let store = Arc::clone(&t);
+        t.set_evict_listener(move |_, _| {
+            let _ = store.read_chunk(key(0));
+        });
+        // Evicts chunk 0 → listener promotes it back → evicts chunk 1 →
+        // listener reads chunk 0 again (front hit) → terminates.
+        t.write_chunk(key(2), &[2u8; 32]).unwrap();
+        assert!(t.front_evictions() >= 2);
+        assert_eq!(t.read_chunk(key(0)).unwrap(), vec![0u8; 32]);
+    }
+
+    #[test]
+    fn used_bytes_accounting_under_interleaved_append_read_delete() {
+        // Drive the tier through a manager so chunked appends, tail
+        // rewrites, restoration reads and deletes all interleave, and check
+        // the DRAM accounting at every step.
+        use crate::manager::StorageManager;
+        let store = Arc::new(tiered(100 * 16 * 2)); // room for ~100 rows at D=16
+        let mgr = StorageManager::new(Arc::clone(&store), 16);
+        let row = |v: f32| vec![v; 16];
+        let mk_rows = |n: usize, v: f32| hc_tensor::Tensor2::from_fn(n, 16, |_, _| v);
+        let s1 = StreamId::hidden(1, 0);
+        let s2 = StreamId::hidden(2, 0);
+        mgr.append_rows(s1, &mk_rows(64, 1.0)).unwrap();
+        assert_eq!(store.front_used_bytes(), 64 * 16 * 2);
+        mgr.append_row(s2, &row(2.0)).unwrap();
+        mgr.flush_stream(s2).unwrap();
+        assert_eq!(store.front_used_bytes(), 64 * 16 * 2 + 16 * 2);
+        // Reads of cached chunks do not change occupancy.
+        let before = store.front_used_bytes();
+        let _ = mgr.read_rows(s1, 0, 64).unwrap();
+        assert_eq!(store.front_used_bytes(), before);
+        assert!(store.front_hits() > 0);
+        // Growing the s2 tail rewrites its front chunk in place.
+        mgr.append_row(s2, &row(3.0)).unwrap();
+        mgr.flush_stream(s2).unwrap();
+        assert_eq!(store.front_used_bytes(), 64 * 16 * 2 + 2 * 16 * 2);
+        // Deleting session 1 releases exactly its DRAM bytes.
+        let freed = mgr.delete_session(1);
+        assert_eq!(freed, 64 * 16 * 2);
+        assert_eq!(store.front_used_bytes(), 2 * 16 * 2);
+        assert_eq!(store.front_bytes_released(), 64 * 16 * 2);
+        // Every read so far was a DRAM hit (all chunks written through).
+        assert_eq!(store.front_misses(), 0);
+        // Session 2 data still correct after all the churn.
+        let back = mgr.read_rows(s2, 0, 2).unwrap();
+        assert_eq!(back.get(1, 0), 3.0);
+        mgr.delete_session(2);
+        assert_eq!(store.front_used_bytes(), 0);
     }
 
     #[test]
