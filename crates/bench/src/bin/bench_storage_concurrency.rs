@@ -1,0 +1,308 @@
+//! Read-side scaling of the sharded storage manager, recorded in
+//! `BENCH_storage.json`.
+//!
+//! Run from the repo root:
+//! `cargo run --release --bin bench_storage_concurrency` (add `--tiny` for
+//! the CI smoke configuration, and an optional output path argument).
+//!
+//! N concurrent readers (the shape of N pipelined restores) each re-read
+//! their own saved stream through `StorageManager::read_rows`, against
+//! three backends:
+//!
+//! * `file` — a 4-device `FileStore` at page-cache speed (IO is nearly
+//!   free, so on a small host this mostly measures lock overhead);
+//! * `ssd_model` — the same `FileStore` behind a `LatencyStore` charging a
+//!   fixed per-chunk service time with one request in flight per device —
+//!   the cost model under which overlapping backend IO pays, which is the
+//!   regime the paper's storage design targets;
+//! * `tiered_ssd_model` — a DRAM front cache (capacity: a quarter of the
+//!   working set) over the modeled SSDs, so reads mix front hits with
+//!   device traffic and LRU churn.
+//!
+//! Every configuration runs twice: **sharded** (today's manager: per-stream
+//! locks, backend IO + decode outside any lock) and a **single-mutex
+//! baseline** that takes one global lock around each `read_rows` call —
+//! exactly the serialization the manager had before it was sharded. The
+//! headline figure is aggregate `read_rows` tokens/second at 4 readers,
+//! sharded vs mutex: the sharded manager overlaps chunk fetches across the
+//! striped devices while the mutex convoy admits one chunk at a time,
+//! regardless of core count.
+//!
+//! Before timing, every stream's concurrent read is verified bit-identical
+//! to its sequential read.
+
+use std::sync::Arc;
+use std::sync::{Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use hc_storage::backend::{ChunkStore, FileStore};
+use hc_storage::latency::LatencyStore;
+use hc_storage::manager::StorageManager;
+use hc_storage::tiered::TieredStore;
+use hc_storage::StreamId;
+use hc_tensor::Tensor2;
+
+const N_DEVICES: usize = 4;
+
+struct Spec {
+    d_model: usize,
+    n_tokens: usize,
+    n_streams: usize,
+    reader_counts: Vec<usize>,
+    runs: usize,
+    /// Iterations per reader per measurement, per backend kind.
+    iters_file: usize,
+    iters_ssd: usize,
+    read_latency: Duration,
+}
+
+fn spec(tiny: bool) -> Spec {
+    if tiny {
+        Spec {
+            d_model: 64,
+            n_tokens: 192,
+            n_streams: 4,
+            reader_counts: vec![1, 2, 4],
+            // Odd so samples[len/2] is a true median, not the max of two.
+            runs: 3,
+            iters_file: 120,
+            iters_ssd: 10,
+            read_latency: Duration::from_micros(200),
+        }
+    } else {
+        Spec {
+            d_model: 256,
+            n_tokens: 256,
+            n_streams: 8,
+            reader_counts: vec![1, 2, 4, 8],
+            runs: 3,
+            iters_file: 300,
+            iters_ssd: 20,
+            read_latency: Duration::from_micros(300),
+        }
+    }
+}
+
+/// One stream per "session", layer = index so chunk 0 of different streams
+/// starts on a different device (the striping's layer offset).
+fn stream_ids(n: usize) -> Vec<StreamId> {
+    (0..n)
+        .map(|i| StreamId::hidden(i as u64 + 1, i as u32))
+        .collect()
+}
+
+fn fill<S: ChunkStore>(mgr: &StorageManager<S>, streams: &[StreamId], spec: &Spec) {
+    for &s in streams {
+        let t = Tensor2::from_fn(spec.n_tokens, spec.d_model, |r, c| {
+            ((s.session as usize * 31 + r * 13 + c) % 89) as f32 * 0.25 - 11.0
+        });
+        mgr.append_rows(s, &t).expect("bench save");
+        mgr.flush_stream(s).expect("bench flush");
+    }
+}
+
+/// Aggregate tokens/second of `readers` threads each performing `iters`
+/// full-stream reads through `read` (reader index passed in).
+fn throughput(
+    readers: usize,
+    iters: usize,
+    n_tokens: usize,
+    runs: usize,
+    read: &(impl Fn(usize) + Sync),
+) -> f64 {
+    let mut samples: Vec<f64> = Vec::new();
+    for run in 0..=runs {
+        let barrier = Barrier::new(readers);
+        let t0 = Instant::now();
+        let elapsed = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..readers)
+                .map(|r| {
+                    let barrier = &barrier;
+                    let read = &read;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        for _ in 0..iters {
+                            read(r);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("reader panicked");
+            }
+            t0.elapsed().as_secs_f64()
+        });
+        if run > 0 {
+            // run 0 is the warm-up
+            samples.push((readers * iters * n_tokens) as f64 / elapsed);
+        }
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Bit-identity gate: a concurrent sharded read of every stream equals its
+/// sequential read.
+fn verify<S: ChunkStore>(mgr: &StorageManager<S>, streams: &[StreamId], spec: &Spec) {
+    let reference: Vec<Tensor2> = streams
+        .iter()
+        .map(|&s| mgr.read_rows(s, 0, spec.n_tokens as u64).expect("seq read"))
+        .collect();
+    std::thread::scope(|scope| {
+        for (i, &s) in streams.iter().enumerate() {
+            let reference = &reference;
+            scope.spawn(move || {
+                let got = mgr
+                    .read_rows(s, 0, spec.n_tokens as u64)
+                    .expect("conc read");
+                assert_eq!(
+                    got, reference[i],
+                    "concurrent read of {s:?} must be bit-identical"
+                );
+            });
+        }
+    });
+}
+
+/// Measures one backend: sharded vs single-mutex baseline across reader
+/// counts; returns (json rows, sharded/mutex ratio at 4 readers).
+fn bench_backend<S: ChunkStore>(
+    mgr: &StorageManager<S>,
+    spec: &Spec,
+    iters: usize,
+) -> (Vec<String>, Option<f64>) {
+    let streams = stream_ids(spec.n_streams);
+    verify(mgr, &streams, spec);
+
+    // The pre-shard manager: one lock held across backend IO + decode.
+    let global = Mutex::new(());
+
+    let mut rows = Vec::new();
+    let mut ratio_at_4 = None;
+    let mut sharded_at_1 = None;
+    for &r in &spec.reader_counts {
+        let sharded = throughput(r, iters, spec.n_tokens, spec.runs, &|reader: usize| {
+            let s = streams[reader % streams.len()];
+            std::hint::black_box(mgr.read_rows(s, 0, spec.n_tokens as u64).expect("read"));
+        });
+        let mutexed = throughput(r, iters, spec.n_tokens, spec.runs, &|reader: usize| {
+            let s = streams[reader % streams.len()];
+            let _serialized = global.lock().expect("baseline lock");
+            std::hint::black_box(mgr.read_rows(s, 0, spec.n_tokens as u64).expect("read"));
+        });
+        let ratio = sharded / mutexed;
+        if r == 4 {
+            ratio_at_4 = Some(ratio);
+        }
+        let scaling = sharded / *sharded_at_1.get_or_insert(sharded);
+        rows.push(format!(
+            r#"      {{ "readers": {r}, "sharded_tokens_per_sec": {sharded:.0}, "mutex_tokens_per_sec": {mutexed:.0}, "sharded_vs_mutex": {ratio:.2}, "sharded_scaling_vs_1_reader": {scaling:.2} }}"#
+        ));
+    }
+    (rows, ratio_at_4)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_storage.json".into());
+
+    let spec = spec(tiny);
+    let streams = stream_ids(spec.n_streams);
+    let root = std::env::temp_dir().join(format!("bench-storage-conc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let mut backends = Vec::new();
+    let headline;
+
+    // --- file: page-cache-speed FileStore --------------------------------
+    {
+        let store = Arc::new(FileStore::new(root.join("file"), N_DEVICES).expect("store dir"));
+        let mgr = StorageManager::new(store, spec.d_model);
+        fill(&mgr, &streams, &spec);
+        let (rows, _) = bench_backend(&mgr, &spec, spec.iters_file);
+        backends.push(("file", rows));
+    }
+
+    // --- ssd_model: per-device service time ------------------------------
+    {
+        let file = Arc::new(FileStore::new(root.join("ssd"), N_DEVICES).expect("store dir"));
+        let store = Arc::new(LatencyStore::new(
+            file,
+            spec.read_latency,
+            Duration::from_micros(50),
+        ));
+        let mgr = StorageManager::new(store, spec.d_model);
+        fill(&mgr, &streams, &spec);
+        let (rows, ratio) = bench_backend(&mgr, &spec, spec.iters_ssd);
+        headline = ratio;
+        backends.push(("ssd_model", rows));
+    }
+
+    // --- tiered_ssd_model: DRAM front over the modeled SSDs --------------
+    {
+        let file = Arc::new(FileStore::new(root.join("tiered"), N_DEVICES).expect("store dir"));
+        let ssd = Arc::new(LatencyStore::new(
+            file,
+            spec.read_latency,
+            Duration::from_micros(50),
+        ));
+        // A quarter of the working set: small enough that even 4 readers'
+        // streams churn the LRU and mix front hits with device traffic.
+        let working_set = (spec.n_streams * spec.n_tokens * spec.d_model * 2) as u64;
+        let store = Arc::new(TieredStore::new(ssd, working_set / 4));
+        let mgr = StorageManager::new(store, spec.d_model);
+        fill(&mgr, &streams, &spec);
+        let (rows, _) = bench_backend(&mgr, &spec, spec.iters_ssd);
+        backends.push(("tiered_ssd_model", rows));
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let backends_json = backends
+        .iter()
+        .map(|(name, rows)| {
+            format!(
+                "    {{ \"backend\": \"{name}\", \"rows\": [\n{}\n    ] }}",
+                rows.join(",\n")
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let headline = headline.expect("reader_counts includes 4");
+
+    let json = format!(
+        r#"{{
+  "bench": "storage_concurrency",
+  "description": "Aggregate StorageManager::read_rows throughput vs concurrent reader count; medians of {runs} runs. Each reader re-reads its own {n_tokens}-token stream ({n_streams} streams striped over {n_devices} devices). 'sharded' is today's manager (per-stream RwLocks, backend IO + decode outside any lock); 'mutex' wraps every read in one global lock — the serialization the manager had before sharding. ssd_model charges {latency_us}us per chunk read with one request in flight per device (LatencyStore), the regime where overlapping backend IO pays; tiered_ssd_model adds a DRAM front cache sized to a quarter of the working set (real LRU churn).",
+  "d_model": {d_model},
+  "n_tokens_per_stream": {n_tokens},
+  "n_streams": {n_streams},
+  "n_devices": {n_devices},
+  "chunk_read_latency_us": {latency_us},
+  "host_threads": {host_threads},
+  "tiny": {tiny},
+  "note": "the sharded-vs-mutex win comes from overlapping device service time, not from extra cores: it holds even on a single-core host. The plain 'file' backend has ~zero IO latency, so it bounds lock overhead instead.",
+  "sharded_vs_mutex_at_4_readers_ssd_model": {headline:.2},
+  "backends": [
+{backends_json}
+  ],
+  "bit_identical_concurrent_reads": true
+}}
+"#,
+        runs = spec.runs,
+        n_tokens = spec.n_tokens,
+        n_streams = spec.n_streams,
+        n_devices = N_DEVICES,
+        latency_us = spec.read_latency.as_micros(),
+        d_model = spec.d_model,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_storage.json");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

@@ -16,7 +16,12 @@
 //!   the session's `LayerMethod` mix; it never corrupts saved state, so a
 //!   restore after any eviction sequence is still bit-identical to a
 //!   sequential restore of the surviving mix (and recomputed layers are
-//!   bit-exact against a fresh forward pass).
+//!   bit-exact against a fresh forward pass). Stream deletion rides the
+//!   sharded manager's tombstone protocol, so the bytes `delete_stream`
+//!   reports stay exactly the bytes the quota released even while restores
+//!   and the save daemon run concurrently; the quota's aggregate check
+//!   reads the manager's atomic `total_resident_bytes` without taking any
+//!   stream lock.
 //! * [`scheduler::RestoreScheduler`] — admits N concurrent pipelined
 //!   restores from an arrival trace, splitting one host `ParallelConfig`
 //!   budget across in-flight sessions.

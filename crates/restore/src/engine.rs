@@ -358,6 +358,12 @@ pub struct RestoreRequest {
 /// [`restore_session_with_methods`] call would produce (bit-identical: the
 /// per-session pipelines never share mutable state, and the parallel
 /// kernels are bit-equal to serial at any thread count).
+///
+/// The storage manager is sharded, so the N in-flight prefetchers overlap
+/// their backend reads and chunk decodes instead of convoying on a
+/// manager-wide lock — aggregate read throughput scales with the worker
+/// count up to the device array's parallelism (see
+/// `bench_storage_concurrency`).
 pub fn restore_sessions_concurrent<S: ChunkStore + Sync>(
     model: &Model,
     mgr: &StorageManager<S>,

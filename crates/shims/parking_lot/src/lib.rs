@@ -2,13 +2,14 @@
 //!
 //! The build environment has no registry access, so this workspace vendors
 //! the tiny slice of the `parking_lot` API the codebase uses — a `Mutex`
-//! whose `lock()` does not return a poisoning `Result` — implemented on top
-//! of `std::sync::Mutex`. Poisoning is deliberately swallowed: a panicking
-//! writer leaves data in a consistent state for every use in this workspace
-//! (all critical sections are short and non-reentrant).
+//! and an `RwLock` whose `lock()`/`read()`/`write()` do not return a
+//! poisoning `Result` — implemented on top of the `std::sync` primitives.
+//! Poisoning is deliberately swallowed: a panicking writer leaves data in a
+//! consistent state for every use in this workspace (all critical sections
+//! are short and non-reentrant).
 
 use std::fmt;
-use std::sync::MutexGuard;
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual exclusion primitive with `parking_lot`'s panic-free `lock()`.
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
@@ -70,6 +71,83 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+/// A reader-writer lock with `parking_lot`'s panic-free `read()`/`write()`.
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        Self(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.0.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.0.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Attempts shared read access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts exclusive write access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_read() {
+            Some(guard) => f.debug_struct("RwLock").field("data", &&*guard).finish(),
+            None => f.write_str("RwLock { <locked> }"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +180,41 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert_eq!(m.try_lock().map(|g| *g), Some(5));
+    }
+
+    #[test]
+    fn rwlock_shared_reads_exclusive_writes() {
+        let l = RwLock::new(7);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!((*a, *b), (7, 7));
+            assert!(l.try_write().is_none(), "readers block writers");
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 8);
+    }
+
+    #[test]
+    fn rwlock_write_blocks_readers() {
+        let l = RwLock::new(0);
+        let g = l.write();
+        assert!(l.try_read().is_none());
+        drop(g);
+        assert_eq!(l.try_read().map(|g| *g), Some(0));
+    }
+
+    #[test]
+    fn rwlock_survives_a_poisoning_panic() {
+        let l = Arc::new(RwLock::new(3));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison");
+        })
+        .join();
+        // parking_lot semantics: the lock is usable afterwards.
+        assert_eq!(*l.read(), 3);
+        assert_eq!(RwLock::new(4).into_inner(), 4);
     }
 }

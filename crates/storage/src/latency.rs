@@ -1,0 +1,197 @@
+//! Simulated device latency for chunk stores.
+//!
+//! The functional backends ([`crate::backend::MemStore`],
+//! [`crate::backend::FileStore`]) complete IO at page-cache speed, which
+//! hides the property the sharded [`crate::manager::StorageManager`] is
+//! built to exploit: on real NVMe devices a chunk read *occupies one
+//! device for tens of microseconds* while the CPU is free, so concurrent
+//! readers that do not serialize on a manager lock overlap their IO across
+//! devices. [`LatencyStore`] makes that cost model explicit — the same move
+//! the `simhw` crate makes for GPUs — by charging a fixed service time per
+//! chunk operation **while holding that device's occupancy lock**:
+//!
+//! * per-device queues: two operations on the same device serialize (one
+//!   request in flight per device, like an iodepth-1 NVMe namespace);
+//!   operations on different devices proceed in parallel;
+//! * the wrapped store performs the data movement inside the occupancy
+//!   window, so payloads and accounting stay exactly those of the inner
+//!   backend — only wall-clock changes.
+//!
+//! `bench_storage_concurrency` drives managers over this wrapper to
+//! measure read-side scaling: with the old global manager mutex, N readers
+//! collapse to one device's throughput; with the sharded manager they
+//! approach the striped aggregate.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::backend::{ChunkStore, StoreStats};
+use crate::chunk::{device_for, ChunkKey};
+use crate::{StorageError, StreamId};
+
+/// A [`ChunkStore`] wrapper that models per-device service time.
+pub struct LatencyStore<B: ChunkStore> {
+    inner: Arc<B>,
+    read_latency: Duration,
+    write_latency: Duration,
+    /// One occupancy lock per device of the inner store: held for the
+    /// duration of each chunk operation's simulated service time.
+    occupancy: Vec<Mutex<()>>,
+}
+
+impl<B: ChunkStore> LatencyStore<B> {
+    /// Wraps `inner`, charging `read_latency` per chunk read and
+    /// `write_latency` per chunk write on the owning device.
+    pub fn new(inner: Arc<B>, read_latency: Duration, write_latency: Duration) -> Self {
+        let n = inner.n_devices();
+        Self {
+            inner,
+            read_latency,
+            write_latency,
+            occupancy: (0..n).map(|_| Mutex::new(())).collect(),
+        }
+    }
+
+    /// Wrapped store handle.
+    pub fn inner(&self) -> &Arc<B> {
+        &self.inner
+    }
+
+    fn device_of(&self, key: &ChunkKey) -> usize {
+        device_for(key, self.occupancy.len())
+    }
+}
+
+impl<B: ChunkStore> ChunkStore for LatencyStore<B> {
+    fn write_chunk(&self, key: ChunkKey, data: &[u8]) -> Result<(), StorageError> {
+        let _device = self.occupancy[self.device_of(&key)].lock();
+        std::thread::sleep(self.write_latency);
+        self.inner.write_chunk(key, data)
+    }
+
+    fn read_chunk(&self, key: ChunkKey) -> Result<Vec<u8>, StorageError> {
+        let _device = self.occupancy[self.device_of(&key)].lock();
+        std::thread::sleep(self.read_latency);
+        self.inner.read_chunk(key)
+    }
+
+    fn contains(&self, key: ChunkKey) -> bool {
+        // Metadata probe: no device occupancy.
+        self.inner.contains(key)
+    }
+
+    fn delete_stream(&self, stream: StreamId) -> u64 {
+        // Deletes are metadata operations (TRIM-like): not charged.
+        self.inner.delete_stream(stream)
+    }
+
+    fn n_devices(&self) -> usize {
+        self.inner.n_devices()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemStore;
+    use std::time::Instant;
+
+    fn key(stream: StreamId, chunk_idx: u32) -> ChunkKey {
+        ChunkKey { stream, chunk_idx }
+    }
+
+    #[test]
+    fn payloads_round_trip_unchanged() {
+        let s = LatencyStore::new(
+            Arc::new(MemStore::new(2)),
+            Duration::from_micros(10),
+            Duration::from_micros(10),
+        );
+        let k = key(StreamId::hidden(1, 0), 0);
+        s.write_chunk(k, &[1, 2, 3]).unwrap();
+        assert_eq!(s.read_chunk(k).unwrap(), vec![1, 2, 3]);
+        assert!(s.contains(k));
+        assert_eq!(s.delete_stream(StreamId::hidden(1, 0)), 3);
+        assert!(!s.contains(k));
+    }
+
+    #[test]
+    fn reads_are_charged_service_time() {
+        let latency = Duration::from_millis(2);
+        let s = LatencyStore::new(Arc::new(MemStore::new(1)), latency, Duration::ZERO);
+        let k = key(StreamId::hidden(1, 0), 0);
+        s.write_chunk(k, &[0u8; 8]).unwrap();
+        let t = Instant::now();
+        for _ in 0..5 {
+            s.read_chunk(k).unwrap();
+        }
+        assert!(t.elapsed() >= 5 * latency, "service time must accrue");
+    }
+
+    #[test]
+    fn distinct_devices_serve_in_parallel() {
+        // Two chunks striped to two devices: concurrent reads overlap their
+        // service time, so 2×N reads finish in ~N× latency, not 2N×.
+        let latency = Duration::from_millis(2);
+        let n = 8;
+        let s = Arc::new(LatencyStore::new(
+            Arc::new(MemStore::new(2)),
+            latency,
+            Duration::ZERO,
+        ));
+        let k0 = key(StreamId::hidden(1, 0), 0);
+        let k1 = key(StreamId::hidden(1, 0), 1);
+        s.write_chunk(k0, &[0u8; 8]).unwrap();
+        s.write_chunk(k1, &[1u8; 8]).unwrap();
+        let t = Instant::now();
+        std::thread::scope(|scope| {
+            for k in [k0, k1] {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..n {
+                        s.read_chunk(k).unwrap();
+                    }
+                });
+            }
+        });
+        let elapsed = t.elapsed();
+        assert!(
+            elapsed < latency * (2 * n as u32 - 2),
+            "devices must overlap: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn same_device_serializes() {
+        let latency = Duration::from_millis(2);
+        let n = 4;
+        let s = Arc::new(LatencyStore::new(
+            Arc::new(MemStore::new(1)),
+            latency,
+            Duration::ZERO,
+        ));
+        let k = key(StreamId::hidden(1, 0), 0);
+        s.write_chunk(k, &[0u8; 8]).unwrap();
+        let t = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..n {
+                        s.read_chunk(k).unwrap();
+                    }
+                });
+            }
+        });
+        assert!(
+            t.elapsed() >= latency * (2 * n as u32),
+            "one device admits one op at a time"
+        );
+    }
+}

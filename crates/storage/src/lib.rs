@@ -21,7 +21,17 @@
 //!   writes).
 //! * **Manager** ([`manager::StorageManager`]): append/read API with f16
 //!   encoding, partial-chunk buffering, and per-layer batched reads in
-//!   restoration order.
+//!   restoration order. The manager is **sharded for concurrent stream
+//!   IO**: a briefly-held outer map resolves streams to per-stream
+//!   `RwLock` cells, reads snapshot their stream's cursors and then decode
+//!   with *no lock held*, writes hold only their own stream's lock, and
+//!   the aggregate resident-byte figure is an atomic — see the
+//!   [`manager`] module docs for the full locking discipline (lock order
+//!   map→stream; nothing held across read IO).
+//! * **Latency model** ([`latency::LatencyStore`]): wraps any backend with
+//!   per-device service time and occupancy (one request in flight per
+//!   device), so benches measure the IO-overlap behavior real NVMe arrays
+//!   exhibit instead of page-cache speed.
 //! * **Two-stage saver** ([`two_stage`]): stage 1 snapshots a batch of new
 //!   rows synchronously (cheap memcpy, as `cudaMemcpy` to host DRAM in the
 //!   paper); stage 2, a background daemon, reorganizes rows into chunks and
@@ -33,6 +43,7 @@
 
 pub mod backend;
 pub mod chunk;
+pub mod latency;
 pub mod layout;
 pub mod manager;
 pub mod tiered;

@@ -1,10 +1,57 @@
 //! The storage manager: append/read token-row streams as f16 chunks.
+//!
+//! # Sharded locking discipline
+//!
+//! The manager is built for concurrent stream IO: N pipelined restores
+//! (readers), the two-stage saver's chunk daemon (an appender) and the
+//! cache controller's demotion sweep (a deleter) all run against one
+//! manager at once, and none of them may serialize the others on backend
+//! IO or f16 decode. The state is therefore sharded two levels deep:
+//!
+//! * an **outer map** `RwLock<HashMap<StreamId, Arc<RwLock<StreamState>>>>`
+//!   that only resolves stream ids to their state cell (held for
+//!   microseconds — never across backend IO or codec work), and
+//! * a **per-stream `RwLock<StreamState>`** guarding that stream's append
+//!   cursor, partial-tail buffer and resident-byte figure.
+//!
+//! Lock order is strictly **map before stream**: no code path acquires the
+//! outer map lock while holding a stream lock (paths that need both drop
+//! the stream guard first). What may be held across backend IO:
+//!
+//! * [`StorageManager::read_rows`] — **nothing**. It snapshots the
+//!   stream's durable cursor (and clones the partial tail if the range
+//!   touches it) under a brief per-stream *read* lock, then performs every
+//!   backend read and every f16/int8 decode with no lock held. Durable
+//!   chunks are immutable once the cursor covers them, so the snapshot
+//!   stays valid without the lock.
+//! * [`StorageManager::append_rows`] / [`StorageManager::flush_stream`] /
+//!   [`StorageManager::delete_stream`] — only **their own stream's write
+//!   lock**. This preserves per-stream ordering (chunks become durable
+//!   before the cursor advances past them) while leaving every other
+//!   stream fully concurrent.
+//!
+//! The aggregate [`StorageManager::total_resident_bytes`] figure lives in
+//! an atomic, updated in the same stream-write critical sections that edit
+//! the per-stream figures, so quota trackers poll it lock-free.
+//!
+//! Deletion vs. concurrent appends uses a tombstone: `delete_stream` marks
+//! the state deleted and wipes the backend *while holding the stream write
+//! lock*, then drops the dead map entry. A writer holding a stale handle
+//! observes the tombstone (only ever after the backend wipe completed,
+//! since it had to wait for the same write lock) and retries through the
+//! map, starting a fresh stream — exactly the sequential
+//! delete-then-append semantics — so freed bytes always equal the tracked
+//! resident bytes, never counting rows that arrived after the wipe. A
+//! *reader* whose snapshot cell gets tombstoned mid-IO re-checks the
+//! tombstone after its lock-free phase and retries against the successor
+//! state, so a delete + restart never yields mixed-generation rows.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use hc_tensor::Tensor2;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use crate::backend::{ChunkStore, StoreStats};
 use crate::chunk::{chunks_for_range, ChunkKey, CHUNK_TOKENS};
@@ -30,6 +77,10 @@ struct StreamState {
     /// `resident_bytes`; replaced on re-flush, absorbed when the chunk
     /// completes).
     tail_bytes: u64,
+    /// Tombstone left by [`StorageManager::delete_stream`]: the backend
+    /// chunks are gone and this cell must not be written again. Writers
+    /// holding a stale handle retry through the map (see module docs).
+    deleted: bool,
 }
 
 /// Chunked f16 storage for token-row streams, generic over the backend.
@@ -39,6 +90,11 @@ struct StreamState {
 /// full chunks are written immediately, the partial tail is buffered until
 /// [`StorageManager::flush_stream`] (the two-stage saver's daemon calls the
 /// append path, so this buffering is exactly the paper's "chunk buffers").
+///
+/// Concurrency: see the module docs — readers of distinct (or identical)
+/// streams never contend on backend IO or decode, appends serialize only
+/// within their own stream, and the aggregate byte accounting is lock-free
+/// to read.
 pub struct StorageManager<S: ChunkStore> {
     store: Arc<S>,
     d_model: usize,
@@ -47,7 +103,12 @@ pub struct StorageManager<S: ChunkStore> {
     /// saver's daemon and the restore prefetcher, which run through this
     /// manager).
     parallel: hc_tensor::ParallelConfig,
-    streams: Mutex<HashMap<StreamId, StreamState>>,
+    /// Outer shard map: stream id → per-stream state cell. Held only to
+    /// resolve/insert/remove entries, never across IO or codec work.
+    streams: RwLock<HashMap<StreamId, Arc<RwLock<StreamState>>>>,
+    /// Sum of every stream's `resident_bytes`, maintained in the same
+    /// stream-write critical sections that edit the per-stream figures.
+    total_resident: AtomicU64,
 }
 
 impl<S: ChunkStore> StorageManager<S> {
@@ -66,7 +127,8 @@ impl<S: ChunkStore> StorageManager<S> {
             d_model,
             precision,
             parallel: hc_tensor::ParallelConfig::serial(),
-            streams: Mutex::new(HashMap::new()),
+            streams: RwLock::new(HashMap::new()),
+            total_resident: AtomicU64::new(0),
         }
     }
 
@@ -98,15 +160,66 @@ impl<S: ChunkStore> StorageManager<S> {
         &self.store
     }
 
+    /// The live state cell for `stream`, if any.
+    fn stream_handle(&self, stream: StreamId) -> Option<Arc<RwLock<StreamState>>> {
+        self.streams.read().get(&stream).cloned()
+    }
+
+    /// Runs `f` under `stream`'s write lock. With `create`, a missing
+    /// entry is inserted first (and `None` is never returned); without it,
+    /// a missing entry returns `None` untouched.
+    ///
+    /// A tombstoned cell (concurrent [`StorageManager::delete_stream`]) is
+    /// unlinked from the map and the lookup retried, so `f` always runs on
+    /// a live state — and, because the tombstone is only observable after
+    /// the deleter released the stream write lock, strictly after the
+    /// backend wipe finished.
+    fn with_stream_mut<R>(
+        &self,
+        stream: StreamId,
+        create: bool,
+        mut f: impl FnMut(&mut StreamState) -> R,
+    ) -> Option<R> {
+        loop {
+            let cell = {
+                let map = self.streams.read();
+                match map.get(&stream) {
+                    Some(c) => Arc::clone(c),
+                    None => {
+                        drop(map);
+                        if !create {
+                            return None;
+                        }
+                        Arc::clone(self.streams.write().entry(stream).or_default())
+                    }
+                }
+            };
+            let mut state = cell.write();
+            if state.deleted {
+                // Unlink the dead cell (unless someone already replaced
+                // it) and retry through the map. Lock order: the stream
+                // guard drops before the map lock is taken.
+                drop(state);
+                let mut map = self.streams.write();
+                if map.get(&stream).is_some_and(|cur| Arc::ptr_eq(cur, &cell)) {
+                    map.remove(&stream);
+                }
+                continue;
+            }
+            return Some(f(&mut state));
+        }
+    }
+
     /// Tokens appended to `stream` so far.
     pub fn n_tokens(&self, stream: StreamId) -> u64 {
-        self.streams.lock().get(&stream).map_or(0, |s| s.n_tokens)
+        self.stream_handle(stream).map_or(0, |c| c.read().n_tokens)
     }
 
     /// Appends `rows` (an `n × d_model` tensor) to the stream.
     ///
     /// Full chunks are encoded to f16 and written to the backend right away;
-    /// the remainder is buffered.
+    /// the remainder is buffered. Only this stream's write lock is held —
+    /// appends to other streams, and all reads, proceed concurrently.
     ///
     /// # Panics
     /// Panics when the row width disagrees with the manager's `d_model`.
@@ -115,29 +228,32 @@ impl<S: ChunkStore> StorageManager<S> {
         if rows.rows() == 0 {
             return Ok(());
         }
-        let mut streams = self.streams.lock();
-        let state = streams.entry(stream).or_default();
-        state.partial.extend_from_slice(rows.as_slice());
-        state.n_tokens += rows.rows() as u64;
+        self.with_stream_mut(stream, true, |state| {
+            state.partial.extend_from_slice(rows.as_slice());
+            state.n_tokens += rows.rows() as u64;
 
-        // Drain any full chunks from the buffer.
-        let chunk_elems = CHUNK_TOKENS as usize * self.d_model;
-        while state.partial.len() >= chunk_elems {
-            let chunk_idx = (state.n_durable / CHUNK_TOKENS) as u32;
-            let rest = state.partial.split_off(chunk_elems);
-            let full = std::mem::replace(&mut state.partial, rest);
-            let bytes = self
-                .precision
-                .encode_par(&full, self.d_model, &self.parallel);
-            self.store
-                .write_chunk(ChunkKey { stream, chunk_idx }, &bytes)?;
-            // The full chunk lands at the index a flushed tail (if any)
-            // occupied, replacing those bytes rather than adding to them.
-            state.resident_bytes += bytes.len() as u64 - state.tail_bytes;
-            state.tail_bytes = 0;
-            state.n_durable += CHUNK_TOKENS;
-        }
-        Ok(())
+            // Drain any full chunks from the buffer.
+            let chunk_elems = CHUNK_TOKENS as usize * self.d_model;
+            while state.partial.len() >= chunk_elems {
+                let chunk_idx = (state.n_durable / CHUNK_TOKENS) as u32;
+                let rest = state.partial.split_off(chunk_elems);
+                let full = std::mem::replace(&mut state.partial, rest);
+                let bytes = self
+                    .precision
+                    .encode_par(&full, self.d_model, &self.parallel);
+                self.store
+                    .write_chunk(ChunkKey { stream, chunk_idx }, &bytes)?;
+                // The full chunk lands at the index a flushed tail (if any)
+                // occupied, replacing those bytes rather than adding to them.
+                let delta = bytes.len() as u64 - state.tail_bytes;
+                state.resident_bytes += delta;
+                self.total_resident.fetch_add(delta, Ordering::Relaxed);
+                state.tail_bytes = 0;
+                state.n_durable += CHUNK_TOKENS;
+            }
+            Ok(())
+        })
+        .expect("create=true always yields a state")
     }
 
     /// Convenience: appends a single token row.
@@ -149,27 +265,30 @@ impl<S: ChunkStore> StorageManager<S> {
     /// Writes the buffered partial tail chunk (if any) to the backend. The
     /// buffer is retained so later appends can extend and rewrite the tail.
     pub fn flush_stream(&self, stream: StreamId) -> Result<(), StorageError> {
-        let mut streams = self.streams.lock();
-        if let Some(state) = streams.get_mut(&stream) {
-            if !state.partial.is_empty() {
-                let chunk_idx = (state.n_durable / CHUNK_TOKENS) as u32;
-                let bytes = self
-                    .precision
-                    .encode_par(&state.partial, self.d_model, &self.parallel);
-                self.store
-                    .write_chunk(ChunkKey { stream, chunk_idx }, &bytes)?;
-                // Re-flushing replaces the previous tail image in place.
-                state.resident_bytes += bytes.len() as u64 - state.tail_bytes;
-                state.tail_bytes = bytes.len() as u64;
+        self.with_stream_mut(stream, false, |state| {
+            if state.partial.is_empty() {
+                return Ok(());
             }
-        }
-        Ok(())
+            let chunk_idx = (state.n_durable / CHUNK_TOKENS) as u32;
+            let bytes = self
+                .precision
+                .encode_par(&state.partial, self.d_model, &self.parallel);
+            self.store
+                .write_chunk(ChunkKey { stream, chunk_idx }, &bytes)?;
+            // Re-flushing replaces the previous tail image in place.
+            let delta = bytes.len() as u64 - state.tail_bytes;
+            state.resident_bytes += delta;
+            self.total_resident.fetch_add(delta, Ordering::Relaxed);
+            state.tail_bytes = bytes.len() as u64;
+            Ok(())
+        })
+        .unwrap_or(Ok(()))
     }
 
     /// Flushes every stream of `session`.
     pub fn flush_session(&self, session: u64) -> Result<(), StorageError> {
         let ids: Vec<StreamId> = {
-            let streams = self.streams.lock();
+            let streams = self.streams.read();
             streams
                 .keys()
                 .filter(|s| s.session == session)
@@ -185,96 +304,168 @@ impl<S: ChunkStore> StorageManager<S> {
     /// Reads token rows `[start, end)` of `stream` as an f32 tensor
     /// (values carry the f16 round-trip). Serves durable chunks from the
     /// backend and the unflushed tail from the buffer.
+    ///
+    /// Concurrency: the stream's state is snapshotted under a brief read
+    /// lock (cursor positions, plus a copy of the partial tail when the
+    /// range needs it); **no lock is held across the backend reads or the
+    /// chunk decodes**, so any number of concurrent `read_rows` calls —
+    /// same stream or different streams — overlap their IO and decode
+    /// fully. Durable chunks are immutable once the snapshot's cursor
+    /// covers them, which keeps the lock-free phase consistent even while
+    /// appenders extend the stream. A concurrent `delete_stream` (possibly
+    /// followed by a restarting appender reusing the same chunk keys)
+    /// tombstones the snapshotted cell, which this method re-checks after
+    /// the IO phase — a stale generation is retried against the successor
+    /// state instead of returning mixed-generation rows.
     pub fn read_rows(
         &self,
         stream: StreamId,
         start: u64,
         end: u64,
     ) -> Result<Tensor2, StorageError> {
-        let streams = self.streams.lock();
-        let state = streams.get(&stream);
-        let available = state.map_or(0, |s| s.n_tokens);
-        if end > available {
-            return Err(StorageError::OutOfRange {
-                stream,
-                available,
-                requested: end,
-            });
-        }
-        let n = (end - start) as usize;
-        let mut out = Tensor2::zeros(n, self.d_model);
-        if n == 0 {
-            return Ok(out);
-        }
-        let state = state.expect("available > 0 implies state exists");
-        for slice in chunks_for_range(start, end) {
-            let chunk_start_token = slice.chunk_idx as u64 * CHUNK_TOKENS;
-            let key = ChunkKey {
-                stream,
-                chunk_idx: slice.chunk_idx,
+        loop {
+            // --- Locked phase: snapshot the cursors (+ tail if needed). ---
+            let cell = self.stream_handle(stream);
+            let (available, durable, tail) = match &cell {
+                Some(cell) => {
+                    let state = cell.read();
+                    let available = state.n_tokens;
+                    // The tail buffer is only needed when the range reaches
+                    // past the durable prefix; clone it under the read lock
+                    // so the quantization round-trip below runs lock-free.
+                    let tail = if end > state.n_durable && !state.partial.is_empty() {
+                        Some(state.partial.clone())
+                    } else {
+                        None
+                    };
+                    (available, state.n_durable, tail)
+                }
+                None => (0, 0, None),
             };
-            // Rows of this chunk that are durable come from the backend;
-            // otherwise they live in the partial buffer.
-            let durable = state.n_durable;
-            let rows: Vec<f32> = if chunk_start_token + slice.start_in_chunk + slice.len <= durable
-            {
-                let bytes = self.store.read_chunk(key)?;
-                self.precision
-                    .decode_par(&bytes, self.d_model, &self.parallel)
-            } else {
-                // Tail chunk: rebuild from buffer (buffer rows start at
-                // token n_durable == chunk_start_token for the tail).
-                debug_assert_eq!(chunk_start_token, durable);
-                // Apply the same quantization a durable path would.
-                self.precision.decode_par(
-                    &self
-                        .precision
-                        .encode_par(&state.partial, self.d_model, &self.parallel),
-                    self.d_model,
-                    &self.parallel,
-                )
-            };
-            let src_row0 = slice.start_in_chunk as usize;
-            let dst_row0 = (chunk_start_token + slice.start_in_chunk - start) as usize;
-            for r in 0..slice.len as usize {
-                let src = &rows[(src_row0 + r) * self.d_model..(src_row0 + r + 1) * self.d_model];
-                out.row_mut(dst_row0 + r).copy_from_slice(src);
+            if end > available {
+                // A tombstoned cell reads as empty — the linearization
+                // point is "just after the delete", like a sequential
+                // read-after-delete.
+                return Err(StorageError::OutOfRange {
+                    stream,
+                    available,
+                    requested: end,
+                });
             }
+            let n = (end - start) as usize;
+            let mut out = Tensor2::zeros(n, self.d_model);
+            if n == 0 {
+                return Ok(out);
+            }
+
+            // --- Lock-free phase: backend IO + decode. ---
+            let result = (|| {
+                for slice in chunks_for_range(start, end) {
+                    let chunk_start_token = slice.chunk_idx as u64 * CHUNK_TOKENS;
+                    let key = ChunkKey {
+                        stream,
+                        chunk_idx: slice.chunk_idx,
+                    };
+                    // Rows of this chunk that are durable come from the
+                    // backend; otherwise from the snapshotted partial buffer.
+                    let rows: Vec<f32> =
+                        if chunk_start_token + slice.start_in_chunk + slice.len <= durable {
+                            let bytes = self.store.read_chunk(key)?;
+                            // A chunk shorter than the snapshot promises (or
+                            // torn to a non-row length) means the stream was
+                            // wiped and restarted under this read — surface
+                            // a retryable error instead of panicking in the
+                            // decode/copy below; the tombstone check decides.
+                            let per_row = self.precision.encoded_len(1, self.d_model);
+                            let have_rows = bytes.len() / per_row;
+                            if !bytes.len().is_multiple_of(per_row)
+                                || have_rows < (slice.start_in_chunk + slice.len) as usize
+                            {
+                                return Err(StorageError::MissingChunk {
+                                    stream,
+                                    chunk_idx: slice.chunk_idx,
+                                });
+                            }
+                            self.precision
+                                .decode_par(&bytes, self.d_model, &self.parallel)
+                        } else {
+                            // Tail chunk: rebuild from the snapshot (buffer
+                            // rows start at token n_durable ==
+                            // chunk_start_token for the tail).
+                            debug_assert_eq!(chunk_start_token, durable);
+                            let partial = tail.as_deref().expect("range past durable implies tail");
+                            // Apply the same quantization a durable path would.
+                            self.precision.decode_par(
+                                &self
+                                    .precision
+                                    .encode_par(partial, self.d_model, &self.parallel),
+                                self.d_model,
+                                &self.parallel,
+                            )
+                        };
+                    let src_row0 = slice.start_in_chunk as usize;
+                    let dst_row0 = (chunk_start_token + slice.start_in_chunk - start) as usize;
+                    for r in 0..slice.len as usize {
+                        let src =
+                            &rows[(src_row0 + r) * self.d_model..(src_row0 + r + 1) * self.d_model];
+                        out.row_mut(dst_row0 + r).copy_from_slice(src);
+                    }
+                }
+                Ok(out)
+            })();
+
+            // --- Generation check: if the snapshotted cell was tombstoned
+            // while the IO ran, the fetched chunks may mix the deleted
+            // generation with a restarted appender's fresh writes (same
+            // chunk keys). Retry against the successor state; spurious
+            // MissingChunk errors from the wipe are retried away too.
+            if cell.is_some_and(|c| c.read().deleted) {
+                continue;
+            }
+            return result;
         }
-        Ok(out)
     }
 
     /// Backend bytes currently held by `stream` (durable chunks including
     /// the flushed tail; rows still sitting in the partial buffer occupy no
     /// backend bytes until a flush).
     pub fn stream_bytes(&self, stream: StreamId) -> u64 {
+        self.stream_handle(stream)
+            .map_or(0, |c| c.read().resident_bytes)
+    }
+
+    /// State cells of every stream of `session` (map lock released before
+    /// any per-stream lock is taken).
+    fn session_handles(&self, session: u64) -> Vec<Arc<RwLock<StreamState>>> {
         self.streams
-            .lock()
-            .get(&stream)
-            .map_or(0, |s| s.resident_bytes)
+            .read()
+            .iter()
+            .filter(|(id, _)| id.session == session)
+            .map(|(_, c)| Arc::clone(c))
+            .collect()
     }
 
     /// Backend bytes currently held by every stream of `session` — the
     /// figure a quota tracker charges, and exactly what
     /// [`StorageManager::delete_session`] will report as freed.
     pub fn session_bytes(&self, session: u64) -> u64 {
-        self.streams
-            .lock()
+        self.session_handles(session)
             .iter()
-            .filter(|(id, _)| id.session == session)
-            .map(|(_, s)| s.resident_bytes)
+            .map(|c| c.read().resident_bytes)
             .sum()
     }
 
-    /// Backend bytes currently held across all streams.
+    /// Backend bytes currently held across all streams. Served from an
+    /// atomic — no lock taken, so capacity control planes (hc-cachectl's
+    /// `QuotaTracker`) can poll it without stalling stream IO.
     pub fn total_resident_bytes(&self) -> u64 {
-        self.streams.lock().values().map(|s| s.resident_bytes).sum()
+        self.total_resident.load(Ordering::Relaxed)
     }
 
     /// Distinct sessions with any tracked stream state, ascending.
     pub fn sessions(&self) -> Vec<u64> {
         self.streams
-            .lock()
+            .read()
             .keys()
             .map(|s| s.session)
             .collect::<std::collections::BTreeSet<u64>>()
@@ -286,17 +477,54 @@ impl<S: ChunkStore> StorageManager<S> {
     /// freed in the backend. This is the cache controller's demotion
     /// primitive: dropping a layer's hidden/K/V stream while leaving the
     /// session's other streams intact.
+    ///
+    /// Concurrent appends to the same stream land either entirely before
+    /// the wipe (their bytes are counted in both the freed figure and the
+    /// backend sweep) or entirely after it (they restart the stream on a
+    /// fresh state cell) — never astride it, so the returned figure always
+    /// equals what the tracking APIs reported. Concurrent reads of the
+    /// deleted stream surface `MissingChunk`/`OutOfRange`, never torn data.
     pub fn delete_stream(&self, stream: StreamId) -> u64 {
-        let tracked = {
-            let mut streams = self.streams.lock();
-            streams.remove(&stream).map_or(0, |s| s.resident_bytes)
-        };
-        let freed = self.store.delete_stream(stream);
-        debug_assert_eq!(
-            freed, tracked,
-            "resident-byte tracking diverged from the backend for {stream:?}"
-        );
-        freed
+        if let Some(cell) = self.stream_handle(stream) {
+            let mut state = cell.write();
+            if !state.deleted {
+                // Tombstone + wipe under the stream write lock: a writer
+                // retrying onto a fresh cell cannot touch the backend
+                // until the wipe below has finished (it must first observe
+                // the tombstone, which requires this lock).
+                state.deleted = true;
+                let tracked = state.resident_bytes;
+                state.resident_bytes = 0;
+                state.tail_bytes = 0;
+                state.partial = Vec::new();
+                state.n_tokens = 0;
+                state.n_durable = 0;
+                self.total_resident.fetch_sub(tracked, Ordering::Relaxed);
+                let freed = self.store.delete_stream(stream);
+                debug_assert_eq!(
+                    freed, tracked,
+                    "resident-byte tracking diverged from the backend for {stream:?}"
+                );
+                drop(state);
+                // Unlink the dead cell unless a retrying writer already
+                // replaced it with a live successor.
+                let mut map = self.streams.write();
+                if map.get(&stream).is_some_and(|cur| Arc::ptr_eq(cur, &cell)) {
+                    map.remove(&stream);
+                }
+                return freed;
+            }
+            // Already tombstoned by a racing delete: that call owns the
+            // backend sweep; this one freed nothing.
+            return 0;
+        }
+        // Never tracked: nothing to free. Every backend write goes through
+        // a tracked cell (and tombstoned cells are wiped before their
+        // tombstone is observable), so an unconditional backend sweep here
+        // would only ever race a concurrent *first* append — deleting its
+        // freshly written chunks out from under live accounting. Returning
+        // 0 is the sequential delete-before-append linearization.
+        0
     }
 
     /// Deletes all state of `session`; returns bytes freed in the backend.
@@ -305,18 +533,14 @@ impl<S: ChunkStore> StorageManager<S> {
     /// exactly this amount.
     pub fn delete_session(&self, session: u64) -> u64 {
         let ids: Vec<StreamId> = {
-            let mut streams = self.streams.lock();
-            let ids: Vec<StreamId> = streams
+            let streams = self.streams.read();
+            streams
                 .keys()
                 .filter(|s| s.session == session)
                 .cloned()
-                .collect();
-            for id in &ids {
-                streams.remove(id);
-            }
-            ids
+                .collect()
         };
-        ids.iter().map(|id| self.store.delete_stream(*id)).sum()
+        ids.into_iter().map(|id| self.delete_stream(id)).sum()
     }
 
     /// Backend IO statistics.
@@ -572,5 +796,177 @@ mod tests {
         for (i, d) in stats.devices.iter().enumerate() {
             assert_eq!(d.writes, 2, "device {i} should hold 2 of 8 chunks");
         }
+    }
+
+    #[test]
+    fn append_after_delete_restarts_the_stream() {
+        // Sequential delete-then-append semantics, which the tombstone
+        // protocol also guarantees under concurrency.
+        let m = mgr();
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(70, 1)).unwrap();
+        m.flush_stream(s).unwrap();
+        assert_eq!(m.delete_stream(s), 70 * D as u64 * 2);
+        m.append_rows(s, &rows(10, 2)).unwrap();
+        assert_eq!(m.n_tokens(s), 10);
+        let back = m.read_rows(s, 0, 10).unwrap();
+        assert_eq!(back.get(0, 0), f16_roundtrip(rows(10, 2).get(0, 0)));
+        m.flush_stream(s).unwrap();
+        assert_eq!(m.stream_bytes(s), 10 * D as u64 * 2);
+        assert_eq!(m.total_resident_bytes(), 10 * D as u64 * 2);
+    }
+
+    #[test]
+    fn delete_of_untracked_stream_is_a_noop() {
+        let m = mgr();
+        assert_eq!(m.delete_stream(StreamId::hidden(5, 0)), 0);
+        // A first append racing such a delete must never lose its chunks:
+        // sequentially, delete-before-append leaves the append intact.
+        m.append_rows(StreamId::hidden(5, 0), &rows(64, 0)).unwrap();
+        assert_eq!(m.n_tokens(StreamId::hidden(5, 0)), 64);
+        assert_eq!(m.delete_stream(StreamId::hidden(5, 0)), 64 * D as u64 * 2);
+    }
+
+    #[test]
+    fn double_delete_frees_once() {
+        let m = mgr();
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(64, 0)).unwrap();
+        assert_eq!(m.delete_stream(s), 64 * D as u64 * 2);
+        assert_eq!(m.delete_stream(s), 0);
+        assert_eq!(m.total_resident_bytes(), 0);
+    }
+
+    #[test]
+    fn total_resident_bytes_is_consistent_under_concurrent_mutation() {
+        // Appenders + a deleter hammer distinct streams; afterwards the
+        // atomic aggregate equals the per-stream sum (and the backend).
+        let m = Arc::new(mgr());
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let m = Arc::clone(&m);
+                scope.spawn(move || {
+                    let s = StreamId::hidden(t, 0);
+                    for i in 0..20 {
+                        m.append_rows(s, &rows(16, i)).unwrap();
+                        m.flush_stream(s).unwrap();
+                        if i % 7 == 6 {
+                            m.delete_stream(s);
+                        }
+                    }
+                });
+            }
+        });
+        let per_stream_sum: u64 = m.sessions().iter().map(|&sess| m.session_bytes(sess)).sum();
+        assert_eq!(m.total_resident_bytes(), per_stream_sum);
+        let freed: u64 = m
+            .sessions()
+            .iter()
+            .map(|&sess| m.delete_session(sess))
+            .sum();
+        assert_eq!(freed, per_stream_sum);
+        assert_eq!(m.total_resident_bytes(), 0);
+    }
+
+    /// MemStore wrapper whose reads fire a one-shot hook — lets a test
+    /// deterministically interleave a delete/restart inside a reader's
+    /// lock-free IO phase (legal: read_rows holds no lock there).
+    struct HookStore {
+        inner: MemStore,
+        on_read: parking_lot::Mutex<Option<Box<dyn FnMut() + Send>>>,
+    }
+
+    impl HookStore {
+        fn new(n_devices: usize) -> Self {
+            Self {
+                inner: MemStore::new(n_devices),
+                on_read: parking_lot::Mutex::new(None),
+            }
+        }
+
+        fn set_on_read(&self, f: impl FnMut() + Send + 'static) {
+            *self.on_read.lock() = Some(Box::new(f));
+        }
+    }
+
+    impl ChunkStore for HookStore {
+        fn write_chunk(&self, key: ChunkKey, data: &[u8]) -> Result<(), StorageError> {
+            self.inner.write_chunk(key, data)
+        }
+
+        fn read_chunk(&self, key: ChunkKey) -> Result<Vec<u8>, StorageError> {
+            let hook = self.on_read.lock().take();
+            if let Some(mut f) = hook {
+                f();
+            }
+            self.inner.read_chunk(key)
+        }
+
+        fn contains(&self, key: ChunkKey) -> bool {
+            self.inner.contains(key)
+        }
+
+        fn delete_stream(&self, stream: StreamId) -> u64 {
+            self.inner.delete_stream(stream)
+        }
+
+        fn n_devices(&self) -> usize {
+            self.inner.n_devices()
+        }
+
+        fn stats(&self) -> StoreStats {
+            self.inner.stats()
+        }
+    }
+
+    #[test]
+    fn read_racing_delete_and_restart_never_mixes_generations() {
+        // Generation-ABA regression: the stream is deleted and rewritten
+        // (same chunk keys, different rows) while a reader is mid-IO. The
+        // reader must return the *new* generation wholesale, never a mix.
+        let store = Arc::new(HookStore::new(2));
+        let mgr = Arc::new(StorageManager::new(Arc::clone(&store), D));
+        let s = StreamId::hidden(1, 0);
+        mgr.append_rows(s, &rows(128, 1)).unwrap(); // generation 1: 2 chunks
+        let mgr2 = Arc::clone(&mgr);
+        store.set_on_read(move || {
+            // Fires inside the reader's first chunk fetch.
+            mgr2.delete_stream(s);
+            mgr2.append_rows(s, &rows(128, 2)).unwrap(); // generation 2
+        });
+        let got = mgr.read_rows(s, 0, 128).unwrap();
+        let gen2 = rows(128, 2);
+        for r in 0..128 {
+            for c in 0..D {
+                assert_eq!(
+                    got.get(r, c),
+                    f16_roundtrip(gen2.get(r, c)),
+                    "row {r} col {c} leaked generation-1 data"
+                );
+            }
+        }
+        // Accounting survived the interleaving too.
+        assert_eq!(mgr.total_resident_bytes(), 128 * D as u64 * 2);
+        assert_eq!(mgr.delete_stream(s), 128 * D as u64 * 2);
+    }
+
+    #[test]
+    fn concurrent_readers_see_bit_identical_data() {
+        let m = Arc::new(mgr());
+        let s = StreamId::hidden(1, 0);
+        let t = rows(200, 5);
+        m.append_rows(s, &t).unwrap();
+        let expect = m.read_rows(s, 0, 200).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                let expect = &expect;
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        assert_eq!(&m.read_rows(s, 0, 200).unwrap(), expect);
+                    }
+                });
+            }
+        });
     }
 }

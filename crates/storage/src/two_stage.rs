@@ -21,6 +21,12 @@
 //! `ParallelConfig` (set via `StorageManager::with_parallel`), so the save
 //! path and the restore prefetcher draw from one shared thread budget.
 //!
+//! The daemon is one *appender* among the manager's concurrent clients: it
+//! holds only the written stream's write lock per append (the manager is
+//! sharded), so a save burst never stalls the restore pipelines reading
+//! other streams — and concurrent readers of the *same* stream see clean
+//! snapshot prefixes, never torn rows.
+//!
 //! Shutdown: dropping the saver closes the channel and **joins** the daemon
 //! thread, so every batch submitted before the drop is demultiplexed into
 //! the manager (full chunks durable, tails buffered) before `drop` returns

@@ -1,0 +1,807 @@
+//! CI bench-trajectory gate: diff freshly produced `BENCH_*.json` files
+//! against the committed baselines under `bench-baselines/`.
+//!
+//! ```text
+//! bench_compare <baseline-dir> <fresh-dir> [--threshold 0.25] [--gate-keys <file>]
+//! ```
+//!
+//! Every numeric leaf of each JSON file is flattened to a stable path
+//! (arrays of objects are labeled by their distinguishing field — e.g.
+//! `backends[backend=ssd_model].rows[readers=4].sharded_vs_mutex` — so
+//! reordering never shifts a metric's identity). Paths matching the gate
+//! list are *gated*: a throughput-like metric (higher-better) that drops
+//! more than the threshold below its baseline, or a latency-like metric
+//! (`*_ms`, `*_secs`, `*latency*`: lower-better) that rises more than the
+//! threshold above it, fails the run with exit code 1. Everything else is
+//! reported in the delta table but never fails CI.
+//!
+//! The gate list (`bench-baselines/GATE_KEYS.txt` by default) holds one
+//! regex-lite pattern per line (`.` literal, `.*` wildcard — this tool has
+//! no regex dependency); lines starting with `!` exclude, applied after
+//! the includes; `#` starts a comment. Without a gate file, every numeric
+//! key is gated.
+//!
+//! A baseline file whose fresh counterpart is missing fails the gate (a
+//! bench silently disappearing from CI is itself a regression); fresh
+//! files without a baseline are reported as new and pass. The delta table
+//! is written to stdout and appended to `$GITHUB_STEP_SUMMARY` when set.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser (the workspace builds offline; no serde).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: &str) -> String {
+        format!("JSON parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek().ok_or_else(|| self.error("unexpected end"))? {
+            b'{' => self.parse_obj(),
+            b'[' => self.parse_arr(),
+            b'"' => Ok(Json::Str(self.parse_str()?)),
+            b't' => self.parse_lit("true", Json::Bool(true)),
+            b'f' => self.parse_lit("false", Json::Bool(false)),
+            b'n' => self.parse_lit("null", Json::Null),
+            _ => self.parse_num(),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.error(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_num(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(&b))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.error("bad number"))
+    }
+
+    fn parse_str(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self
+                .peek()
+                .ok_or_else(|| self.error("unterminated string"))?
+            {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Copy the full UTF-8 scalar, not just one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid utf-8"))?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_arr(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_obj(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_str()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            fields.push((key, self.parse()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.parse()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing content"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Flattening: numeric leaves under stable, reorder-proof paths.
+// ---------------------------------------------------------------------------
+
+/// Fields that identify an array element better than its index.
+const LABEL_FIELDS: &[&str] = &[
+    "backend", "quota", "readers", "sessions", "label", "name", "bench",
+];
+
+fn element_label(v: &Json) -> Option<String> {
+    if let Json::Obj(fields) = v {
+        for want in LABEL_FIELDS {
+            for (k, val) in fields {
+                if k == want {
+                    return match val {
+                        Json::Str(s) => Some(format!("{k}={s}")),
+                        Json::Num(n) => Some(format!("{k}={n}")),
+                        _ => None,
+                    };
+                }
+            }
+        }
+    }
+    None
+}
+
+fn flatten(v: &Json, prefix: &str, out: &mut BTreeMap<String, f64>) {
+    match v {
+        Json::Num(n) => {
+            out.insert(prefix.to_string(), *n);
+        }
+        Json::Obj(fields) => {
+            for (k, val) in fields {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(val, &path, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let label = element_label(item).unwrap_or_else(|| i.to_string());
+                flatten(item, &format!("{prefix}[{label}]"), out);
+            }
+        }
+        // Strings, booleans and nulls are descriptive, not trajectory.
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gate patterns: regex-lite (`.` literal, `*` wildcard via `.*`).
+// ---------------------------------------------------------------------------
+
+/// Matches `pat` anywhere in `text`, where `.*` in `pat` is a wildcard and
+/// every other character (including `.`) is literal. `\[`/`\]`/`\.` are
+/// accepted for regex habit but mean the literal character anyway.
+fn pattern_matches(pat: &str, text: &str) -> bool {
+    let mut pieces: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    let mut chars = pat.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                if let Some(&n) = chars.peek() {
+                    cur.push(n);
+                    chars.next();
+                }
+            }
+            '.' => {
+                if chars.peek() == Some(&'*') {
+                    chars.next();
+                    pieces.push(std::mem::take(&mut cur));
+                } else {
+                    cur.push('.');
+                }
+            }
+            _ => cur.push(c),
+        }
+    }
+    pieces.push(cur);
+    // Substring match with ordered wildcard pieces.
+    let mut hay = text;
+    for (i, piece) in pieces.iter().enumerate() {
+        if piece.is_empty() {
+            continue;
+        }
+        match hay.find(piece.as_str()) {
+            Some(at) => {
+                // Every piece may float (overall substring semantics), so
+                // no anchoring even for the first piece.
+                hay = &hay[at + piece.len()..];
+            }
+            None => {
+                let _ = i;
+                return false;
+            }
+        }
+    }
+    true
+}
+
+struct GateList {
+    include: Vec<String>,
+    exclude: Vec<String>,
+}
+
+impl GateList {
+    fn parse(text: &str) -> Self {
+        let mut include = Vec::new();
+        let mut exclude = Vec::new();
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('!') {
+                exclude.push(rest.trim().to_string());
+            } else {
+                include.push(line.to_string());
+            }
+        }
+        Self { include, exclude }
+    }
+
+    /// Everything gated (used when no gate file exists).
+    fn all() -> Self {
+        Self {
+            include: vec![String::new()],
+            exclude: Vec::new(),
+        }
+    }
+
+    fn is_gated(&self, path: &str) -> bool {
+        let included = self
+            .include
+            .iter()
+            .any(|p| p.is_empty() || pattern_matches(p, path));
+        included && !self.exclude.iter().any(|p| pattern_matches(p, path))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+/// Latency-like metrics regress upward; everything else downward. Any
+/// path segment may carry the marker (`timings_ms.pipelined`,
+/// `restore_ms`, `chunk_read_latency_us`).
+fn lower_is_better(path: &str) -> bool {
+    path.contains("_ms") || path.contains("_secs") || path.contains("latency")
+}
+
+#[derive(Debug, PartialEq)]
+enum Status {
+    Ok,
+    Improved,
+    Regressed,
+    Ungated,
+    New,
+    Missing,
+}
+
+struct Row {
+    path: String,
+    baseline: Option<f64>,
+    fresh: Option<f64>,
+    status: Status,
+}
+
+fn compare_maps(
+    baseline: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+    gates: &GateList,
+    threshold: f64,
+) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (path, &old) in baseline {
+        match fresh.get(path) {
+            Some(&new) => {
+                let gated = gates.is_gated(path);
+                let status = if !gated {
+                    Status::Ungated
+                } else {
+                    let worse = if lower_is_better(path) {
+                        new > old * (1.0 + threshold)
+                    } else {
+                        new < old * (1.0 - threshold)
+                    };
+                    let better = if lower_is_better(path) {
+                        new < old * (1.0 - threshold)
+                    } else {
+                        new > old * (1.0 + threshold)
+                    };
+                    if worse {
+                        Status::Regressed
+                    } else if better {
+                        Status::Improved
+                    } else {
+                        Status::Ok
+                    }
+                };
+                rows.push(Row {
+                    path: path.clone(),
+                    baseline: Some(old),
+                    fresh: Some(new),
+                    status,
+                });
+            }
+            None => {
+                rows.push(Row {
+                    path: path.clone(),
+                    baseline: Some(old),
+                    fresh: None,
+                    status: if gates.is_gated(path) {
+                        Status::Missing
+                    } else {
+                        Status::Ungated
+                    },
+                });
+            }
+        }
+    }
+    for (path, &new) in fresh {
+        if !baseline.contains_key(path) {
+            rows.push(Row {
+                path: path.clone(),
+                baseline: None,
+                fresh: Some(new),
+                status: Status::New,
+            });
+        }
+    }
+    rows
+}
+
+fn fmt_num(v: Option<f64>) -> String {
+    match v {
+        None => "—".into(),
+        Some(v) if v.abs() >= 1000.0 => format!("{v:.0}"),
+        Some(v) => format!("{v:.3}"),
+    }
+}
+
+fn fmt_delta(row: &Row) -> String {
+    match (row.baseline, row.fresh) {
+        (Some(old), Some(new)) if old != 0.0 => {
+            format!("{:+.1}%", (new - old) / old * 100.0)
+        }
+        _ => "—".into(),
+    }
+}
+
+fn render_table(file: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n### {file}\n");
+    let _ = writeln!(out, "| metric | baseline | current | Δ | status |");
+    let _ = writeln!(out, "|---|---:|---:|---:|---|");
+    for r in rows {
+        let status = match r.status {
+            Status::Ok => "ok",
+            Status::Improved => "**improved**",
+            Status::Regressed => "**REGRESSED**",
+            Status::Ungated => "reported",
+            Status::New => "new",
+            Status::Missing => "**MISSING**",
+        };
+        let _ = writeln!(
+            out,
+            "| `{}` | {} | {} | {} | {} |",
+            r.path,
+            fmt_num(r.baseline),
+            fmt_num(r.fresh),
+            fmt_delta(r),
+            status
+        );
+    }
+    out
+}
+
+fn load_flat(path: &Path) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut out = BTreeMap::new();
+    flatten(
+        &parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?,
+        "",
+        &mut out,
+    );
+    Ok(out)
+}
+
+fn run(
+    baseline_dir: &Path,
+    fresh_dir: &Path,
+    threshold: f64,
+    gate_file: Option<&Path>,
+) -> Result<(String, bool), String> {
+    let gates = match gate_file {
+        Some(p) if p.exists() => GateList::parse(
+            &std::fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))?,
+        ),
+        _ => GateList::all(),
+    };
+
+    let mut baseline_files: Vec<PathBuf> = std::fs::read_dir(baseline_dir)
+        .map_err(|e| format!("cannot list {}: {e}", baseline_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    baseline_files.sort();
+    if baseline_files.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json baselines in {}",
+            baseline_dir.display()
+        ));
+    }
+
+    let mut report = String::from("## Bench trajectory vs committed baselines\n");
+    let _ = writeln!(
+        report,
+        "\nGate: >{:.0}% regression on gated metrics fails CI.",
+        threshold * 100.0
+    );
+    let mut failed = false;
+    for base_path in &baseline_files {
+        let name = base_path.file_name().unwrap().to_str().unwrap().to_string();
+        let fresh_path = fresh_dir.join(&name);
+        if !fresh_path.exists() {
+            failed = true;
+            let _ = writeln!(
+                report,
+                "\n### {name}\n\n**MISSING**: baseline exists but this run produced no {name} — a bench dropped out of CI."
+            );
+            continue;
+        }
+        let rows = compare_maps(
+            &load_flat(base_path)?,
+            &load_flat(&fresh_path)?,
+            &gates,
+            threshold,
+        );
+        if rows
+            .iter()
+            .any(|r| matches!(r.status, Status::Regressed | Status::Missing))
+        {
+            failed = true;
+        }
+        report.push_str(&render_table(&name, &rows));
+    }
+    // Fresh benches without baselines: visibility only.
+    if let Ok(entries) = std::fs::read_dir(fresh_dir) {
+        let mut extra: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().to_str().map(str::to_string))
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .filter(|n| !baseline_dir.join(n).exists())
+            .collect();
+        extra.sort();
+        for name in extra {
+            let _ = writeln!(
+                report,
+                "\n### {name}\n\nNo committed baseline yet — consider adding one under `bench-baselines/`."
+            );
+        }
+    }
+    let _ = writeln!(
+        report,
+        "\n**Result: {}**",
+        if failed { "FAILED" } else { "PASSED" }
+    );
+    Ok((report, failed))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut threshold = 0.25;
+    let mut gate_file: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold takes a fraction, e.g. 0.25");
+            }
+            "--gate-keys" => {
+                i += 1;
+                gate_file = Some(PathBuf::from(
+                    args.get(i).expect("--gate-keys takes a path"),
+                ));
+            }
+            other => positional.push(PathBuf::from(other)),
+        }
+        i += 1;
+    }
+    if positional.len() != 2 {
+        eprintln!(
+            "usage: bench_compare <baseline-dir> <fresh-dir> [--threshold 0.25] [--gate-keys <file>]"
+        );
+        return ExitCode::from(2);
+    }
+    let default_gates = positional[0].join("GATE_KEYS.txt");
+    let gate_file = gate_file.unwrap_or(default_gates);
+
+    match run(&positional[0], &positional[1], threshold, Some(&gate_file)) {
+        Ok((report, failed)) => {
+            println!("{report}");
+            if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {
+                use std::io::Write;
+                if let Ok(mut f) = std::fs::OpenOptions::new()
+                    .append(true)
+                    .create(true)
+                    .open(summary)
+                {
+                    let _ = f.write_all(report.as_bytes());
+                }
+            }
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_flattens_nested_json() {
+        let v = parse_json(
+            r#"{ "a": 1.5, "b": { "c_ms": 2 }, "arr": [ { "readers": 4, "x": 7 } ], "s": "str", "t": true }"#,
+        )
+        .unwrap();
+        let mut flat = BTreeMap::new();
+        flatten(&v, "", &mut flat);
+        assert_eq!(flat.get("a"), Some(&1.5));
+        assert_eq!(flat.get("b.c_ms"), Some(&2.0));
+        assert_eq!(flat.get("arr[readers=4].x"), Some(&7.0));
+        assert_eq!(flat.len(), 4, "readers label is itself a leaf");
+    }
+
+    #[test]
+    fn array_elements_without_label_use_index() {
+        let v = parse_json(r#"{ "xs": [ 1, 2 ] }"#).unwrap();
+        let mut flat = BTreeMap::new();
+        flatten(&v, "", &mut flat);
+        assert_eq!(flat.get("xs[0]"), Some(&1.0));
+        assert_eq!(flat.get("xs[1]"), Some(&2.0));
+    }
+
+    #[test]
+    fn patterns_match_substrings_and_wildcards() {
+        assert!(pattern_matches(
+            "tokens_per_sec",
+            "rows[readers=4].tokens_per_sec"
+        ));
+        assert!(pattern_matches(
+            "backends\\[backend=file\\]",
+            "backends[backend=file].rows[readers=1].x"
+        ));
+        assert!(pattern_matches(
+            "rows.*speedup",
+            "rows[readers=2].concurrent_speedup"
+        ));
+        assert!(!pattern_matches(
+            "speedup",
+            "rows[readers=2].tokens_per_sec"
+        ));
+    }
+
+    #[test]
+    fn gate_list_includes_and_excludes() {
+        let g =
+            GateList::parse("# comment\nspeedup\ntokens_per_sec\n!backends\\[backend=file\\]\n");
+        assert!(g.is_gated("concurrency_sweep[sessions=4].concurrent_speedup"));
+        assert!(!g.is_gated("backends[backend=file].rows[readers=1].tokens_per_sec"));
+        assert!(g.is_gated("backends[backend=ssd_model].rows[readers=1].tokens_per_sec"));
+        assert!(!g.is_gated("timings_ms.seed_sequential"));
+    }
+
+    #[test]
+    fn throughput_regression_beyond_threshold_fails() {
+        let old = BTreeMap::from([("x.tokens_per_sec".to_string(), 100.0)]);
+        let new = BTreeMap::from([("x.tokens_per_sec".to_string(), 70.0)]);
+        let rows = compare_maps(&old, &new, &GateList::all(), 0.25);
+        assert_eq!(rows[0].status, Status::Regressed);
+        let new_ok = BTreeMap::from([("x.tokens_per_sec".to_string(), 80.0)]);
+        let rows = compare_maps(&old, &new_ok, &GateList::all(), 0.25);
+        assert_eq!(rows[0].status, Status::Ok);
+    }
+
+    #[test]
+    fn latency_metrics_regress_upward() {
+        let old = BTreeMap::from([("timings_ms.pipelined".to_string(), 10.0)]);
+        let worse = BTreeMap::from([("timings_ms.pipelined".to_string(), 14.0)]);
+        let rows = compare_maps(&old, &worse, &GateList::all(), 0.25);
+        assert_eq!(rows[0].status, Status::Regressed);
+        let better = BTreeMap::from([("timings_ms.pipelined".to_string(), 6.0)]);
+        let rows = compare_maps(&old, &better, &GateList::all(), 0.25);
+        assert_eq!(rows[0].status, Status::Improved);
+    }
+
+    #[test]
+    fn missing_gated_metric_fails_new_metric_passes() {
+        let old = BTreeMap::from([("a.speedup".to_string(), 2.0)]);
+        let new = BTreeMap::from([("b.speedup".to_string(), 3.0)]);
+        let rows = compare_maps(&old, &new, &GateList::all(), 0.25);
+        assert!(rows.iter().any(|r| r.status == Status::Missing));
+        assert!(rows.iter().any(|r| r.status == Status::New));
+    }
+
+    #[test]
+    fn ungated_metrics_never_fail() {
+        let gates = GateList::parse("speedup\n");
+        let old = BTreeMap::from([("noise.tokens_per_sec".to_string(), 100.0)]);
+        let new = BTreeMap::from([("noise.tokens_per_sec".to_string(), 1.0)]);
+        let rows = compare_maps(&old, &new, &gates, 0.25);
+        assert_eq!(rows[0].status, Status::Ungated);
+    }
+
+    #[test]
+    fn full_run_over_temp_dirs() {
+        let root = std::env::temp_dir().join(format!("bench-compare-test-{}", std::process::id()));
+        let base = root.join("base");
+        let fresh = root.join("fresh");
+        std::fs::create_dir_all(&base).unwrap();
+        std::fs::create_dir_all(&fresh).unwrap();
+        std::fs::write(
+            base.join("BENCH_x.json"),
+            r#"{ "speedup": 4.0, "noise_tokens_per_sec": 100 }"#,
+        )
+        .unwrap();
+        std::fs::write(
+            fresh.join("BENCH_x.json"),
+            r#"{ "speedup": 3.9, "noise_tokens_per_sec": 1 }"#,
+        )
+        .unwrap();
+        std::fs::write(base.join("GATE_KEYS.txt"), "speedup\n").unwrap();
+        let (report, failed) = run(&base, &fresh, 0.25, Some(&base.join("GATE_KEYS.txt"))).unwrap();
+        assert!(!failed, "3.9 vs 4.0 is inside the 25%% gate:\n{report}");
+        // Now a real regression.
+        std::fs::write(fresh.join("BENCH_x.json"), r#"{ "speedup": 1.0 }"#).unwrap();
+        let (report, failed) = run(&base, &fresh, 0.25, Some(&base.join("GATE_KEYS.txt"))).unwrap();
+        assert!(failed, "{report}");
+        assert!(report.contains("REGRESSED"));
+        // And a missing bench file.
+        std::fs::remove_file(fresh.join("BENCH_x.json")).unwrap();
+        let (report, failed) = run(&base, &fresh, 0.25, Some(&base.join("GATE_KEYS.txt"))).unwrap();
+        assert!(failed);
+        assert!(report.contains("MISSING"));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}
