@@ -28,6 +28,16 @@
 //! striped devices while the mutex convoy admits one chunk at a time,
 //! regardless of core count.
 //!
+//! A second sweep measures the **chunk-fanout read layer** in the one case
+//! reader-sharding cannot speed up: a *single* reader. With
+//! `StorageManager::with_read_fanout(w)`, one `read_rows` call keeps up to
+//! `w` chunk reads in flight across the striped devices instead of
+//! visiting them one at a time, so single-reader throughput scales with
+//! the width until the range's devices are all busy. The sweep asserts
+//! ≥ 2× at width 4 vs width 1 (the sleep-modeled device times make this
+//! robust even on a 1-core host) and that every fanout read is
+//! bit-identical to the sequential read.
+//!
 //! Before timing, every stream's concurrent read is verified bit-identical
 //! to its sequential read.
 
@@ -49,6 +59,9 @@ struct Spec {
     n_tokens: usize,
     n_streams: usize,
     reader_counts: Vec<usize>,
+    /// Chunk-fanout widths for the single-reader sweep (must include 4,
+    /// the gated point).
+    fanout_widths: Vec<usize>,
     runs: usize,
     /// Iterations per reader per measurement, per backend kind.
     iters_file: usize,
@@ -63,6 +76,7 @@ fn spec(tiny: bool) -> Spec {
             n_tokens: 192,
             n_streams: 4,
             reader_counts: vec![1, 2, 4],
+            fanout_widths: vec![1, 2, 4],
             // Odd so samples[len/2] is a true median, not the max of two.
             runs: 3,
             iters_file: 120,
@@ -75,6 +89,7 @@ fn spec(tiny: bool) -> Spec {
             n_tokens: 256,
             n_streams: 8,
             reader_counts: vec![1, 2, 4, 8],
+            fanout_widths: vec![1, 2, 4, 8],
             runs: 3,
             iters_file: 300,
             iters_ssd: 20,
@@ -261,6 +276,68 @@ fn main() {
         backends.push(("tiered_ssd_model", rows));
     }
 
+    // --- fanout: a single reader over chunk-fanout widths (ssd model) ----
+    // The case sharding alone cannot speed up: one reader's intra-range
+    // chunk reads either visit the striped devices one at a time (width 1)
+    // or fan out across them (width w).
+    let fanout_headline;
+    let fanout_rows = {
+        // Bit-identity reference: the same deterministic fill, read
+        // through a sequential (no-fanout, page-cache-speed) manager.
+        let ref_store =
+            Arc::new(FileStore::new(root.join("fanout-ref"), N_DEVICES).expect("store dir"));
+        let ref_mgr = StorageManager::new(ref_store, spec.d_model);
+        fill(&ref_mgr, &streams, &spec);
+        let s0 = streams[0];
+        let reference = ref_mgr.read_rows(s0, 0, spec.n_tokens as u64).expect("ref");
+
+        // The first swept width is the speedup denominator — it must be
+        // the sequential case or every `speedup_vs_width_1` figure (and
+        // the gated headline) would be mislabeled.
+        assert_eq!(
+            spec.fanout_widths.first(),
+            Some(&1),
+            "fanout_widths must start at width 1"
+        );
+        let mut rows = Vec::new();
+        let mut tps_at_1: Option<f64> = None;
+        let mut speedup_at_4 = None;
+        for &w in &spec.fanout_widths {
+            let file = Arc::new(
+                FileStore::new(root.join(format!("fanout-{w}")), N_DEVICES).expect("store dir"),
+            );
+            let store = Arc::new(LatencyStore::new(
+                file,
+                spec.read_latency,
+                Duration::from_micros(50),
+            ));
+            let mgr = StorageManager::new(store, spec.d_model).with_read_fanout(w);
+            fill(&mgr, &streams, &spec);
+            assert_eq!(
+                mgr.read_rows(s0, 0, spec.n_tokens as u64).expect("read"),
+                reference,
+                "fanout width {w} must read bit-identical to the sequential path"
+            );
+            let tps = throughput(1, spec.iters_ssd, spec.n_tokens, spec.runs, &|_| {
+                std::hint::black_box(mgr.read_rows(s0, 0, spec.n_tokens as u64).expect("read"));
+            });
+            let speedup = tps / *tps_at_1.get_or_insert(tps);
+            if w == 4 {
+                speedup_at_4 = Some(speedup);
+            }
+            rows.push(format!(
+                r#"    {{ "width": {w}, "tokens_per_sec": {tps:.0}, "speedup_vs_width_1": {speedup:.2} }}"#
+            ));
+        }
+        fanout_headline = speedup_at_4.expect("fanout_widths includes 4");
+        assert!(
+            fanout_headline >= 2.0,
+            "chunk fanout at width 4 must at least double single-reader read_rows \
+             throughput on the ssd model (got {fanout_headline:.2}x)"
+        );
+        rows
+    };
+
     let _ = std::fs::remove_dir_all(&root);
 
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -287,14 +364,20 @@ fn main() {
   "chunk_read_latency_us": {latency_us},
   "host_threads": {host_threads},
   "tiny": {tiny},
-  "note": "the sharded-vs-mutex win comes from overlapping device service time, not from extra cores: it holds even on a single-core host. The plain 'file' backend has ~zero IO latency, so it bounds lock overhead instead.",
+  "note": "the sharded-vs-mutex win comes from overlapping device service time, not from extra cores: it holds even on a single-core host. The plain 'file' backend has ~zero IO latency, so it bounds lock overhead instead. single_reader_fanout sweeps StorageManager::with_read_fanout widths with ONE reader on the ssd model — the case reader-sharding cannot speed up — and is asserted >=2x at width 4 before this file is written.",
   "sharded_vs_mutex_at_4_readers_ssd_model": {headline:.2},
+  "single_reader_fanout_speedup_at_4_ssd_model": {fanout_headline:.2},
   "backends": [
 {backends_json}
   ],
-  "bit_identical_concurrent_reads": true
+  "single_reader_fanout_ssd_model": [
+{fanout_json}
+  ],
+  "bit_identical_concurrent_reads": true,
+  "bit_identical_fanout_reads": true
 }}
 "#,
+        fanout_json = fanout_rows.join(",\n"),
         runs = spec.runs,
         n_tokens = spec.n_tokens,
         n_streams = spec.n_streams,

@@ -7,7 +7,24 @@
 //! trace) and splits the host [`ParallelConfig`] thread budget evenly
 //! across in-flight restores, so the aggregate never oversubscribes the
 //! cores the caller granted — the same discipline the chunk daemon and a
-//! single restore pipeline already follow.
+//! single restore pipeline already follow. Two rules keep that promise
+//! exact:
+//!
+//! * the number of restores actually in flight is **clamped to the
+//!   compute-thread budget** (admitting more workers than threads would
+//!   hand every worker the ≥ 1-thread floor and oversubscribe the host);
+//! * when the storage manager runs chunk-fanout reads
+//!   (`StorageManager::with_read_fanout`), the fanout width declared via
+//!   [`RestoreScheduler::with_io_fanout`] is **reserved out of the same
+//!   grant** before the compute split, so chunk-fanout IO workers and
+//!   projection threads together never exceed the budget.
+//!
+//! What this accounting covers is *CPU-bearing* threads: per-restore
+//! projection/recompute threads and the pool's chunk-fanout workers. Each
+//! in-flight pipelined restore additionally runs its IO-stream prefetch
+//! thread (the two-stream schedule's other stream), which — like the
+//! two-stage saver's chunk daemon — spends its life blocked on backend
+//! reads and is deliberately not charged a core.
 //!
 //! Jobs are pulled from a shared queue (work stealing), so one session
 //! with a long history never convoys the sessions behind it onto an idle
@@ -38,16 +55,36 @@ pub struct RestoreJob {
 pub struct RestoreScheduler {
     n_workers: usize,
     host_budget: ParallelConfig,
+    /// Chunk-fanout IO workers the storage manager runs, reserved out of
+    /// `host_budget` before the compute split (0: no fanout configured).
+    io_fanout: usize,
 }
 
 impl RestoreScheduler {
     /// A scheduler running up to `n_workers` restores in flight under the
-    /// `host_budget` thread budget (workers clamped to ≥ 1).
+    /// `host_budget` thread budget (workers clamped to ≥ 1, and at run
+    /// time to the thread budget itself — see [`RestoreScheduler::run`]).
     pub fn new(n_workers: usize, host_budget: ParallelConfig) -> Self {
         Self {
             n_workers: n_workers.max(1),
             host_budget,
+            io_fanout: 0,
         }
+    }
+
+    /// Declares that the controller's storage manager keeps up to `width`
+    /// chunk-fanout IO workers in flight (`StorageManager::with_read_fanout`
+    /// with the same width), so the scheduler reserves that many threads
+    /// out of the host grant before splitting compute across restores. The
+    /// reservation is capped at all-but-one thread: compute always keeps
+    /// at least one.
+    ///
+    /// The manager's pool itself is configured at manager construction;
+    /// this only makes the scheduler's accounting cover it, keeping
+    /// `in-flight compute threads + in-flight IO ≤ host_budget.threads()`.
+    pub fn with_io_fanout(mut self, width: usize) -> Self {
+        self.io_fanout = width;
+        self
     }
 
     /// Maximum restores in flight.
@@ -60,17 +97,38 @@ impl RestoreScheduler {
         self.host_budget
     }
 
-    /// The thread budget each of `workers` in-flight restores projects
-    /// under: `⌊host_threads / workers⌋`, never less than one. Flooring
-    /// keeps the aggregate within the granted budget (when the budget has
-    /// at least one thread per worker; fewer workers than threads always
-    /// get ≥ 1 each).
+    /// IO fanout threads reserved out of the host budget (the declared
+    /// width, capped so compute keeps at least one thread).
+    pub fn io_fanout(&self) -> usize {
+        self.io_fanout
+            .min(self.host_budget.threads().saturating_sub(1))
+    }
+
+    /// Threads left for restore compute after the IO fanout reservation.
+    fn compute_threads(&self) -> usize {
+        (self.host_budget.threads() - self.io_fanout()).max(1)
+    }
+
+    /// Restores actually admitted in flight for `workers` requested: never
+    /// more than the compute-thread budget. Admitting more would hand each
+    /// worker the ≥ 1-thread floor of [`RestoreScheduler::budget_for`] and
+    /// oversubscribe the grant the module docs promise to respect.
+    fn effective_workers(&self, workers: usize) -> usize {
+        workers.clamp(1, self.compute_threads())
+    }
+
+    /// The thread budget each in-flight restore projects under when
+    /// `workers` are requested: `⌊compute_threads / effective_workers⌋`.
+    /// Because the in-flight count is clamped to the compute budget, the
+    /// floor is always ≥ 1 without ever oversubscribing: `effective ×
+    /// per-restore + io_fanout ≤ host_budget.threads()`.
     fn budget_for(&self, workers: usize) -> ParallelConfig {
-        ParallelConfig::new((self.host_budget.threads() / workers.max(1)).max(1))
+        ParallelConfig::new(self.compute_threads() / self.effective_workers(workers))
     }
 
     /// The thread budget each in-flight restore projects under when all
-    /// `n_workers` are busy (fewer jobs than workers get a larger share).
+    /// admitted workers are busy (fewer jobs than workers get a larger
+    /// share).
     pub fn per_restore_budget(&self) -> ParallelConfig {
         self.budget_for(self.n_workers)
     }
@@ -84,8 +142,9 @@ impl RestoreScheduler {
         jobs: &[RestoreJob],
     ) -> Vec<(u64, Result<KvCache, CtlError>)> {
         // Split the budget over the workers that will actually run, so a
-        // short job list doesn't strand granted threads.
-        let workers = self.n_workers.min(jobs.len()).max(1);
+        // short job list doesn't strand granted threads — clamped to the
+        // compute budget so the aggregate stays within the grant.
+        let workers = self.effective_workers(self.n_workers.min(jobs.len()).max(1));
         let per_budget = self.budget_for(workers);
         let results = map_concurrent(jobs, workers, |job| {
             ctl.restore(model, job.session, &job.tokens, &per_budget)
@@ -161,5 +220,60 @@ mod tests {
         assert!(s.per_restore_budget().threads() * s.n_workers() <= 8);
         let s = RestoreScheduler::new(0, ParallelConfig::serial());
         assert_eq!(s.n_workers(), 1);
+    }
+
+    #[test]
+    fn oversubscribed_worker_counts_are_clamped_to_the_thread_budget() {
+        // The old flooring bug: 8 requested workers on a 4-thread budget
+        // each got the ≥ 1-thread floor — 8 threads of compute on a
+        // 4-thread grant. Now only 4 run in flight.
+        let s = RestoreScheduler::new(8, ParallelConfig::new(4));
+        assert_eq!(s.effective_workers(8), 4);
+        assert_eq!(s.per_restore_budget().threads(), 1);
+        assert!(s.effective_workers(8) * s.per_restore_budget().threads() <= 4);
+        // A 1-thread host admits exactly one restore at a time.
+        let s = RestoreScheduler::new(16, ParallelConfig::serial());
+        assert_eq!(s.effective_workers(16), 1);
+    }
+
+    #[test]
+    fn aggregate_compute_plus_io_never_exceeds_the_grant() {
+        // Regression sweep over (threads, requested workers, io fanout):
+        // admitted workers × per-restore threads + reserved IO ≤ granted.
+        for threads in 1..=9 {
+            for n_workers in 1..=12 {
+                for io in 0..=6 {
+                    let s = RestoreScheduler::new(n_workers, ParallelConfig::new(threads))
+                        .with_io_fanout(io);
+                    let admitted = s.effective_workers(n_workers);
+                    let per = s.budget_for(n_workers).threads();
+                    assert!(admitted >= 1 && per >= 1);
+                    assert!(
+                        admitted * per + s.io_fanout() <= threads,
+                        "threads={threads} workers={n_workers} io={io}: \
+                         {admitted}×{per}+{} oversubscribes",
+                        s.io_fanout()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn io_fanout_reservation_leaves_compute_at_least_one_thread() {
+        // Reserving more IO width than the host has threads caps the
+        // reservation; compute never starves to zero.
+        let s = RestoreScheduler::new(4, ParallelConfig::new(4)).with_io_fanout(16);
+        assert_eq!(s.io_fanout(), 3);
+        assert_eq!(s.per_restore_budget().threads(), 1);
+        let s = RestoreScheduler::new(2, ParallelConfig::serial()).with_io_fanout(8);
+        assert_eq!(s.io_fanout(), 0, "a 1-thread host reserves nothing");
+        assert_eq!(s.per_restore_budget().threads(), 1);
+        // A sensible split: 8 threads, width-4 fanout → 4 compute threads
+        // shared by up to 4 in-flight restores.
+        let s = RestoreScheduler::new(8, ParallelConfig::new(8)).with_io_fanout(4);
+        assert_eq!(s.io_fanout(), 4);
+        assert_eq!(s.effective_workers(8), 4);
+        assert_eq!(s.per_restore_budget().threads(), 1);
     }
 }

@@ -23,7 +23,11 @@
 //!
 //! * an **IO stream** (one prefetch thread) walks the non-recompute layers
 //!   in restoration order, pulling each layer's chunks out of the
-//!   [`StorageManager`], and
+//!   [`StorageManager`] — when the manager is configured with chunk-fanout
+//!   reads (`StorageManager::with_read_fanout`), each of the prefetcher's
+//!   per-layer `read_rows` calls additionally keeps up to the fanout width
+//!   of chunk reads in flight across the striped devices, so intra-layer
+//!   IO overlaps too, not just IO-vs-compute — and
 //! * a **compute stream** (the caller's thread) consumes fetched layers in
 //!   the same order, running the hidden→KV projection GEMMs — under a
 //!   [`ParallelConfig`] thread budget — or installing K/V rows; the
@@ -348,11 +352,14 @@ pub struct RestoreRequest {
 /// restores in flight, pulling requests from `requests` in order (a work
 /// queue, so a slow session never convoys the others behind a fixed
 /// assignment). The host thread budget `par` is split evenly across
-/// workers — each in-flight restore projects under
-/// `max(1, ⌊par.threads / n_workers⌋)` threads — so the aggregate never
-/// oversubscribes what the caller granted (whenever the budget has at
-/// least one thread per worker), exactly like the chunk daemon and the
-/// single-session pipeline share one budget.
+/// workers — in-flight restores are clamped to `par.threads()` (more
+/// workers than threads would each claim the 1-thread floor and
+/// oversubscribe the host) and each projects under
+/// `⌊par.threads / workers⌋` threads — so the aggregate never exceeds
+/// what the caller granted, exactly like the chunk daemon and the
+/// single-session pipeline share one budget. (`hc-cachectl`'s
+/// `RestoreScheduler` additionally reserves the manager's chunk-fanout IO
+/// width out of the same grant before this compute split.)
 ///
 /// Results arrive in request order, each the same `KvCache` a sequential
 /// [`restore_session_with_methods`] call would produce (bit-identical: the
@@ -371,7 +378,7 @@ pub fn restore_sessions_concurrent<S: ChunkStore + Sync>(
     n_workers: usize,
     par: &ParallelConfig,
 ) -> Vec<Result<KvCache, StorageError>> {
-    let n_workers = n_workers.clamp(1, requests.len().max(1));
+    let n_workers = n_workers.clamp(1, requests.len().max(1)).min(par.threads());
     let per_worker = ParallelConfig::new((par.threads() / n_workers).max(1));
     map_concurrent(requests, n_workers, |r| {
         restore_session_pipelined_with_methods(

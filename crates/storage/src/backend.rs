@@ -63,7 +63,12 @@ impl StoreStats {
 }
 
 /// A chunk-granularity store striped over `n_devices`.
-pub trait ChunkStore: Send + Sync {
+///
+/// `'static` is part of the contract: the manager's chunk-fanout read path
+/// hands `Arc<S>` clones to a persistent worker pool
+/// ([`crate::fanout::FanoutPool`]), so a store may not borrow from its
+/// environment. Every store here owns its state outright.
+pub trait ChunkStore: Send + Sync + 'static {
     /// Writes (or overwrites) one chunk.
     fn write_chunk(&self, key: ChunkKey, data: &[u8]) -> Result<(), StorageError>;
 

@@ -1,0 +1,230 @@
+//! Bounded chunk-fanout worker pool for the manager's read path.
+//!
+//! PR 3 made [`crate::manager::StorageManager::read_rows`] lock-free
+//! across backend IO, which lets *different* readers overlap their chunk
+//! fetches — but a *single* read still walks its chunks sequentially from
+//! one thread, so an intra-layer restoration read never has more than one
+//! request in flight and the striped device array serves it at
+//! one-device throughput. [`FanoutPool`] closes that gap: a small,
+//! **reusable** set of submission/completion workers (the software shape
+//! of an iodepth-N NVMe submission queue) that the manager hands
+//! per-device batches of chunk reads to, so one `read_rows` call keeps up
+//! to `width` devices busy at once.
+//!
+//! Design points:
+//!
+//! * **Reusable, not per-call**: the workers are spawned once (when the
+//!   manager is configured with [`StorageManager::with_read_fanout`]) and
+//!   serve every subsequent read — no thread spawn on the read path. The
+//!   pool is `Arc`-shared, so many concurrent readers draw from the same
+//!   bounded set and the process-wide in-flight IO stays capped at
+//!   `width` requests regardless of reader count.
+//! * **Bounded budget**: `width` is a thread budget exactly like
+//!   [`ParallelConfig`]'s compute budget (and can be drawn from one via
+//!   [`FanoutPool::with_budget`]); schedulers that split a host budget
+//!   between compute and IO account these workers against the same grant
+//!   (see `hc-cachectl`'s `RestoreScheduler::with_io_fanout`).
+//! * **Submission/completion discipline**: callers submit closures that
+//!   perform the IO and report through their own completion channel; the
+//!   pool itself never sees payloads, so a slow consumer backpressures its
+//!   own completions (via a bounded channel) without stalling other
+//!   readers' submissions.
+//!
+//! Jobs must never block on another job's completion (the manager's
+//! per-device read lanes are independent by construction), which keeps the
+//! fixed-width pool deadlock-free.
+//!
+//! [`StorageManager::with_read_fanout`]: crate::manager::StorageManager::with_read_fanout
+//! [`ParallelConfig`]: hc_tensor::ParallelConfig
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+/// A unit of submitted work: owns everything it touches (`'static`), runs
+/// exactly once on some pool worker.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-width pool of IO workers shared by every read that fans out.
+///
+/// Dropping the pool shuts it down: queued jobs still run, then the
+/// workers exit and are joined.
+pub struct FanoutPool {
+    /// Submission side; `None` only during drop (workers exit when every
+    /// sender is gone and the queue drains).
+    tx: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl FanoutPool {
+    /// Spawns a pool of `width` workers (clamped to ≥ 1).
+    pub fn new(width: usize) -> Self {
+        let width = width.max(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        // One shared job queue: std's mpsc receiver is single-consumer, so
+        // workers take turns holding it across `recv` — at chunk-IO
+        // granularity the handoff cost is noise against device service
+        // time.
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..width)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("hc-fanout-{i}"))
+                    .spawn(move || loop {
+                        let job = rx.lock().recv();
+                        match job {
+                            // Panic isolation: a job that panics (a buggy
+                            // ChunkStore impl, say) must not take the
+                            // worker with it — a shrinking pool would
+                            // leave queued jobs unserved and block their
+                            // readers' completion channels forever. The
+                            // submitting reader still observes the lost
+                            // completions and fails loudly on its side.
+                            Ok(job) => {
+                                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            }
+                            // All senders gone: the pool is shutting down.
+                            Err(_) => return,
+                        }
+                    })
+                    .expect("spawn fanout worker")
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// A pool whose width is `par`'s thread budget — for callers that
+    /// split one host grant between compute threads and in-flight IO.
+    pub fn with_budget(par: &hc_tensor::ParallelConfig) -> Self {
+        Self::new(par.threads())
+    }
+
+    /// Number of workers (the in-flight IO bound).
+    pub fn width(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues `job` for some worker. Jobs run in submission order per
+    /// worker availability; completion ordering is the caller's business
+    /// (report through a channel captured by the closure).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        // The receiver outlives every submit (it is only dropped by the
+        // workers exiting, which requires this sender to be gone first).
+        self.tx
+            .as_ref()
+            .expect("pool is live outside drop")
+            .send(Box::new(job))
+            .expect("fanout workers outlive submissions");
+    }
+}
+
+impl Drop for FanoutPool {
+    fn drop(&mut self) {
+        // Disconnect the queue; workers drain what is left and exit.
+        self.tx = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for FanoutPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutPool")
+            .field("width", &self.width())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn width_is_clamped_to_one() {
+        assert_eq!(FanoutPool::new(0).width(), 1);
+        assert_eq!(FanoutPool::new(3).width(), 3);
+        assert_eq!(
+            FanoutPool::with_budget(&hc_tensor::ParallelConfig::new(2)).width(),
+            2
+        );
+    }
+
+    #[test]
+    fn every_submitted_job_runs_exactly_once() {
+        let pool = FanoutPool::new(4);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let hits = Arc::clone(&hits);
+            pool.submit(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // drains the queue and joins
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn jobs_overlap_up_to_the_width() {
+        // 4 sleeping jobs on a width-4 pool finish in ~1 sleep, not 4.
+        let pool = FanoutPool::new(4);
+        let nap = Duration::from_millis(20);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let t0 = Instant::now();
+        for i in 0..4 {
+            let tx = tx.clone();
+            pool.submit(move || {
+                std::thread::sleep(nap);
+                let _ = tx.send(i);
+            });
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        let elapsed = t0.elapsed();
+        assert_eq!(got.len(), 4);
+        assert!(
+            elapsed < nap * 3,
+            "4 naps on 4 workers must overlap: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_its_worker() {
+        // One bad job on a width-1 pool: the sole worker must survive it
+        // and keep serving later submissions (a dead worker would strand
+        // every queued job and hang its readers).
+        let pool = FanoutPool::new(1);
+        pool.submit(|| panic!("buggy store"));
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.submit(move || {
+            let _ = tx.send(42);
+        });
+        assert_eq!(rx.recv(), Ok(42));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = FanoutPool::new(2);
+        for batch in 0..3 {
+            let (tx, rx) = std::sync::mpsc::channel();
+            for i in 0..8 {
+                let tx = tx.clone();
+                pool.submit(move || {
+                    let _ = tx.send(i);
+                });
+            }
+            drop(tx);
+            let mut got: Vec<i32> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..8).collect::<Vec<_>>(), "batch {batch}");
+        }
+    }
+}

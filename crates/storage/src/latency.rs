@@ -44,8 +44,20 @@ pub struct LatencyStore<B: ChunkStore> {
 impl<B: ChunkStore> LatencyStore<B> {
     /// Wraps `inner`, charging `read_latency` per chunk read and
     /// `write_latency` per chunk write on the owning device.
+    ///
+    /// # Panics
+    /// Panics when `inner` reports zero devices: there would be no device
+    /// to charge service time against, and every later chunk-to-device
+    /// mapping (`device_for`) would divide by zero. Failing here puts the
+    /// misconfiguration at the construction site instead of deep inside
+    /// the first IO call.
     pub fn new(inner: Arc<B>, read_latency: Duration, write_latency: Duration) -> Self {
         let n = inner.n_devices();
+        assert!(
+            n > 0,
+            "LatencyStore requires an inner store with at least one device \
+             (got n_devices() == 0)"
+        );
         Self {
             inner,
             read_latency,
@@ -104,6 +116,44 @@ mod tests {
 
     fn key(stream: StreamId, chunk_idx: u32) -> ChunkKey {
         ChunkKey { stream, chunk_idx }
+    }
+
+    /// A store that (wrongly) reports zero devices — the misconfiguration
+    /// [`LatencyStore::new`] must reject up front.
+    struct ZeroDeviceStore;
+
+    impl ChunkStore for ZeroDeviceStore {
+        fn write_chunk(&self, _: ChunkKey, _: &[u8]) -> Result<(), StorageError> {
+            Ok(())
+        }
+        fn read_chunk(&self, key: ChunkKey) -> Result<Vec<u8>, StorageError> {
+            Err(StorageError::MissingChunk {
+                stream: key.stream,
+                chunk_idx: key.chunk_idx,
+            })
+        }
+        fn contains(&self, _: ChunkKey) -> bool {
+            false
+        }
+        fn delete_stream(&self, _: StreamId) -> u64 {
+            0
+        }
+        fn n_devices(&self) -> usize {
+            0
+        }
+        fn stats(&self) -> StoreStats {
+            StoreStats::default()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_device_inner_store_is_rejected_at_construction() {
+        let _ = LatencyStore::new(
+            Arc::new(ZeroDeviceStore),
+            Duration::from_micros(1),
+            Duration::from_micros(1),
+        );
     }
 
     #[test]

@@ -28,6 +28,13 @@
 //!   the aggregate resident-byte figure is an atomic — see the
 //!   [`manager`] module docs for the full locking discipline (lock order
 //!   map→stream; nothing held across read IO).
+//! * **Chunk fanout** ([`fanout::FanoutPool`]): a reusable bounded pool of
+//!   IO workers the manager's read path fans a single range's chunk reads
+//!   out over (partitioned by owning device), so one restoration read
+//!   keeps several devices busy at once — the iodepth-style submission
+//!   layer the sharded read path was built to feed. Opt in with
+//!   [`manager::StorageManager::with_read_fanout`]; output is bit-identical
+//!   to the sequential read at every width.
 //! * **Latency model** ([`latency::LatencyStore`]): wraps any backend with
 //!   per-device service time and occupancy (one request in flight per
 //!   device), so benches measure the IO-overlap behavior real NVMe arrays
@@ -43,6 +50,7 @@
 
 pub mod backend;
 pub mod chunk;
+pub mod fanout;
 pub mod latency;
 pub mod layout;
 pub mod manager;

@@ -34,6 +34,27 @@
 //! an atomic, updated in the same stream-write critical sections that edit
 //! the per-stream figures, so quota trackers poll it lock-free.
 //!
+//! # Chunk-fanout reads
+//!
+//! With [`StorageManager::with_read_fanout`], a single `read_rows` call
+//! additionally overlaps its *own* chunk reads: after the lock-free
+//! snapshot, the range's durable chunk keys are partitioned by owning
+//! device ([`crate::chunk::device_for`]) and submitted to a reusable
+//! bounded worker pool ([`crate::fanout::FanoutPool`]) as one lane per
+//! device, while the calling thread decodes and places each chunk as its
+//! completion lands. What may be in flight: at most `width` chunk reads
+//! across *all* concurrent readers sharing the pool (the pool is the
+//! bound), plus up to `width` raw chunk payloads buffered **per reader**
+//! in that reader's own bounded completion channel (a slow decoder
+//! backpressures its own lanes, so staging is O(width) per concurrent
+//! reader, not global). The locking discipline is unchanged —
+//! fanout runs entirely inside the lock-free phase, pool workers touch
+//! only the backend (never a stream lock or the map), and the post-IO
+//! tombstone revalidation covers fanout reads exactly as it covers
+//! sequential ones. Output is bit-identical to the sequential read at
+//! every width: both paths share the validate/decode/copy helpers and
+//! each slice owns a disjoint row range of the output.
+//!
 //! Deletion vs. concurrent appends uses a tombstone: `delete_stream` marks
 //! the state deleted and wipes the backend *while holding the stream write
 //! lock*, then drops the dead map entry. A writer holding a stale handle
@@ -53,8 +74,11 @@ use std::sync::Arc;
 use hc_tensor::Tensor2;
 use parking_lot::RwLock;
 
+use crossbeam::channel::bounded;
+
 use crate::backend::{ChunkStore, StoreStats};
-use crate::chunk::{chunks_for_range, ChunkKey, CHUNK_TOKENS};
+use crate::chunk::{chunks_for_range, device_for, ChunkKey, ChunkSlice, CHUNK_TOKENS};
+use crate::fanout::FanoutPool;
 use crate::{Precision, StorageError, StreamId};
 
 /// Per-stream append state.
@@ -83,6 +107,20 @@ struct StreamState {
     deleted: bool,
 }
 
+/// One `read_rows` call's lock-free-phase inputs: the range's chunk
+/// slices plus everything snapshotted under the brief stream read lock.
+struct ReadPlan<'a> {
+    stream: StreamId,
+    slices: &'a [ChunkSlice],
+    /// Durable-token cursor at snapshot time.
+    durable: u64,
+    /// Snapshotted partial tail; present iff the range reaches past
+    /// `durable` and the buffer was non-empty.
+    tail: Option<&'a [f32]>,
+    /// First token of the requested range (maps to output row 0).
+    range_start: u64,
+}
+
 /// Chunked f16 storage for token-row streams, generic over the backend.
 ///
 /// All rows are `d_model` wide (hidden states, keys and values all have the
@@ -103,6 +141,10 @@ pub struct StorageManager<S: ChunkStore> {
     /// saver's daemon and the restore prefetcher, which run through this
     /// manager).
     parallel: hc_tensor::ParallelConfig,
+    /// Chunk-fanout IO workers for `read_rows` (None: chunks are read
+    /// sequentially from the calling thread). Shared by every read of this
+    /// manager, so the in-flight IO bound holds across concurrent readers.
+    fanout: Option<Arc<FanoutPool>>,
     /// Outer shard map: stream id → per-stream state cell. Held only to
     /// resolve/insert/remove entries, never across IO or codec work.
     streams: RwLock<HashMap<StreamId, Arc<RwLock<StreamState>>>>,
@@ -127,6 +169,7 @@ impl<S: ChunkStore> StorageManager<S> {
             d_model,
             precision,
             parallel: hc_tensor::ParallelConfig::serial(),
+            fanout: None,
             streams: RwLock::new(HashMap::new()),
             total_resident: AtomicU64::new(0),
         }
@@ -143,6 +186,35 @@ impl<S: ChunkStore> StorageManager<S> {
     /// Thread budget used for chunk encode/decode.
     pub fn parallel(&self) -> hc_tensor::ParallelConfig {
         self.parallel
+    }
+
+    /// Enables chunk-fanout reads: `read_rows` partitions a range's durable
+    /// chunk keys by owning device and keeps up to `width` chunk reads in
+    /// flight on a reusable [`FanoutPool`]. Output is bit-identical to the
+    /// sequential read at every width; a width ≤ 1 keeps the sequential
+    /// path (and spawns nothing).
+    pub fn with_read_fanout(self, width: usize) -> Self {
+        if width <= 1 {
+            let mut this = self;
+            this.fanout = None;
+            return this;
+        }
+        self.with_read_fanout_pool(Arc::new(FanoutPool::new(width)))
+    }
+
+    /// Like [`StorageManager::with_read_fanout`], but sharing an existing
+    /// pool — several managers (or a scheduler that also accounts these
+    /// workers against its host budget) can cap their combined in-flight
+    /// IO with one worker set.
+    pub fn with_read_fanout_pool(mut self, pool: Arc<FanoutPool>) -> Self {
+        self.fanout = Some(pool).filter(|p| p.width() > 1);
+        self
+    }
+
+    /// In-flight chunk reads a single `read_rows` call may issue (1 means
+    /// sequential reads — no fanout configured).
+    pub fn read_fanout_width(&self) -> usize {
+        self.fanout.as_ref().map_or(1, |p| p.width())
     }
 
     /// Storage precision in use.
@@ -358,61 +430,31 @@ impl<S: ChunkStore> StorageManager<S> {
                 return Ok(out);
             }
 
-            // --- Lock-free phase: backend IO + decode. ---
-            let result = (|| {
-                for slice in chunks_for_range(start, end) {
-                    let chunk_start_token = slice.chunk_idx as u64 * CHUNK_TOKENS;
-                    let key = ChunkKey {
-                        stream,
-                        chunk_idx: slice.chunk_idx,
-                    };
-                    // Rows of this chunk that are durable come from the
-                    // backend; otherwise from the snapshotted partial buffer.
-                    let rows: Vec<f32> =
-                        if chunk_start_token + slice.start_in_chunk + slice.len <= durable {
-                            let bytes = self.store.read_chunk(key)?;
-                            // A chunk shorter than the snapshot promises (or
-                            // torn to a non-row length) means the stream was
-                            // wiped and restarted under this read — surface
-                            // a retryable error instead of panicking in the
-                            // decode/copy below; the tombstone check decides.
-                            let per_row = self.precision.encoded_len(1, self.d_model);
-                            let have_rows = bytes.len() / per_row;
-                            if !bytes.len().is_multiple_of(per_row)
-                                || have_rows < (slice.start_in_chunk + slice.len) as usize
-                            {
-                                return Err(StorageError::MissingChunk {
-                                    stream,
-                                    chunk_idx: slice.chunk_idx,
-                                });
-                            }
-                            self.precision
-                                .decode_par(&bytes, self.d_model, &self.parallel)
-                        } else {
-                            // Tail chunk: rebuild from the snapshot (buffer
-                            // rows start at token n_durable ==
-                            // chunk_start_token for the tail).
-                            debug_assert_eq!(chunk_start_token, durable);
-                            let partial = tail.as_deref().expect("range past durable implies tail");
-                            // Apply the same quantization a durable path would.
-                            self.precision.decode_par(
-                                &self
-                                    .precision
-                                    .encode_par(partial, self.d_model, &self.parallel),
-                                self.d_model,
-                                &self.parallel,
-                            )
-                        };
-                    let src_row0 = slice.start_in_chunk as usize;
-                    let dst_row0 = (chunk_start_token + slice.start_in_chunk - start) as usize;
-                    for r in 0..slice.len as usize {
-                        let src =
-                            &rows[(src_row0 + r) * self.d_model..(src_row0 + r + 1) * self.d_model];
-                        out.row_mut(dst_row0 + r).copy_from_slice(src);
-                    }
-                }
-                Ok(out)
-            })();
+            // --- Lock-free phase: backend IO + decode. Chunk reads fan
+            // out across devices when a pool is configured and the range
+            // spans more than one durable chunk; either path fills `out`
+            // through the same decode/copy helpers, so the bytes are
+            // identical.
+            let slices = chunks_for_range(start, end);
+            let n_durable_slices = slices
+                .iter()
+                .filter(|s| Self::slice_is_durable(s, durable))
+                .count();
+            let plan = ReadPlan {
+                stream,
+                slices: &slices,
+                durable,
+                tail: tail.as_deref(),
+                range_start: start,
+            };
+            let result = match self
+                .fanout
+                .as_ref()
+                .filter(|p| p.width() > 1 && n_durable_slices > 1)
+            {
+                Some(pool) => self.read_slices_fanout(pool, &plan, &mut out),
+                None => self.read_slices_sequential(&plan, &mut out),
+            };
 
             // --- Generation check: if the snapshotted cell was tombstoned
             // while the IO ran, the fetched chunks may mix the deleted
@@ -422,8 +464,168 @@ impl<S: ChunkStore> StorageManager<S> {
             if cell.is_some_and(|c| c.read().deleted) {
                 continue;
             }
-            return result;
+            return result.map(|()| out);
         }
+    }
+
+    /// True when every row of `slice` is covered by the durable cursor, so
+    /// its bytes come from the backend rather than the snapshotted tail.
+    fn slice_is_durable(slice: &ChunkSlice, durable: u64) -> bool {
+        slice.chunk_idx as u64 * CHUNK_TOKENS + slice.start_in_chunk + slice.len <= durable
+    }
+
+    /// Validates and decodes one durable chunk's backend bytes. A chunk
+    /// shorter than the snapshot promises (or torn to a non-row length)
+    /// means the stream was wiped and restarted under this read — surface
+    /// a retryable error instead of panicking in the decode/copy; the
+    /// post-IO tombstone check decides whether to retry.
+    fn decode_durable_chunk(
+        &self,
+        stream: StreamId,
+        slice: &ChunkSlice,
+        bytes: &[u8],
+    ) -> Result<Vec<f32>, StorageError> {
+        let per_row = self.precision.encoded_len(1, self.d_model);
+        let have_rows = bytes.len() / per_row;
+        if !bytes.len().is_multiple_of(per_row)
+            || have_rows < (slice.start_in_chunk + slice.len) as usize
+        {
+            return Err(StorageError::MissingChunk {
+                stream,
+                chunk_idx: slice.chunk_idx,
+            });
+        }
+        Ok(self
+            .precision
+            .decode_par(bytes, self.d_model, &self.parallel))
+    }
+
+    /// Rebuilds the tail chunk's rows from the snapshotted partial buffer,
+    /// applying the same quantization round-trip a durable chunk carries.
+    fn decode_tail(&self, partial: &[f32]) -> Vec<f32> {
+        self.precision.decode_par(
+            &self
+                .precision
+                .encode_par(partial, self.d_model, &self.parallel),
+            self.d_model,
+            &self.parallel,
+        )
+    }
+
+    /// Copies `slice`'s rows out of a decoded chunk into the output tensor.
+    fn copy_slice(&self, out: &mut Tensor2, slice: &ChunkSlice, range_start: u64, rows: &[f32]) {
+        let chunk_start_token = slice.chunk_idx as u64 * CHUNK_TOKENS;
+        let src_row0 = slice.start_in_chunk as usize;
+        let dst_row0 = (chunk_start_token + slice.start_in_chunk - range_start) as usize;
+        for r in 0..slice.len as usize {
+            let src = &rows[(src_row0 + r) * self.d_model..(src_row0 + r + 1) * self.d_model];
+            out.row_mut(dst_row0 + r).copy_from_slice(src);
+        }
+    }
+
+    /// The pre-fanout read walk: one chunk at a time from the calling
+    /// thread, in range order.
+    fn read_slices_sequential(
+        &self,
+        plan: &ReadPlan<'_>,
+        out: &mut Tensor2,
+    ) -> Result<(), StorageError> {
+        for slice in plan.slices {
+            // Rows of this chunk that are durable come from the backend;
+            // otherwise from the snapshotted partial buffer.
+            let rows: Vec<f32> = if Self::slice_is_durable(slice, plan.durable) {
+                let bytes = self.store.read_chunk(ChunkKey {
+                    stream: plan.stream,
+                    chunk_idx: slice.chunk_idx,
+                })?;
+                self.decode_durable_chunk(plan.stream, slice, &bytes)?
+            } else {
+                // Tail chunk: buffer rows start at token n_durable ==
+                // chunk_start_token for the tail.
+                debug_assert_eq!(slice.chunk_idx as u64 * CHUNK_TOKENS, plan.durable);
+                self.decode_tail(plan.tail.expect("range past durable implies tail"))
+            };
+            self.copy_slice(out, slice, plan.range_start, &rows);
+        }
+        Ok(())
+    }
+
+    /// The chunk-fanout read: durable chunk keys are partitioned by owning
+    /// device and submitted to the pool as one lane per device (chunks on
+    /// one device serialize there anyway, so per-device lanes are maximally
+    /// parallel without queuing useless concurrency). The calling thread
+    /// validates, decodes and places each chunk as its completion lands —
+    /// in whatever order devices finish, which is safe because every slice
+    /// owns a disjoint row range of `out`. The completion channel is
+    /// bounded by the pool width, so raw chunk bytes never pile up faster
+    /// than this reader decodes them.
+    fn read_slices_fanout(
+        &self,
+        pool: &FanoutPool,
+        plan: &ReadPlan<'_>,
+        out: &mut Tensor2,
+    ) -> Result<(), StorageError> {
+        let slices = plan.slices;
+        let n_dev = self.store.n_devices().max(1);
+        let mut lanes: Vec<Vec<(usize, ChunkKey)>> = vec![Vec::new(); n_dev];
+        for (i, slice) in slices.iter().enumerate() {
+            if Self::slice_is_durable(slice, plan.durable) {
+                let key = ChunkKey {
+                    stream: plan.stream,
+                    chunk_idx: slice.chunk_idx,
+                };
+                lanes[device_for(&key, n_dev)].push((i, key));
+            }
+        }
+        let submitted: usize = lanes.iter().map(|l| l.len()).sum();
+        let (tx, rx) = bounded::<(usize, Result<Vec<u8>, StorageError>)>(pool.width());
+        for lane in lanes.into_iter().filter(|l| !l.is_empty()) {
+            let store = Arc::clone(&self.store);
+            let tx = tx.clone();
+            pool.submit(move || {
+                for (i, key) in lane {
+                    // A send error means this reader is gone; drop the
+                    // lane's remaining reads.
+                    if tx.send((i, store.read_chunk(key))).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        // On failure keep draining completions so the lowest-index error
+        // wins — the same error a sequential walk would have surfaced
+        // first (deterministic regardless of device timing).
+        let mut first_err: Option<(usize, StorageError)> = None;
+        for _ in 0..submitted {
+            let (i, res) = rx.recv().expect("fanout lane dropped a completion");
+            match res.and_then(|bytes| self.decode_durable_chunk(plan.stream, &slices[i], &bytes)) {
+                Ok(rows) => {
+                    if first_err.is_none() {
+                        self.copy_slice(out, &slices[i], plan.range_start, &rows);
+                    }
+                }
+                Err(e) => {
+                    if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_err = Some((i, e));
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        // The tail slice (at most one, always last) never touches the
+        // backend; rebuild it inline like the sequential walk does.
+        if let Some(slice) = slices
+            .last()
+            .filter(|s| !Self::slice_is_durable(s, plan.durable))
+        {
+            debug_assert_eq!(slice.chunk_idx as u64 * CHUNK_TOKENS, plan.durable);
+            let rows = self.decode_tail(plan.tail.expect("range past durable implies tail"));
+            self.copy_slice(out, slice, plan.range_start, &rows);
+        }
+        Ok(())
     }
 
     /// Backend bytes currently held by `stream` (durable chunks including
@@ -947,6 +1149,116 @@ mod tests {
         }
         // Accounting survived the interleaving too.
         assert_eq!(mgr.total_resident_bytes(), 128 * D as u64 * 2);
+        assert_eq!(mgr.delete_stream(s), 128 * D as u64 * 2);
+    }
+
+    #[test]
+    fn fanout_reads_are_bit_identical_to_sequential_at_every_width() {
+        // Same deterministic data through a sequential manager and fanout
+        // managers of widths 2/4/8: every range shape (aligned, interior,
+        // tail-touching, single-chunk) must come back bit-identical.
+        let seq = mgr();
+        let s = StreamId::hidden(3, 1);
+        let t = rows(300, 7); // 4 full chunks + 44-row unflushed tail
+        seq.append_rows(s, &t).unwrap();
+        let ranges = [
+            (0, 300),
+            (0, 256),
+            (70, 200),
+            (64, 128),
+            (5, 20),
+            (250, 300),
+        ];
+        for width in [2usize, 4, 8] {
+            let fan = StorageManager::new(Arc::new(MemStore::new(4)), D).with_read_fanout(width);
+            assert_eq!(fan.read_fanout_width(), width);
+            fan.append_rows(s, &t).unwrap();
+            for &(a, b) in &ranges {
+                assert_eq!(
+                    fan.read_rows(s, a, b).unwrap(),
+                    seq.read_rows(s, a, b).unwrap(),
+                    "width {width} range {a}..{b} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_int8_reads_match_sequential() {
+        let seq =
+            StorageManager::with_precision(Arc::new(MemStore::new(4)), D, crate::Precision::Int8);
+        let fan =
+            StorageManager::with_precision(Arc::new(MemStore::new(4)), D, crate::Precision::Int8)
+                .with_read_fanout(4);
+        let s = StreamId::hidden(1, 0);
+        let t = rows(200, 9);
+        seq.append_rows(s, &t).unwrap();
+        fan.append_rows(s, &t).unwrap();
+        assert_eq!(
+            fan.read_rows(s, 0, 200).unwrap(),
+            seq.read_rows(s, 0, 200).unwrap()
+        );
+    }
+
+    #[test]
+    fn fanout_width_one_keeps_the_sequential_path() {
+        let m = mgr().with_read_fanout(1);
+        assert_eq!(m.read_fanout_width(), 1);
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(100, 1)).unwrap();
+        assert_eq!(m.read_rows(s, 0, 100).unwrap().rows(), 100);
+    }
+
+    #[test]
+    fn fanout_missing_state_surfaces_the_lowest_chunk_error() {
+        // Chunks 0..4 written, then chunk 1 and 3 wiped behind the
+        // manager's back: the fanout read must report the lowest missing
+        // index (what a sequential walk hits first), not whichever device
+        // completes first.
+        let store = Arc::new(MemStore::new(4));
+        let m = StorageManager::new(Arc::clone(&store), D).with_read_fanout(4);
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(256, 1)).unwrap();
+        // Wipe the backend without tombstoning (simulates external loss).
+        store.delete_stream(s);
+        let err = m.read_rows(s, 0, 256).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::MissingChunk {
+                stream: s,
+                chunk_idx: 0
+            }
+        );
+    }
+
+    #[test]
+    fn fanout_read_racing_delete_and_restart_never_mixes_generations() {
+        // The generation-ABA race of
+        // `read_racing_delete_and_restart_never_mixes_generations`, driven
+        // through the fanout path: the delete + re-append (identical sizes,
+        // reused chunk keys) fires inside a pool worker's first fetch, and
+        // the post-IO tombstone revalidation must still retry the read
+        // wholesale onto generation 2.
+        let store = Arc::new(HookStore::new(2));
+        let mgr = Arc::new(StorageManager::new(Arc::clone(&store), D).with_read_fanout(4));
+        let s = StreamId::hidden(1, 0);
+        mgr.append_rows(s, &rows(128, 1)).unwrap(); // generation 1: 2 chunks
+        let mgr2 = Arc::clone(&mgr);
+        store.set_on_read(move || {
+            mgr2.delete_stream(s);
+            mgr2.append_rows(s, &rows(128, 2)).unwrap(); // generation 2
+        });
+        let got = mgr.read_rows(s, 0, 128).unwrap();
+        let gen2 = rows(128, 2);
+        for r in 0..128 {
+            for c in 0..D {
+                assert_eq!(
+                    got.get(r, c),
+                    f16_roundtrip(gen2.get(r, c)),
+                    "row {r} col {c} leaked generation-1 data through the fanout path"
+                );
+            }
+        }
         assert_eq!(mgr.delete_stream(s), 128 * D as u64 * 2);
     }
 

@@ -3,9 +3,16 @@
 //!
 //! What the sharded locking discipline must guarantee under fire:
 //! * reads are **bit-identical** to the deterministic data written (f16
-//!   round-trip of known row values), at every prefix length observed;
+//!   round-trip of known row values), at every prefix length observed —
+//!   including chunk-fanout reads at every width (the fanout path shares
+//!   the decode/copy helpers with the sequential one, and these tests pin
+//!   that);
 //! * no deadlocks — every scope here joins (the suite would hang, and CI
 //!   time out, if lock order were violated);
+//! * a delete followed by a re-append that reuses the same chunk keys
+//!   **with identical sizes** never leaks a mixed-generation read — only
+//!   the post-IO tombstone revalidation can catch that case (the
+//!   OutOfRange guard can't, since the sizes line up);
 //! * the byte accounting never drifts: the atomic aggregate equals the
 //!   per-stream sum once the dust settles, and deleting everything frees
 //!   exactly the tracked figure.
@@ -199,6 +206,143 @@ fn shared_stream_reads_are_consistent_prefixes() {
     assert_eq!(mgr.n_tokens(s), 1400);
     // All 1400 rows are flushed, so delete frees exactly their f16 bytes.
     assert_eq!(mgr.delete_stream(s), 1400 * D as u64 * 2);
+}
+
+/// Chunk-fanout reads vs sequential reads at widths 1–8, while appenders
+/// are actively extending the streams: every observed prefix must be
+/// bit-identical to the deterministic content (what a sequential read
+/// returns), and a final full read through a fanout manager must equal
+/// the same data read through a no-fanout manager, bit for bit.
+#[test]
+fn fanout_reads_bit_identical_to_sequential_at_widths_1_to_8_under_appenders() {
+    const BATCHES: u64 = 40;
+    const BATCH: usize = 10; // crosses chunk boundaries regularly
+    for width in 1..=8usize {
+        let mgr =
+            Arc::new(StorageManager::new(Arc::new(MemStore::new(4)), D).with_read_fanout(width));
+        let streams: Vec<StreamId> = (0..2).map(|l| StreamId::hidden(width as u64, l)).collect();
+        std::thread::scope(|scope| {
+            for &s in &streams {
+                let mgr = Arc::clone(&mgr);
+                scope.spawn(move || {
+                    for b in 0..BATCHES {
+                        mgr.append_rows(s, &rows_for(s, b * BATCH as u64, BATCH))
+                            .unwrap();
+                        if b % 4 == 3 {
+                            mgr.flush_stream(s).unwrap();
+                        }
+                    }
+                });
+            }
+            for &s in &streams {
+                let mgr = Arc::clone(&mgr);
+                scope.spawn(move || loop {
+                    let n = mgr.n_tokens(s);
+                    let got = mgr.read_rows(s, 0, n).unwrap();
+                    assert_prefix_bit_identical(&got, s, 0);
+                    if n >= BATCHES * BATCH as u64 {
+                        break;
+                    }
+                });
+            }
+        });
+        // Cross-check against a sequential (no-fanout) manager holding the
+        // same deterministic content.
+        let seq = StorageManager::new(Arc::new(MemStore::new(4)), D);
+        for &s in &streams {
+            let total = BATCHES * BATCH as u64;
+            seq.append_rows(s, &rows_for(s, 0, total as usize)).unwrap();
+            assert_eq!(
+                mgr.read_rows(s, 0, total).unwrap(),
+                seq.read_rows(s, 0, total).unwrap(),
+                "width {width} diverged from the sequential read of {s:?}"
+            );
+        }
+    }
+}
+
+/// Deterministic per-generation content: generations are told apart by
+/// their distinct value at (token 0, col 0), and every other cell must
+/// then belong to the *same* generation.
+fn gen_cell(generation: u64, token: u64, col: usize) -> f32 {
+    ((generation * 37 + token * 13 + col as u64) % 89) as f32 * 0.25 - 11.0
+}
+
+/// The delete→re-append generation race with **identical sizes**: chunk
+/// keys are reused between generations and every generation has the same
+/// byte length, so a stale read passes every length/OutOfRange check —
+/// only the post-IO tombstone revalidation in `read_rows` prevents a read
+/// from mixing rows of two generations. Runs through the chunk-fanout
+/// path, where the mid-read window spans several in-flight chunk fetches.
+#[test]
+fn delete_reappend_same_size_generations_never_mix_in_fanout_reads() {
+    const N: u64 = 128; // exactly 2 full chunks: no tail, sizes identical
+    const GENERATIONS: u64 = 40;
+    let mgr = Arc::new(StorageManager::new(Arc::new(MemStore::new(4)), D).with_read_fanout(4));
+    let s = StreamId::hidden(77, 0);
+    let gen_rows = |g: u64| Tensor2::from_fn(N as usize, D, |r, c| gen_cell(g, r as u64, c));
+    mgr.append_rows(s, &gen_rows(0)).unwrap();
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // The churner: delete + immediately re-append the next generation
+        // (same stream, same chunk keys, same sizes).
+        {
+            let mgr = Arc::clone(&mgr);
+            let done = &done;
+            scope.spawn(move || {
+                for g in 1..GENERATIONS {
+                    mgr.delete_stream(s);
+                    mgr.append_rows(s, &gen_rows(g)).unwrap();
+                }
+                done.store(true, Ordering::Relaxed);
+            });
+        }
+        // Readers: every successful full read must be one generation
+        // wholesale.
+        for _ in 0..2 {
+            let mgr = Arc::clone(&mgr);
+            let done = &done;
+            scope.spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    match mgr.read_rows(s, 0, N) {
+                        Ok(got) => {
+                            let probe = got.get(0, 0);
+                            let generation = (0..GENERATIONS)
+                                .find(|&g| probe == f16_roundtrip(gen_cell(g, 0, 0)))
+                                .unwrap_or_else(|| panic!("row 0 matches no generation: {probe}"));
+                            for r in 0..N as usize {
+                                for c in 0..D {
+                                    assert_eq!(
+                                        got.get(r, c),
+                                        f16_roundtrip(gen_cell(generation, r as u64, c)),
+                                        "token {r} col {c} mixed into generation {generation}"
+                                    );
+                                }
+                            }
+                        }
+                        // A read can land in the instant between the wipe
+                        // and the restart (stream momentarily empty).
+                        Err(hc_storage::StorageError::OutOfRange { .. }) => {}
+                        Err(e) => panic!("only OutOfRange may escape: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    // The final generation survived intact.
+    let got = mgr.read_rows(s, 0, N).unwrap();
+    for r in 0..N as usize {
+        for c in 0..D {
+            assert_eq!(
+                got.get(r, c),
+                f16_roundtrip(gen_cell(GENERATIONS - 1, r as u64, c))
+            );
+        }
+    }
+    assert_eq!(mgr.delete_stream(s), N * D as u64 * 2);
+    assert_eq!(mgr.total_resident_bytes(), 0);
 }
 
 /// Delete-vs-append race: a stream deleted while an appender holds a stale

@@ -23,8 +23,12 @@
 //!
 //! A baseline file whose fresh counterpart is missing fails the gate (a
 //! bench silently disappearing from CI is itself a regression); fresh
-//! files without a baseline are reported as new and pass. The delta table
-//! is written to stdout and appended to `$GITHUB_STEP_SUMMARY` when set.
+//! files without a baseline are reported as new and pass. A gated metric
+//! whose baseline is zero (the relative delta is undefined) or whose
+//! value is NaN/infinite on either side also fails explicitly — NaN
+//! comparisons are vacuously false, so they would otherwise wave a broken
+//! bench straight through the `>` threshold checks. The delta table is
+//! written to stdout and appended to `$GITHUB_STEP_SUMMARY` when set.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -107,13 +111,41 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn eat_digits(&mut self) -> usize {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+
+    /// Strict JSON number grammar: `-?int(.frac)?([eE][+-]?exp)?`. The
+    /// previous greedy scan swallowed any run of `[0-9+-.eE]` (so `--5` or
+    /// the tail of `1.2.3` reached `f64::parse` and produced a
+    /// position-less "bad number"); now each malformed byte is rejected in
+    /// place, with its offset in the error.
     fn parse_num(&mut self) -> Result<Json, String> {
         let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(&b))
-        {
+        if self.peek() == Some(b'-') {
             self.pos += 1;
+        }
+        if self.eat_digits() == 0 {
+            return Err(self.error("expected a digit in number"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if self.eat_digits() == 0 {
+                return Err(self.error("expected a digit after decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.eat_digits() == 0 {
+                return Err(self.error("expected a digit in exponent"));
+            }
         }
         std::str::from_utf8(&self.bytes[start..self.pos])
             .ok()
@@ -241,7 +273,7 @@ fn parse_json(s: &str) -> Result<Json, String> {
 
 /// Fields that identify an array element better than its index.
 const LABEL_FIELDS: &[&str] = &[
-    "backend", "quota", "readers", "sessions", "label", "name", "bench",
+    "backend", "quota", "readers", "sessions", "width", "label", "name", "bench",
 ];
 
 fn element_label(v: &Json) -> Option<String> {
@@ -398,6 +430,15 @@ enum Status {
     Ungated,
     New,
     Missing,
+    /// A gated metric whose baseline is zero: the relative gate
+    /// `(new − base) / base` is undefined (inf/NaN comparisons silently
+    /// pass `>` checks), so this fails CI explicitly — re-baseline the
+    /// metric or exclude it from the gate list.
+    ZeroBaseline,
+    /// A gated metric that is NaN/infinite on either side: every
+    /// threshold comparison on it is vacuously false, which would wave a
+    /// broken bench through the gate.
+    NonFinite,
 }
 
 struct Row {
@@ -420,6 +461,17 @@ fn compare_maps(
                 let gated = gates.is_gated(path);
                 let status = if !gated {
                     Status::Ungated
+                } else if !old.is_finite() || !new.is_finite() {
+                    Status::NonFinite
+                } else if old == 0.0 {
+                    // The relative gate is undefined on a zero baseline;
+                    // an unchanged zero is fine, anything else must be an
+                    // explicit failure rather than a NaN that slips by.
+                    if new == 0.0 {
+                        Status::Ok
+                    } else {
+                        Status::ZeroBaseline
+                    }
                 } else {
                     let worse = if lower_is_better(path) {
                         new > old * (1.0 + threshold)
@@ -503,6 +555,8 @@ fn render_table(file: &str, rows: &[Row]) -> String {
             Status::Ungated => "reported",
             Status::New => "new",
             Status::Missing => "**MISSING**",
+            Status::ZeroBaseline => "**ZERO-BASELINE** (re-baseline or ungate)",
+            Status::NonFinite => "**NON-FINITE**",
         };
         let _ = writeln!(
             out,
@@ -583,10 +637,12 @@ fn run(
             &gates,
             threshold,
         );
-        if rows
-            .iter()
-            .any(|r| matches!(r.status, Status::Regressed | Status::Missing))
-        {
+        if rows.iter().any(|r| {
+            matches!(
+                r.status,
+                Status::Regressed | Status::Missing | Status::ZeroBaseline | Status::NonFinite
+            )
+        }) {
             failed = true;
         }
         report.push_str(&render_table(&name, &rows));
@@ -694,6 +750,39 @@ mod tests {
     }
 
     #[test]
+    fn width_labeled_arrays_get_reorder_proof_paths() {
+        let v = parse_json(r#"{ "fanout": [ { "width": 4, "tokens_per_sec": 9 } ] }"#).unwrap();
+        let mut flat = BTreeMap::new();
+        flatten(&v, "", &mut flat);
+        assert_eq!(flat.get("fanout[width=4].tokens_per_sec"), Some(&9.0));
+    }
+
+    #[test]
+    fn malformed_numbers_are_rejected_with_position() {
+        for bad in [
+            "{ \"x\": 1.2.3 }",
+            "{ \"x\": --5 }",
+            "{ \"x\": +5 }",
+            "{ \"x\": 1. }",
+            "{ \"x\": .5 }",
+            "{ \"x\": 1e }",
+        ] {
+            let err = parse_json(bad).unwrap_err();
+            assert!(
+                err.contains("at byte"),
+                "{bad:?} must fail with a positioned error, got: {err}"
+            );
+        }
+        // The strict grammar still accepts everything the benches emit.
+        for good in ["-0.5", "1200", "3.25", "1e3", "2.5E-2", "-7e+1"] {
+            let v = parse_json(&format!("{{ \"x\": {good} }}")).unwrap();
+            let mut flat = BTreeMap::new();
+            flatten(&v, "", &mut flat);
+            assert_eq!(flat.get("x"), Some(&good.parse::<f64>().unwrap()));
+        }
+    }
+
+    #[test]
     fn array_elements_without_label_use_index() {
         let v = parse_json(r#"{ "xs": [ 1, 2 ] }"#).unwrap();
         let mut flat = BTreeMap::new();
@@ -761,6 +850,55 @@ mod tests {
         let rows = compare_maps(&old, &new, &GateList::all(), 0.25);
         assert!(rows.iter().any(|r| r.status == Status::Missing));
         assert!(rows.iter().any(|r| r.status == Status::New));
+    }
+
+    #[test]
+    fn zero_baseline_gated_metric_fails_explicitly() {
+        // (new − base) / base with base == 0 is inf/NaN; NaN comparisons
+        // silently pass the threshold checks, so this must be explicit.
+        let old = BTreeMap::from([("x.tokens_per_sec".to_string(), 0.0)]);
+        let new = BTreeMap::from([("x.tokens_per_sec".to_string(), 50.0)]);
+        let rows = compare_maps(&old, &new, &GateList::all(), 0.25);
+        assert_eq!(rows[0].status, Status::ZeroBaseline);
+        // An unchanged zero is not a failure.
+        let same = BTreeMap::from([("x.tokens_per_sec".to_string(), 0.0)]);
+        let rows = compare_maps(&old, &same, &GateList::all(), 0.25);
+        assert_eq!(rows[0].status, Status::Ok);
+        // Ungated zero baselines stay reported-only.
+        let gates = GateList::parse("something_else\n");
+        let rows = compare_maps(&old, &new, &gates, 0.25);
+        assert_eq!(rows[0].status, Status::Ungated);
+    }
+
+    #[test]
+    fn non_finite_gated_metrics_fail_instead_of_passing() {
+        let old = BTreeMap::from([("x.speedup".to_string(), 4.0)]);
+        let new = BTreeMap::from([("x.speedup".to_string(), f64::NAN)]);
+        let rows = compare_maps(&old, &new, &GateList::all(), 0.25);
+        assert_eq!(rows[0].status, Status::NonFinite);
+        let new = BTreeMap::from([("x.speedup".to_string(), f64::INFINITY)]);
+        let rows = compare_maps(&old, &new, &GateList::all(), 0.25);
+        assert_eq!(rows[0].status, Status::NonFinite);
+        let old_nan = BTreeMap::from([("x.speedup".to_string(), f64::NAN)]);
+        let ok = BTreeMap::from([("x.speedup".to_string(), 4.0)]);
+        let rows = compare_maps(&old_nan, &ok, &GateList::all(), 0.25);
+        assert_eq!(rows[0].status, Status::NonFinite);
+    }
+
+    #[test]
+    fn zero_baseline_fails_a_full_run() {
+        let root =
+            std::env::temp_dir().join(format!("bench-compare-zerobase-{}", std::process::id()));
+        let base = root.join("base");
+        let fresh = root.join("fresh");
+        std::fs::create_dir_all(&base).unwrap();
+        std::fs::create_dir_all(&fresh).unwrap();
+        std::fs::write(base.join("BENCH_z.json"), r#"{ "speedup": 0 }"#).unwrap();
+        std::fs::write(fresh.join("BENCH_z.json"), r#"{ "speedup": 2.0 }"#).unwrap();
+        let (report, failed) = run(&base, &fresh, 0.25, None).unwrap();
+        assert!(failed, "zero baseline must fail CI:\n{report}");
+        assert!(report.contains("ZERO-BASELINE"));
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]
