@@ -14,21 +14,28 @@
 //! All three produce KV caches equal up to kernel accumulation order (the
 //! pipelined one is bit-identical to `sequential`); the program verifies
 //! that before timing.
+//!
+//! A second sweep measures the **chunk-streaming** pipeline against the
+//! layer-granular one on the `LatencyStore` 4-device model (see
+//! [`streaming_sweep`]): single-session TTFR, with an in-bench assert that
+//! the intra-layer overlap is worth ≥ 1.3×.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hc_model::{layer, KvCache, Model, ModelConfig, NormKind, PosKind};
 use hc_restore::engine::{
-    kv_max_error, restore_session, restore_session_pipelined, save_session_state,
+    kv_max_error, restore_session, restore_session_pipelined, restore_session_pipelined_layerwise,
+    save_session_state,
 };
 use hc_sched::partition::PartitionScheme;
 use hc_storage::backend::{ChunkStore, MemStore};
+use hc_storage::latency::LatencyStore;
 use hc_storage::manager::StorageManager;
 use hc_storage::StreamId;
 use hc_tensor::gemm::matmul_nt_naive;
 use hc_tensor::rope::{rope_row, DEFAULT_ROPE_BASE};
-use hc_tensor::ParallelConfig;
+use hc_tensor::{ParallelConfig, Tensor2};
 
 const N_TOKENS: usize = 256;
 const RUNS: usize = 9;
@@ -75,10 +82,10 @@ fn restore_seed_sequential<S: ChunkStore>(
     kv
 }
 
-/// Median wall-clock seconds of `RUNS` executions (after one warm-up).
-fn median_secs(mut run: impl FnMut()) -> f64 {
+/// Median wall-clock seconds of `runs` executions (after one warm-up).
+fn median_secs_n(runs: usize, mut run: impl FnMut()) -> f64 {
     run(); // warm-up
-    let mut samples: Vec<f64> = (0..RUNS)
+    let mut samples: Vec<f64> = (0..runs)
         .map(|_| {
             let t = Instant::now();
             run();
@@ -87,6 +94,183 @@ fn median_secs(mut run: impl FnMut()) -> f64 {
         .collect();
     samples.sort_by(|a, b| a.total_cmp(b));
     samples[samples.len() / 2]
+}
+
+/// Median wall-clock seconds of [`RUNS`] executions (after one warm-up).
+fn median_secs(run: impl FnMut()) -> f64 {
+    median_secs_n(RUNS, run)
+}
+
+// ---------------------------------------------------------------------------
+// Chunk-streaming TTFR sweep (§4.1.2 token-wise partitioning, measured)
+// ---------------------------------------------------------------------------
+
+/// Tokens restored by the streaming sweep: 32 chunks of 64, so a width-4
+/// fanout keeps 8 rounds of IO per layer in flight and the pipeline fill
+/// is 1/8 of a layer's IO.
+const STREAM_TOKENS: usize = 2048;
+/// Median-of-N for the streaming sweep (each run sleeps through real
+/// modeled device time, so fewer samples than the in-memory timings).
+const STREAM_RUNS: usize = 5;
+
+/// The streaming sweep's model: a long context through a **single hidden
+/// layer**, which isolates exactly the §4.1.2 token-wise axis. Across
+/// layers, both executors pipeline identically (that overlap is PR 1's
+/// win, measured above); *within* a layer the layer-granular executor has
+/// zero overlap — its projection cannot start until the whole layer's IO
+/// lands — so one long hidden layer is the pure measurement of what
+/// chunk-granularity adds. It is also the serving-relevant shape: the
+/// hidden segment of a mixed scheme is a few layers, each restored as one
+/// long stream.
+fn streaming_config() -> ModelConfig {
+    ModelConfig {
+        name: "Stream-Llama".into(),
+        n_layers: 1,
+        d_model: 256,
+        n_heads: 8,
+        d_ff: 512,
+        vocab_size: 256,
+        max_seq_len: 4096,
+        norm: NormKind::RmsNorm,
+        pos: PosKind::Rope,
+        elem_bytes: 2,
+        param_count: 0,
+    }
+}
+
+/// Layer-granular vs chunk-streaming restore on the `LatencyStore`
+/// 4-device model, 4-wide fanout, single compute thread. The per-chunk
+/// device service time is *calibrated* to 3× this host's per-chunk
+/// projection cost, so the layer's IO wall-clock is ~0.75× its compute
+/// wall-clock: the chunk path stays compute-bound (its TTFR ≈ compute +
+/// one chunk round of fill, robust to IO-completion wake jitter on
+/// saturated or single-core hosts), while the layer-granular path must
+/// still pay IO *then* compute serially — predicted ≈ 1.75C / 1.1C ≈
+/// 1.5×, asserted ≥ 1.3×, portable across machines because both sides
+/// scale with this host's GEMM speed. Returns the JSON fragment.
+fn streaming_sweep() -> String {
+    const DEVICES: usize = 4;
+    const WIDTH: usize = 4;
+    let cfg = streaming_config();
+    let model = Model::new(&cfg, 7);
+
+    // Deterministic O(1)-scaled hidden states, appended directly (a real
+    // 2048-token prefill would cost O(n²) attention for no extra fidelity
+    // — the restore path only ever sees the stored rows).
+    let hidden: Vec<Tensor2> = (0..cfg.n_layers)
+        .map(|l| {
+            Tensor2::from_fn(STREAM_TOKENS, cfg.d_model, |r, c| {
+                ((l * 31 + r * 7 + c * 3) % 97) as f32 * 0.02 - 1.0
+            })
+        })
+        .collect();
+
+    // Calibrate: serial projection cost of one 64-token chunk, then set
+    // the device service time so per-layer IO ≈ 0.75× per-layer compute
+    // (L = 3c with width 4: IO delivers 4 chunks per L, compute consumes
+    // 4 chunks per 4c).
+    let probe = hidden[0].slice_rows(0, 64);
+    let chunk_proj_secs = median_secs_n(9, || {
+        std::hint::black_box(model.restore_layer_kv(0, &probe, 0));
+    });
+    let read_latency = Duration::from_secs_f64((3.0 * chunk_proj_secs).clamp(200e-6, 10e-3));
+
+    let store = Arc::new(LatencyStore::new(
+        Arc::new(MemStore::new(DEVICES)),
+        read_latency,
+        Duration::ZERO, // saves are not what this sweep measures
+    ));
+    let mgr = StorageManager::new(store, cfg.d_model).with_read_fanout(WIDTH);
+    let scheme = PartitionScheme::pure_hidden(cfg.n_layers);
+    for (l, h) in hidden.iter().enumerate() {
+        mgr.append_rows(StreamId::hidden(1, l as u32), h)
+            .expect("bench save");
+    }
+
+    // One compute thread: the scheduler-realistic split once the width-4
+    // IO fanout is reserved out of a small host grant, and the setting
+    // where the overlap (not extra cores) must provide the win.
+    let par = ParallelConfig::new(1);
+    let tokens: Vec<u32> = Vec::new(); // pure hidden: no recompute replay
+
+    // Correctness gate before timing: all three executors bit-identical.
+    let seq = restore_session(&model, &mgr, 1, &tokens, STREAM_TOKENS, &scheme).expect("seq");
+    let layerwise =
+        restore_session_pipelined_layerwise(&model, &mgr, 1, &tokens, STREAM_TOKENS, &scheme, &par)
+            .expect("layerwise");
+    let chunked = restore_session_pipelined(&model, &mgr, 1, &tokens, STREAM_TOKENS, &scheme, &par)
+        .expect("chunked");
+    assert_eq!(kv_max_error(&seq, &layerwise), 0.0, "layerwise diverged");
+    assert_eq!(
+        kv_max_error(&seq, &chunked),
+        0.0,
+        "chunk streaming diverged"
+    );
+
+    let t_layer = median_secs_n(STREAM_RUNS, || {
+        std::hint::black_box(
+            restore_session_pipelined_layerwise(
+                &model,
+                &mgr,
+                1,
+                &tokens,
+                STREAM_TOKENS,
+                &scheme,
+                &par,
+            )
+            .expect("layerwise"),
+        );
+    });
+    let t_chunk = median_secs_n(STREAM_RUNS, || {
+        std::hint::black_box(
+            restore_session_pipelined(&model, &mgr, 1, &tokens, STREAM_TOKENS, &scheme, &par)
+                .expect("chunked"),
+        );
+    });
+    let speedup = t_layer / t_chunk;
+
+    // The acceptance gate: intra-layer chunk overlap must be worth ≥1.3×
+    // single-session TTFR over the layer-granular pipeline here. (The
+    // calibration predicts ≈1.5×: layer-granular restores the layer as
+    // IO *then* compute — 0.75C + C — while streaming hides the IO under
+    // the projections and pays ≈ C plus one chunk round of fill.)
+    assert!(
+        speedup >= 1.3,
+        "chunk-streaming TTFR speedup {speedup:.2}x fell below the 1.3x gate \
+         (layer {:.1} ms vs chunk {:.1} ms, chunk latency {:?})",
+        t_layer * 1e3,
+        t_chunk * 1e3,
+        read_latency,
+    );
+
+    format!(
+        r#""chunk_streaming": {{
+    "description": "Layer-granular vs chunk-streaming pipelined restore of a {tokens}-token single-hidden-layer session on a {devices}-device LatencyStore (per-chunk service time calibrated to 3x this host's per-chunk projection cost, so layer IO is ~0.75x layer compute), width-{width} fanout, 1 compute thread; medians of {runs} runs. One hidden layer isolates the intra-layer token-chunk overlap: the layer-granular executor has zero overlap within a layer. TTFR = wall-clock to a fully restored KV cache.",
+    "model": {{ "n_layers": {n_layers}, "d_model": {d_model}, "n_heads": {n_heads}, "d_ff": {d_ff} }},
+    "n_tokens": {tokens},
+    "devices": {devices},
+    "fanout_width": {width},
+    "chunk_read_latency_ms": {lat_ms:.3},
+    "ttfr_ms": {{
+      "layer_granular": {t_layer:.3},
+      "chunk_stream": {t_chunk:.3}
+    }},
+    "ttfr_speedup_vs_layer_granular": {speedup:.2},
+    "bit_identical_to_sequential": true
+  }}"#,
+        tokens = STREAM_TOKENS,
+        devices = DEVICES,
+        width = WIDTH,
+        runs = STREAM_RUNS,
+        n_layers = cfg.n_layers,
+        d_model = cfg.d_model,
+        n_heads = cfg.n_heads,
+        d_ff = cfg.d_ff,
+        lat_ms = read_latency.as_secs_f64() * 1e3,
+        t_layer = t_layer * 1e3,
+        t_chunk = t_chunk * 1e3,
+        speedup = speedup,
+    )
 }
 
 fn main() {
@@ -148,6 +332,10 @@ fn main() {
     let t_piped_1 = time_piped(&ParallelConfig::new(1));
     let t_piped_auto = time_piped(&auto);
 
+    // Layer-granular vs chunk-streaming on the modeled device array (also
+    // asserts the ≥1.3x TTFR gate before anything is written).
+    let chunk_streaming = streaming_sweep();
+
     let json = format!(
         r#"{{
   "bench": "functional_restore",
@@ -165,7 +353,8 @@ fn main() {
     "sequential_blocked_kernel": {s_seq:.2},
     "pipelined_auto": {s_piped:.2}
   }},
-  "bit_identical_to_sequential": true
+  "bit_identical_to_sequential": true,
+  {chunk_streaming}
 }}
 "#,
         n_layers = cfg.n_layers,

@@ -62,6 +62,13 @@ pub enum CtlError {
     UnknownSession(u64),
     /// Storage failure during restore or eviction.
     Storage(StorageError),
+    /// The pipelined restore's prefetch stage died (panicking backend)
+    /// while fetching this layer. Isolated to the one job: the scheduler
+    /// worker that ran it keeps serving the queue.
+    Prefetch {
+        /// Layer whose fetch was in flight.
+        layer: usize,
+    },
 }
 
 impl std::fmt::Display for CtlError {
@@ -69,6 +76,9 @@ impl std::fmt::Display for CtlError {
         match self {
             CtlError::UnknownSession(id) => write!(f, "unknown session {id}"),
             CtlError::Storage(e) => write!(f, "storage error: {e}"),
+            CtlError::Prefetch { layer } => {
+                write!(f, "restore prefetch failed at layer {layer}")
+            }
         }
     }
 }
@@ -78,6 +88,17 @@ impl std::error::Error for CtlError {}
 impl From<StorageError> for CtlError {
     fn from(e: StorageError) -> Self {
         CtlError::Storage(e)
+    }
+}
+
+impl From<hc_restore::engine::RestoreError> for CtlError {
+    fn from(e: hc_restore::engine::RestoreError) -> Self {
+        match e {
+            hc_restore::engine::RestoreError::Storage(s) => CtlError::Storage(s),
+            hc_restore::engine::RestoreError::PrefetchFailed { layer } => {
+                CtlError::Prefetch { layer }
+            }
+        }
     }
 }
 

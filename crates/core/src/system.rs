@@ -28,6 +28,12 @@ pub enum SystemError {
     UnknownSession(u64),
     /// Storage failure.
     Storage(StorageError),
+    /// The pipelined restore's prefetch stage died at this layer (the
+    /// typed form of a backend panic — isolated to the one restore).
+    Prefetch {
+        /// Layer whose fetch was in flight.
+        layer: usize,
+    },
 }
 
 impl std::fmt::Display for SystemError {
@@ -35,6 +41,9 @@ impl std::fmt::Display for SystemError {
         match self {
             SystemError::UnknownSession(id) => write!(f, "unknown session {id}"),
             SystemError::Storage(e) => write!(f, "storage error: {e}"),
+            SystemError::Prefetch { layer } => {
+                write!(f, "restore prefetch failed at layer {layer}")
+            }
         }
     }
 }
@@ -47,11 +56,23 @@ impl From<StorageError> for SystemError {
     }
 }
 
+impl From<hc_restore::engine::RestoreError> for SystemError {
+    fn from(e: hc_restore::engine::RestoreError) -> Self {
+        match e {
+            hc_restore::engine::RestoreError::Storage(s) => SystemError::Storage(s),
+            hc_restore::engine::RestoreError::PrefetchFailed { layer } => {
+                SystemError::Prefetch { layer }
+            }
+        }
+    }
+}
+
 impl From<CtlError> for SystemError {
     fn from(e: CtlError) -> Self {
         match e {
             CtlError::UnknownSession(id) => SystemError::UnknownSession(id),
             CtlError::Storage(e) => SystemError::Storage(e),
+            CtlError::Prefetch { layer } => SystemError::Prefetch { layer },
         }
     }
 }

@@ -88,6 +88,19 @@ impl KvCache {
         }
     }
 
+    /// Truncates a single layer to its first `n` tokens, leaving every
+    /// other layer untouched. The chunk-streaming restore uses this to
+    /// roll back the one layer it is filling incrementally when a
+    /// concurrent delete invalidates that layer's in-flight stream (the
+    /// already-completed layers stay as placed).
+    pub fn truncate_layer(&mut self, layer: usize, n: usize) {
+        for t in [&mut self.keys[layer], &mut self.values[layer]] {
+            if t.rows() > n {
+                *t = t.slice_rows(0, n);
+            }
+        }
+    }
+
     /// Total bytes this cache would occupy at `elem_bytes` per element.
     pub fn size_bytes(&self, elem_bytes: usize) -> usize {
         self.keys
@@ -161,6 +174,25 @@ mod tests {
         kv.clear();
         assert_eq!(kv.n_tokens(), 0);
         assert!(kv.is_consistent());
+    }
+
+    #[test]
+    fn truncate_layer_rolls_back_one_layer_only() {
+        let cfg = tiny();
+        let mut kv = KvCache::new(&cfg);
+        let k = Tensor2::from_fn(5, cfg.d_model, |r, c| (r * 7 + c) as f32);
+        for l in 0..cfg.n_layers {
+            kv.append(l, &k, &k.clone());
+        }
+        kv.truncate_layer(1, 2);
+        assert_eq!(kv.n_tokens_at_layer(1), 2);
+        assert_eq!(kv.n_tokens_at_layer(0), 5);
+        assert!(!kv.is_consistent());
+        // Surviving rows are untouched, and refilling restores consistency.
+        assert_eq!(kv.keys(1).row(1), k.row(1));
+        kv.append(1, &k.slice_rows(2, 5), &k.slice_rows(2, 5));
+        assert!(kv.is_consistent());
+        assert_eq!(kv.keys(1), kv.keys(0));
     }
 
     #[test]

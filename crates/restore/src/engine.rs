@@ -19,42 +19,111 @@
 //! [`restore_session`] is the sequential reference: it reads layer `l`'s
 //! streams, projects/loads them, and only then reads layer `l+1`.
 //! [`restore_session_pipelined`] runs the *same* work as the two-stream
-//! schedule that `hc_sched::pipeline` models analytically:
+//! schedule that `hc_sched::pipeline` models analytically, at **token-chunk
+//! granularity** (§4.1.2's token-wise partitioning):
 //!
 //! * an **IO stream** (one prefetch thread) walks the non-recompute layers
-//!   in restoration order, pulling each layer's chunks out of the
-//!   [`StorageManager`] — when the manager is configured with chunk-fanout
-//!   reads (`StorageManager::with_read_fanout`), each of the prefetcher's
-//!   per-layer `read_rows` calls additionally keeps up to the fanout width
-//!   of chunk reads in flight across the striped devices, so intra-layer
-//!   IO overlaps too, not just IO-vs-compute — and
-//! * a **compute stream** (the caller's thread) consumes fetched layers in
-//!   the same order, running the hidden→KV projection GEMMs — under a
-//!   [`ParallelConfig`] thread budget — or installing K/V rows; the
-//!   recompute prefix's forward pass runs *before* the first `recv`, so it
-//!   overlaps the prefetcher exactly like the `compute_needs_io = false`
-//!   tasks at the front of a `sched::pipeline::Timeline`.
+//!   in restoration order, *streaming* each layer's chunks out of the
+//!   [`StorageManager`] via `read_rows_streaming` — every decoded 64-token
+//!   chunk is forwarded the moment its IO lands (in device-completion
+//!   order when the manager runs chunk-fanout reads, so up to the fanout
+//!   width of chunk reads stay in flight while earlier chunks are already
+//!   being consumed) — and
+//! * a **compute stream** (the caller's thread) consumes *chunks*, not
+//!   layers: a hidden-method layer's projection GEMMs run over each newly
+//!   contiguous token prefix as it becomes ready — compute on chunk `k`
+//!   overlaps the IO of chunk `k+1` *inside the same layer* — and a
+//!   KV-method layer's rows are placed into the destination [`KvCache`]
+//!   incrementally as K/V prefixes pair up. The recompute prefix's forward
+//!   pass still runs *before* the first `recv`, overlapping the prefetcher
+//!   exactly like the `compute_needs_io = false` tasks at the front of a
+//!   `sched::pipeline::Timeline`.
 //!
-//! The two stages are linked by a **bounded channel of two layer payloads**,
-//! so host memory holds at most the layer being computed plus two fetched
-//! layers (the paper's O(1)-layers staging buffer), and the IO stream is
-//! backpressured instead of racing ahead. Each `sched::pipeline::LayerTask`
-//! maps 1:1 onto what this executor does: `io > 0` ⇔ the prefetch thread
-//! reads the layer's streams, `compute > 0` ⇔ the compute stage projects or
-//! recomputes, `compute_needs_io` ⇔ the compute stage blocks on `recv` for
-//! that layer. Because the parallel kernels are bit-for-bit equal to the
-//! serial ones and both executors visit layers in the same order, the
-//! pipelined restore returns a [`KvCache`] *bit-identical* to
-//! [`restore_session`]'s — the tests at the bottom enforce this across
-//! every scheme shape and thread counts 1–8.
+//! The stages are linked by a **bounded channel of chunk work items**
+//! (depth `2 × fanout width`, minimum 4), so what may be in flight at any
+//! instant is: at most one layer being assembled on the compute side (its
+//! staging tensors), plus a bounded-channel's worth of decoded chunks,
+//! plus the manager's in-flight chunk reads — O(1) layers of host staging,
+//! like the paper's staging buffer, never the whole restore. A mid-stream
+//! tombstone (concurrent delete/re-append) resets the layer being
+//! assembled — [`hc_model::KvCache::truncate_layer`] rolls back exactly
+//! the rows placed for it — and the stream redelivers wholesale, so the
+//! incremental placement never leaks a dead generation.
+//!
+//! Because projection/norm/RoPE are row-wise (a chunk projected at its
+//! absolute start position is bit-equal to the same rows inside a whole-
+//! layer projection) and the parallel kernels are bit-for-bit equal to
+//! the serial ones, the pipelined restore returns a [`KvCache`]
+//! *bit-identical* to [`restore_session`]'s — the tests at the bottom
+//! enforce this across every scheme shape and thread counts 1–8.
+//!
+//! The previous layer-granular pipeline is kept as
+//! [`restore_session_pipelined_layerwise`]: one `read_rows` per layer
+//! through a bounded channel of two whole-layer payloads. It is the
+//! measured baseline for the chunk-streaming speedup in `bench_restore`
+//! (TTFR on the `LatencyStore` device model), a reference executor for
+//! the bit-identity matrix, and the path [`restore_session_pipelined`]
+//! itself takes when the manager has no chunk-fanout pool — without
+//! in-flight IO breadth, chunk granularity only pays staging and
+//! dispatch overhead, so granularity adapts with the fanout config.
+//!
+//! Prefetch failures are **typed**: a panicking backend (or lost fanout
+//! completions) inside the prefetch stage surfaces as
+//! [`RestoreError::PrefetchFailed`] carrying the layer index, instead of
+//! unwinding through the scope and tearing down whichever scheduler
+//! worker ran the restore — `RestoreScheduler` fails the one job and its
+//! worker lives on.
 
 use crossbeam::channel::bounded;
 use hc_model::{layer, KvCache, Model};
 use hc_sched::partition::{LayerMethod, PartitionScheme};
 use hc_storage::backend::ChunkStore;
-use hc_storage::manager::StorageManager;
-use hc_storage::{StorageError, StreamId};
+use hc_storage::chunk::chunks_for_range;
+use hc_storage::manager::{DeliveredRows, RowSink, StorageManager};
+use hc_storage::{StateKind, StorageError, StreamId};
 use hc_tensor::{ParallelConfig, Tensor2};
+
+/// Errors surfaced by the pipelined restore executors.
+#[derive(Debug, PartialEq)]
+pub enum RestoreError {
+    /// A storage-layer failure while reading a layer's streams.
+    Storage(StorageError),
+    /// The prefetch stage died while fetching `layer` — a panicking
+    /// [`ChunkStore`] implementation, or fanout completions lost to a
+    /// crashed pool job. Typed (rather than propagating the panic through
+    /// the thread scope) so a multi-session scheduler can fail this one
+    /// job and keep its worker.
+    PrefetchFailed {
+        /// Layer whose fetch was in flight when the stage died.
+        layer: usize,
+    },
+}
+
+impl From<StorageError> for RestoreError {
+    fn from(e: StorageError) -> Self {
+        RestoreError::Storage(e)
+    }
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Storage(e) => write!(f, "storage error: {e}"),
+            RestoreError::PrefetchFailed { layer } => {
+                write!(f, "prefetch stage failed while fetching layer {layer}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RestoreError::Storage(e) => Some(e),
+            RestoreError::PrefetchFailed { .. } => None,
+        }
+    }
+}
 
 /// Saves a prefilled session's state according to `scheme`.
 ///
@@ -190,7 +259,7 @@ pub fn restore_session_with_methods<S: ChunkStore>(
     Ok(kv)
 }
 
-/// One layer's worth of state, fetched by the IO stream.
+/// One layer's worth of state, fetched by the layer-granular IO stream.
 enum Fetched {
     /// Hidden-state rows awaiting the KV projection.
     Hidden(usize, Tensor2),
@@ -198,21 +267,132 @@ enum Fetched {
     Kv(usize, Tensor2, Tensor2),
 }
 
-/// How many fetched layers may sit between the IO stream and the compute
-/// stream. Two keeps the prefetcher one layer ahead (the bubble-free fill)
-/// while bounding staging memory to O(2 layers).
+/// How many fetched layers may sit between the layer-granular IO stream
+/// and its compute stream. Two keeps the prefetcher one layer ahead (the
+/// bubble-free fill) while bounding staging memory to O(2 layers).
 const PIPELINE_DEPTH: usize = 2;
 
+/// Floor for the chunk-streaming pipeline's channel depth (chunks), so a
+/// no-fanout manager still keeps the prefetcher a few chunks ahead.
+const MIN_CHUNK_DEPTH: usize = 4;
+
+/// One token-chunk work item flowing from the streaming prefetcher to the
+/// compute stage.
+enum ChunkMsg {
+    /// A decoded chunk slice of (layer, kind) landed.
+    Rows {
+        layer: usize,
+        kind: StateKind,
+        slice_idx: usize,
+        row_start: usize,
+        rows: Tensor2,
+    },
+    /// (layer, kind)'s stream was invalidated mid-flight by a concurrent
+    /// delete: discard that stream's progress; every slice is redelivered.
+    Reset { layer: usize, kind: StateKind },
+    /// The prefetch stage is done for good (storage error or panic).
+    Failed { err: RestoreError },
+}
+
+/// [`RowSink`] that forwards each streamed chunk of one (layer, kind)
+/// stream into the pipeline's bounded channel. A send failure means the
+/// compute stage is gone (error return or panic): the sink cancels the
+/// rest of the read.
+struct ChannelSink<'a> {
+    tx: &'a crossbeam::channel::Sender<ChunkMsg>,
+    layer: usize,
+    kind: StateKind,
+    cancelled: bool,
+}
+
+impl RowSink for ChannelSink<'_> {
+    fn deliver(&mut self, chunk: DeliveredRows) -> bool {
+        let sent = self
+            .tx
+            .send(ChunkMsg::Rows {
+                layer: self.layer,
+                kind: self.kind,
+                slice_idx: chunk.slice_idx,
+                row_start: chunk.row_start,
+                rows: chunk.rows,
+            })
+            .is_ok();
+        self.cancelled |= !sent;
+        sent
+    }
+
+    fn reset(&mut self) {
+        self.cancelled |= self
+            .tx
+            .send(ChunkMsg::Reset {
+                layer: self.layer,
+                kind: self.kind,
+            })
+            .is_err();
+    }
+}
+
+/// Compute-side assembly of one stream (hidden, K or V) of the layer
+/// currently being restored: a destination-sized staging tensor plus the
+/// contiguous-prefix bookkeeping that drives incremental consumption.
+struct StreamAssembly {
+    staged: Tensor2,
+    /// Which slices (64-token chunks of `0..n_tokens`) have landed.
+    received: Vec<bool>,
+    /// Leading received slices.
+    ready_slices: usize,
+    /// Rows covered by the leading received slices — the contiguous
+    /// prefix compute may consume.
+    ready_rows: usize,
+}
+
+impl StreamAssembly {
+    fn new(n_tokens: usize, d_model: usize, n_slices: usize) -> Self {
+        Self {
+            staged: Tensor2::zeros(n_tokens, d_model),
+            received: vec![false; n_slices],
+            ready_slices: 0,
+            ready_rows: 0,
+        }
+    }
+
+    /// Places one delivered chunk and advances the contiguous prefix.
+    fn place(&mut self, slice_idx: usize, row_start: usize, rows: &Tensor2, slice_rows: &[usize]) {
+        for r in 0..rows.rows() {
+            self.staged
+                .row_mut(row_start + r)
+                .copy_from_slice(rows.row(r));
+        }
+        self.received[slice_idx] = true;
+        while self.ready_slices < self.received.len() && self.received[self.ready_slices] {
+            self.ready_rows += slice_rows[self.ready_slices];
+            self.ready_slices += 1;
+        }
+    }
+
+    /// Forgets everything (a tombstone reset): the stream redelivers all
+    /// slices, overwriting the dead generation's staged rows.
+    fn reset(&mut self) {
+        self.received.iter_mut().for_each(|r| *r = false);
+        self.ready_slices = 0;
+        self.ready_rows = 0;
+    }
+}
+
 /// [`restore_session`] restructured as the paper's bubble-free two-stream
-/// pipeline: a prefetch thread reads layer `l+1`'s streams while the
-/// calling thread runs layer `l`'s projection (under `par`'s thread budget)
-/// or the recompute prefix's forward pass (also under `par`'s budget via
-/// the head-parallel prefill kernels; it additionally overlaps the
-/// prefetcher). See the module docs for the correspondence to
-/// `hc_sched::pipeline`'s Timeline model.
+/// pipeline at **token-chunk granularity**: the prefetch thread streams
+/// decoded 64-token chunks as their IO lands, and the calling thread
+/// projects each hidden layer's newly contiguous prefix (under `par`'s
+/// thread budget) or places K/V chunks into the destination cache
+/// incrementally — so compute on chunk `k` overlaps the IO of chunk `k+1`
+/// inside a layer, on top of the layer-to-layer overlap the
+/// [`restore_session_pipelined_layerwise`] baseline already had. The
+/// recompute prefix's forward pass runs before the first chunk is awaited
+/// and overlaps the prefetcher. See the module docs for the schedule
+/// correspondence and in-flight bounds.
 ///
 /// Returns a cache bit-identical to [`restore_session`]'s for every scheme,
-/// model and thread count.
+/// model, fanout width and thread count.
 ///
 /// # Panics
 /// Panics if recompute layers are not a prefix of the model (§4.1.2), like
@@ -225,7 +405,7 @@ pub fn restore_session_pipelined<S: ChunkStore>(
     n_tokens: usize,
     scheme: &PartitionScheme,
     par: &ParallelConfig,
-) -> Result<KvCache, StorageError> {
+) -> Result<KvCache, RestoreError> {
     restore_session_pipelined_with_methods(
         model,
         mgr,
@@ -244,6 +424,18 @@ pub fn restore_session_pipelined<S: ChunkStore>(
 /// also runs under `par`'s budget (bit-identical to serial), so a restore
 /// dominated by demoted layers still uses its thread share.
 ///
+/// A prefetch-thread panic (buggy backend, lost fanout completions) is
+/// isolated and surfaced as [`RestoreError::PrefetchFailed`] with the
+/// in-flight layer index — the caller's thread never unwinds.
+///
+/// Granularity is adaptive, mirroring the manager's adaptive fanout: when
+/// the manager has no chunk-fanout pool (`read_fanout_width() ≤ 1`) a
+/// single read cannot keep more than one chunk in flight, so intra-layer
+/// streaming has no IO to overlap and only pays per-chunk staging and
+/// GEMM-dispatch overhead — the restore then runs the layer-granular
+/// executor instead. Both executors are bit-identical to the sequential
+/// restore, so the choice changes wall-clock only.
+///
 /// # Panics
 /// Panics when `methods` does not cover the model's layers or when its
 /// recompute layers are not a prefix (§4.1.2).
@@ -255,7 +447,257 @@ pub fn restore_session_pipelined_with_methods<S: ChunkStore>(
     n_tokens: usize,
     methods: &[LayerMethod],
     par: &ParallelConfig,
-) -> Result<KvCache, StorageError> {
+) -> Result<KvCache, RestoreError> {
+    if mgr.read_fanout_width() <= 1 {
+        return restore_session_pipelined_layerwise_with_methods(
+            model, mgr, session, tokens, n_tokens, methods, par,
+        );
+    }
+    let cfg = &model.cfg;
+    assert_eq!(methods.len(), cfg.n_layers, "methods do not cover model");
+
+    let n_recompute = methods
+        .iter()
+        .take_while(|m| **m == LayerMethod::Recompute)
+        .count();
+    assert!(
+        methods[n_recompute..]
+            .iter()
+            .all(|m| *m != LayerMethod::Recompute),
+        "recompute layers must form a prefix (§4.1.2)"
+    );
+
+    // Chunk geometry of one stream's full range, shared by every layer.
+    let slice_rows: Vec<usize> = chunks_for_range(0, n_tokens as u64)
+        .iter()
+        .map(|s| s.len as usize)
+        .collect();
+    let n_slices = slice_rows.len();
+    let depth = (mgr.read_fanout_width() * 2).max(MIN_CHUNK_DEPTH);
+
+    let mut kv = KvCache::new(cfg);
+    std::thread::scope(|scope| -> Result<(), RestoreError> {
+        // IO stream: walk storage-backed layers in restoration order,
+        // streaming each decoded chunk into the bounded channel the moment
+        // its IO lands. Panics are contained per layer and converted to a
+        // typed failure message.
+        let (tx, rx) = bounded::<ChunkMsg>(depth);
+        scope.spawn(move || {
+            for (l, method) in methods.iter().enumerate().skip(n_recompute) {
+                let kinds: &[StateKind] = match method {
+                    LayerMethod::Hidden => &[StateKind::Hidden],
+                    LayerMethod::KvOffload => &[StateKind::Key, StateKind::Value],
+                    LayerMethod::Recompute => unreachable!("prefix checked above"),
+                };
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || -> Result<bool, StorageError> {
+                        for &kind in kinds {
+                            let stream = StreamId {
+                                session,
+                                layer: l as u32,
+                                kind,
+                            };
+                            let mut sink = ChannelSink {
+                                tx: &tx,
+                                layer: l,
+                                kind,
+                                cancelled: false,
+                            };
+                            mgr.read_rows_streaming(stream, 0, n_tokens as u64, &mut sink)?;
+                            if sink.cancelled {
+                                return Ok(false);
+                            }
+                        }
+                        Ok(true)
+                    },
+                ));
+                let err = match outcome {
+                    Ok(Ok(true)) => continue,
+                    // The compute stage is gone (panic or early error
+                    // return); this stream is done.
+                    Ok(Ok(false)) => return,
+                    Ok(Err(e)) => RestoreError::Storage(e),
+                    Err(_panic) => RestoreError::PrefetchFailed { layer: l },
+                };
+                let _ = tx.send(ChunkMsg::Failed { err });
+                return;
+            }
+        });
+
+        // Compute stream. The recompute prefix needs no IO, so it runs
+        // first and overlaps the prefetcher — the schedule's fill stage.
+        if n_recompute > 0 {
+            assert!(
+                tokens.len() >= n_tokens,
+                "recompute layers need the original tokens"
+            );
+            let mut hidden = model.embed_tokens(&tokens[..n_tokens], 0);
+            for (l, lw) in model.layers.iter().take(n_recompute).enumerate() {
+                let (next, new_k, new_v) =
+                    layer::layer_forward_par(cfg, lw, &hidden, kv.keys(l), kv.values(l), 0, par);
+                kv.append(l, &new_k, &new_v);
+                hidden = next;
+            }
+        }
+
+        // Then consume chunk work items. The prefetcher walks layers in
+        // order and finishes one layer's streams before the next, so every
+        // message belongs to the layer currently being assembled.
+        let recv = |expected_layer: usize| -> Result<ChunkMsg, RestoreError> {
+            rx.recv().map_err(|_| RestoreError::PrefetchFailed {
+                layer: expected_layer,
+            })
+        };
+        for (l, method) in methods.iter().enumerate().skip(n_recompute) {
+            match method {
+                LayerMethod::Hidden => {
+                    let mut asm = StreamAssembly::new(n_tokens, cfg.d_model, n_slices);
+                    // Rows already projected and appended to the cache ==
+                    // kv.n_tokens_at_layer(l); chunk-by-chunk this chases
+                    // the contiguous ready prefix.
+                    let mut projected = 0usize;
+                    while projected < n_tokens {
+                        match recv(l)? {
+                            ChunkMsg::Rows {
+                                layer,
+                                kind,
+                                slice_idx,
+                                row_start,
+                                rows,
+                            } => {
+                                debug_assert_eq!(layer, l, "chunk from a future layer");
+                                debug_assert_eq!(kind, StateKind::Hidden);
+                                asm.place(slice_idx, row_start, &rows, &slice_rows);
+                                if asm.ready_rows > projected {
+                                    // Project the newly contiguous rows at
+                                    // their absolute positions: row-wise
+                                    // norm/GEMM/RoPE make this bit-equal
+                                    // to a whole-layer projection.
+                                    let h = asm.staged.slice_rows(projected, asm.ready_rows);
+                                    let (k, v) = model.restore_layer_kv_par(l, &h, projected, par);
+                                    kv.append(l, &k, &v);
+                                    projected = asm.ready_rows;
+                                }
+                            }
+                            ChunkMsg::Reset { layer, .. } => {
+                                debug_assert_eq!(layer, l, "reset from a future layer");
+                                asm.reset();
+                                kv.truncate_layer(l, 0);
+                                projected = 0;
+                            }
+                            ChunkMsg::Failed { err } => return Err(err),
+                        }
+                    }
+                }
+                LayerMethod::KvOffload => {
+                    let mut k_asm = StreamAssembly::new(n_tokens, cfg.d_model, n_slices);
+                    let mut v_asm = StreamAssembly::new(n_tokens, cfg.d_model, n_slices);
+                    let mut placed = 0usize;
+                    while placed < n_tokens {
+                        match recv(l)? {
+                            ChunkMsg::Rows {
+                                layer,
+                                kind,
+                                slice_idx,
+                                row_start,
+                                rows,
+                            } => {
+                                debug_assert_eq!(layer, l, "chunk from a future layer");
+                                let asm = match kind {
+                                    StateKind::Key => &mut k_asm,
+                                    StateKind::Value => &mut v_asm,
+                                    StateKind::Hidden => unreachable!("KV layer streams K/V"),
+                                };
+                                asm.place(slice_idx, row_start, &rows, &slice_rows);
+                                // Install whatever prefix both streams
+                                // now agree on — K chunks land (and are
+                                // placed) while V's IO is still going.
+                                let ready = k_asm.ready_rows.min(v_asm.ready_rows);
+                                if ready > placed {
+                                    kv.append(
+                                        l,
+                                        &k_asm.staged.slice_rows(placed, ready),
+                                        &v_asm.staged.slice_rows(placed, ready),
+                                    );
+                                    placed = ready;
+                                }
+                            }
+                            ChunkMsg::Reset { layer, kind } => {
+                                debug_assert_eq!(layer, l, "reset from a future layer");
+                                match kind {
+                                    StateKind::Key => k_asm.reset(),
+                                    StateKind::Value => v_asm.reset(),
+                                    StateKind::Hidden => unreachable!("KV layer streams K/V"),
+                                }
+                                // Roll back this layer's placed rows; the
+                                // reset stream redelivers every slice, so
+                                // the paired prefix regrows through the
+                                // Rows arm above (the other stream's
+                                // staging survives untouched).
+                                kv.truncate_layer(l, 0);
+                                placed = 0;
+                            }
+                            ChunkMsg::Failed { err } => return Err(err),
+                        }
+                    }
+                }
+                LayerMethod::Recompute => unreachable!("prefix checked above"),
+            }
+        }
+        Ok(())
+    })?;
+
+    debug_assert!(kv.is_consistent());
+    Ok(kv)
+}
+
+/// The PR-4 **layer-granular** pipeline, kept as the measured baseline for
+/// the chunk-streaming speedup (`bench_restore`'s TTFR sweep) and as a
+/// second reference executor for the bit-identity matrix: one `read_rows`
+/// per layer on the prefetch thread, whole-layer payloads through a
+/// bounded channel of [`PIPELINE_DEPTH`], projection/installation only
+/// after a layer's IO fully completed — no intra-layer overlap.
+///
+/// # Panics
+/// Panics if recompute layers are not a prefix of the model (§4.1.2).
+pub fn restore_session_pipelined_layerwise<S: ChunkStore>(
+    model: &Model,
+    mgr: &StorageManager<S>,
+    session: u64,
+    tokens: &[u32],
+    n_tokens: usize,
+    scheme: &PartitionScheme,
+    par: &ParallelConfig,
+) -> Result<KvCache, RestoreError> {
+    restore_session_pipelined_layerwise_with_methods(
+        model,
+        mgr,
+        session,
+        tokens,
+        n_tokens,
+        &scheme.layer_methods(model.cfg.n_layers),
+        par,
+    )
+}
+
+/// [`restore_session_pipelined_layerwise`] for an explicit method vector.
+///
+/// Prefetch panics are isolated exactly like the chunk-streaming
+/// executor's — this is the path no-fanout managers take by default, so
+/// the typed [`RestoreError::PrefetchFailed`] contract holds there too.
+///
+/// # Panics
+/// Panics when `methods` does not cover the model's layers or when its
+/// recompute layers are not a prefix (§4.1.2).
+pub fn restore_session_pipelined_layerwise_with_methods<S: ChunkStore>(
+    model: &Model,
+    mgr: &StorageManager<S>,
+    session: u64,
+    tokens: &[u32],
+    n_tokens: usize,
+    methods: &[LayerMethod],
+    par: &ParallelConfig,
+) -> Result<KvCache, RestoreError> {
     let cfg = &model.cfg;
     assert_eq!(methods.len(), cfg.n_layers, "methods do not cover model");
 
@@ -271,26 +713,43 @@ pub fn restore_session_pipelined_with_methods<S: ChunkStore>(
     );
 
     let mut kv = KvCache::new(cfg);
-    std::thread::scope(|scope| -> Result<(), StorageError> {
+    std::thread::scope(|scope| -> Result<(), RestoreError> {
         // IO stream: walk storage-backed layers in restoration order,
         // sending each fetched layer through the bounded staging channel.
-        let (tx, rx) = bounded::<Result<Fetched, StorageError>>(PIPELINE_DEPTH);
+        // Panics are contained per layer and converted to the typed
+        // prefetch failure, like the chunk-streaming executor.
+        let (tx, rx) = bounded::<Result<Fetched, RestoreError>>(PIPELINE_DEPTH);
         scope.spawn(move || {
             for (l, method) in methods.iter().enumerate().skip(n_recompute) {
-                let fetched = match method {
-                    LayerMethod::Hidden => mgr
-                        .read_rows(StreamId::hidden(session, l as u32), 0, n_tokens as u64)
-                        .map(|h| Fetched::Hidden(l, h)),
-                    LayerMethod::KvOffload => {
-                        let k = mgr.read_rows(StreamId::key(session, l as u32), 0, n_tokens as u64);
-                        let v =
-                            mgr.read_rows(StreamId::value(session, l as u32), 0, n_tokens as u64);
-                        match (k, v) {
-                            (Ok(k), Ok(v)) => Ok(Fetched::Kv(l, k, v)),
-                            (Err(e), _) | (_, Err(e)) => Err(e),
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || -> Result<Fetched, StorageError> {
+                        match method {
+                            LayerMethod::Hidden => mgr
+                                .read_rows(StreamId::hidden(session, l as u32), 0, n_tokens as u64)
+                                .map(|h| Fetched::Hidden(l, h)),
+                            LayerMethod::KvOffload => {
+                                let k = mgr.read_rows(
+                                    StreamId::key(session, l as u32),
+                                    0,
+                                    n_tokens as u64,
+                                );
+                                let v = mgr.read_rows(
+                                    StreamId::value(session, l as u32),
+                                    0,
+                                    n_tokens as u64,
+                                );
+                                match (k, v) {
+                                    (Ok(k), Ok(v)) => Ok(Fetched::Kv(l, k, v)),
+                                    (Err(e), _) | (_, Err(e)) => Err(e),
+                                }
+                            }
+                            LayerMethod::Recompute => unreachable!("prefix checked above"),
                         }
-                    }
-                    LayerMethod::Recompute => unreachable!("prefix checked above"),
+                    },
+                ));
+                let fetched = match outcome {
+                    Ok(r) => r.map_err(RestoreError::Storage),
+                    Err(_panic) => Err(RestoreError::PrefetchFailed { layer: l }),
                 };
                 let failed = fetched.is_err();
                 // A send error means the compute stage is gone (panic or
@@ -319,8 +778,11 @@ pub fn restore_session_pipelined_with_methods<S: ChunkStore>(
 
         // Then consume fetched layers in order, projecting hidden layers
         // under the shared thread budget.
-        for _ in n_recompute..cfg.n_layers {
-            match rx.recv().expect("IO stream ended early without an error")? {
+        for l in n_recompute..cfg.n_layers {
+            let fetched = rx
+                .recv()
+                .map_err(|_| RestoreError::PrefetchFailed { layer: l })??;
+            match fetched {
                 Fetched::Hidden(l, h) => {
                     let (k, v) = model.restore_layer_kv_par(l, &h, 0, par);
                     kv.append(l, &k, &v);
@@ -364,7 +826,10 @@ pub struct RestoreRequest {
 /// Results arrive in request order, each the same `KvCache` a sequential
 /// [`restore_session_with_methods`] call would produce (bit-identical: the
 /// per-session pipelines never share mutable state, and the parallel
-/// kernels are bit-equal to serial at any thread count).
+/// kernels are bit-equal to serial at any thread count). Each worker runs
+/// the chunk-streaming pipeline, so a failing session — including one
+/// whose prefetch stage *panics* ([`RestoreError::PrefetchFailed`]) —
+/// fails only its own slot; the worker survives to take the next job.
 ///
 /// The storage manager is sharded, so the N in-flight prefetchers overlap
 /// their backend reads and chunk decodes instead of convoying on a
@@ -377,7 +842,7 @@ pub fn restore_sessions_concurrent<S: ChunkStore + Sync>(
     requests: &[RestoreRequest],
     n_workers: usize,
     par: &ParallelConfig,
-) -> Vec<Result<KvCache, StorageError>> {
+) -> Vec<Result<KvCache, RestoreError>> {
     let n_workers = n_workers.clamp(1, requests.len().max(1)).min(par.threads());
     let per_worker = ParallelConfig::new((par.threads() / n_workers).max(1));
     map_concurrent(requests, n_workers, |r| {
@@ -670,6 +1135,10 @@ mod tests {
                     &f.model, &f.mgr, 1, &f.tokens, N_TOKENS, &scheme, &par,
                 )
                 .unwrap();
+                let layerwise = restore_session_pipelined_layerwise(
+                    &f.model, &f.mgr, 1, &f.tokens, N_TOKENS, &scheme, &par,
+                )
+                .unwrap();
                 assert_eq!(seq.n_tokens(), piped.n_tokens());
                 for l in 0..seq.n_layers() {
                     assert_eq!(
@@ -682,9 +1151,216 @@ mod tests {
                         piped.values(l),
                         "scheme #{i} layer {l} values diverged at {threads} threads"
                     );
+                    assert_eq!(
+                        seq.keys(l),
+                        layerwise.keys(l),
+                        "scheme #{i} layer {l} layerwise keys diverged at {threads} threads"
+                    );
+                    assert_eq!(
+                        seq.values(l),
+                        layerwise.values(l),
+                        "scheme #{i} layer {l} layerwise values diverged at {threads} threads"
+                    );
                 }
             }
         }
+    }
+
+    #[test]
+    fn chunk_streaming_restore_is_bit_identical_under_fanout_widths() {
+        // The intra-layer overlap path proper: chunks arrive out of order
+        // through the fanout completion channel, and the compute stage's
+        // contiguous-prefix projection must still reproduce the sequential
+        // restore bit for bit at every width.
+        for (i, scheme) in all_scheme_mixes().into_iter().enumerate() {
+            for width in [2usize, 4, 8] {
+                let cfg = hc_model::ModelConfig::tiny_llama();
+                let model = Model::new(&cfg, 71 + i as u64);
+                let mgr = StorageManager::new(Arc::new(MemStore::new(4)), cfg.d_model)
+                    .with_read_fanout(width);
+                let tokens: Vec<u32> = (0..N_TOKENS as u32)
+                    .map(|t| (t * 29 + i as u32) % 256)
+                    .collect();
+                let mut kv = KvCache::new(&cfg);
+                let out = model.prefill(&tokens, &mut kv, true);
+                save_session_state(
+                    &model,
+                    &mgr,
+                    1,
+                    &out.hidden_per_layer.unwrap(),
+                    &kv,
+                    &scheme,
+                )
+                .unwrap();
+                let seq = restore_session(&model, &mgr, 1, &tokens, N_TOKENS, &scheme).unwrap();
+                let piped = restore_session_pipelined(
+                    &model,
+                    &mgr,
+                    1,
+                    &tokens,
+                    N_TOKENS,
+                    &scheme,
+                    &hc_tensor::ParallelConfig::new(2),
+                )
+                .unwrap();
+                assert_eq!(
+                    kv_max_error(&seq, &piped),
+                    0.0,
+                    "scheme #{i} diverged at fanout width {width}"
+                );
+            }
+        }
+    }
+
+    /// MemStore wrapper that panics on any read of one poisoned layer's
+    /// streams — the "buggy backend" the typed prefetch failure isolates.
+    struct PanicStore {
+        inner: MemStore,
+        poison_session: u64,
+        poison_layer: u32,
+    }
+
+    impl hc_storage::backend::ChunkStore for PanicStore {
+        fn write_chunk(
+            &self,
+            key: hc_storage::chunk::ChunkKey,
+            data: &[u8],
+        ) -> Result<(), StorageError> {
+            self.inner.write_chunk(key, data)
+        }
+
+        fn read_chunk(&self, key: hc_storage::chunk::ChunkKey) -> Result<Vec<u8>, StorageError> {
+            assert!(
+                !(key.stream.session == self.poison_session
+                    && key.stream.layer == self.poison_layer),
+                "poisoned chunk read"
+            );
+            self.inner.read_chunk(key)
+        }
+
+        fn contains(&self, key: hc_storage::chunk::ChunkKey) -> bool {
+            self.inner.contains(key)
+        }
+
+        fn delete_stream(&self, stream: StreamId) -> u64 {
+            self.inner.delete_stream(stream)
+        }
+
+        fn n_devices(&self) -> usize {
+            self.inner.n_devices()
+        }
+
+        fn stats(&self) -> hc_storage::backend::StoreStats {
+            self.inner.stats()
+        }
+    }
+
+    #[test]
+    fn prefetch_panic_is_a_typed_error_not_a_teardown() {
+        // Session 5's layer-2 stream panics the backend mid-prefetch: the
+        // restore must return PrefetchFailed { layer: 2 } on the calling
+        // thread instead of unwinding, and a concurrent batch must fail
+        // only that slot while the healthy session restores fine.
+        let cfg = hc_model::ModelConfig::tiny_llama();
+        let model = Model::new(&cfg, 83);
+        let store = Arc::new(PanicStore {
+            inner: MemStore::new(4),
+            poison_session: 5,
+            poison_layer: 2,
+        });
+        let mgr = StorageManager::new(store, cfg.d_model);
+        let scheme = PartitionScheme::pure_hidden(cfg.n_layers);
+        let methods = scheme.layer_methods(cfg.n_layers);
+        let mut requests = Vec::new();
+        let mut reference = None;
+        for s in [1u64, 5] {
+            let tokens: Vec<u32> = (0..N_TOKENS as u32)
+                .map(|t| (t * 31 + s as u32) % 256)
+                .collect();
+            let mut kv = KvCache::new(&cfg);
+            let out = model.prefill(&tokens, &mut kv, true);
+            save_session_state(
+                &model,
+                &mgr,
+                s,
+                &out.hidden_per_layer.unwrap(),
+                &kv,
+                &scheme,
+            )
+            .unwrap();
+            if s == 1 {
+                reference =
+                    Some(restore_session(&model, &mgr, 1, &tokens, N_TOKENS, &scheme).unwrap());
+            }
+            requests.push(RestoreRequest {
+                session: s,
+                tokens,
+                n_tokens: N_TOKENS,
+                methods: methods.clone(),
+            });
+        }
+
+        // Single restore: typed error, no panic — through the layer-wise
+        // executor (this no-fanout manager's default path)...
+        let err = restore_session_pipelined(
+            &model,
+            &mgr,
+            5,
+            &requests[1].tokens,
+            N_TOKENS,
+            &scheme,
+            &ParallelConfig::new(2),
+        )
+        .unwrap_err();
+        assert_eq!(err, RestoreError::PrefetchFailed { layer: 2 });
+
+        // ...and through the chunk-streaming executor (fanout-configured
+        // manager), whose prefetch stage must convert the unwind to the
+        // same typed error.
+        let fan_store = Arc::new(PanicStore {
+            inner: MemStore::new(4),
+            poison_session: 5,
+            poison_layer: 2,
+        });
+        let fan_mgr = StorageManager::new(fan_store, cfg.d_model).with_read_fanout(4);
+        for s in [1u64, 5] {
+            let tokens = &requests[(s != 1) as usize].tokens;
+            let mut kv = KvCache::new(&cfg);
+            let out = model.prefill(tokens, &mut kv, true);
+            save_session_state(
+                &model,
+                &fan_mgr,
+                s,
+                &out.hidden_per_layer.unwrap(),
+                &kv,
+                &scheme,
+            )
+            .unwrap();
+        }
+        let err = restore_session_pipelined(
+            &model,
+            &fan_mgr,
+            5,
+            &requests[1].tokens,
+            N_TOKENS,
+            &scheme,
+            &ParallelConfig::new(2),
+        )
+        .unwrap_err();
+        assert_eq!(err, RestoreError::PrefetchFailed { layer: 2 });
+
+        // Concurrent batch: the poisoned job fails alone, the worker
+        // survives to finish the healthy one bit-identically.
+        let results =
+            restore_sessions_concurrent(&model, &mgr, &requests, 2, &ParallelConfig::new(2));
+        assert_eq!(
+            kv_max_error(results[0].as_ref().unwrap(), reference.as_ref().unwrap()),
+            0.0
+        );
+        assert!(matches!(
+            results[1],
+            Err(RestoreError::PrefetchFailed { layer: 2 })
+        ));
     }
 
     #[test]
@@ -703,7 +1379,10 @@ mod tests {
             &scheme,
             &hc_tensor::ParallelConfig::new(4),
         );
-        assert!(matches!(err, Err(StorageError::OutOfRange { .. })));
+        assert!(matches!(
+            err,
+            Err(RestoreError::Storage(StorageError::OutOfRange { .. }))
+        ));
     }
 
     #[test]
@@ -856,7 +1535,10 @@ mod tests {
         let results =
             restore_sessions_concurrent(&f.model, &f.mgr, &requests, 2, &ParallelConfig::new(2));
         assert!(results[0].is_ok());
-        assert!(matches!(results[1], Err(StorageError::OutOfRange { .. })));
+        assert!(matches!(
+            results[1],
+            Err(RestoreError::Storage(StorageError::OutOfRange { .. }))
+        ));
     }
 
     #[test]

@@ -84,6 +84,18 @@ pub trait ChunkStore: Send + Sync + 'static {
     /// Number of devices the store stripes over.
     fn n_devices(&self) -> usize;
 
+    /// True when `key` would be served from a DRAM-speed fast tier (e.g.
+    /// [`crate::tiered::TieredStore`]'s front cache) rather than occupying
+    /// a storage device. A *hint* for the manager's adaptive read fanout:
+    /// ranges whose chunks are front hits gain nothing from keeping
+    /// several device reads in flight, so the manager reads them inline.
+    /// The default (no fast tier) is `false`; implementations must treat
+    /// this as advisory — a stale answer may cost a little wall-clock but
+    /// never correctness.
+    fn chunk_in_fast_tier(&self, _key: ChunkKey) -> bool {
+        false
+    }
+
     /// Snapshot of the IO counters.
     fn stats(&self) -> StoreStats;
 }

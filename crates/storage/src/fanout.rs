@@ -56,6 +56,9 @@ pub struct FanoutPool {
     /// sender is gone and the queue drains).
     tx: Option<mpsc::Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    /// Jobs ever submitted — lets the manager's adaptive-fanout tests
+    /// observe whether a read actually drew on the pool.
+    submitted: std::sync::atomic::AtomicU64,
 }
 
 impl FanoutPool {
@@ -96,6 +99,7 @@ impl FanoutPool {
         Self {
             tx: Some(tx),
             workers,
+            submitted: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -110,10 +114,18 @@ impl FanoutPool {
         self.workers.len()
     }
 
+    /// Jobs ever submitted to this pool (observability for the adaptive
+    /// fanout decision: reads that skip the pool leave this untouched).
+    pub fn jobs_submitted(&self) -> u64 {
+        self.submitted.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Enqueues `job` for some worker. Jobs run in submission order per
     /// worker availability; completion ordering is the caller's business
     /// (report through a channel captured by the closure).
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.submitted
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         // The receiver outlives every submit (it is only dropped by the
         // workers exiting, which requires this sender to be gone first).
         self.tx

@@ -94,6 +94,10 @@ impl<B: ChunkStore> ChunkStore for LatencyStore<B> {
         self.inner.contains(key)
     }
 
+    fn chunk_in_fast_tier(&self, key: ChunkKey) -> bool {
+        self.inner.chunk_in_fast_tier(key)
+    }
+
     fn delete_stream(&self, stream: StreamId) -> u64 {
         // Deletes are metadata operations (TRIM-like): not charged.
         self.inner.delete_stream(stream)

@@ -55,6 +55,44 @@
 //! every width: both paths share the validate/decode/copy helpers and
 //! each slice owns a disjoint row range of the output.
 //!
+//! # Chunk-streaming reads
+//!
+//! [`StorageManager::read_rows_streaming`] is the read path underneath
+//! [`StorageManager::read_rows`], exposed to callers that want each token
+//! chunk *as soon as its IO lands* instead of waiting for the whole range:
+//! the caller supplies a [`RowSink`] and the manager delivers one decoded
+//! [`DeliveredRows`] per chunk slice (out of completion order under
+//! fanout; range order on the sequential path). The restore engine's
+//! chunk-granular pipeline (§4.1.2 token-wise partitioning) feeds its
+//! compute stage from this, so projection on chunk *k* overlaps the IO of
+//! chunk *k+1* inside one layer.
+//!
+//! The tombstone revalidation is preserved **per delivered chunk**: the
+//! snapshot cell's tombstone is re-checked after each chunk's IO and
+//! decode, immediately *before* that chunk is handed to the sink. If a
+//! concurrent `delete_stream` (possibly followed by a restarting appender
+//! reusing the same chunk keys) lands mid-stream, the sink gets a
+//! [`RowSink::reset`] — everything delivered so far must be discarded —
+//! and the read restarts against the successor state, so the chunks a
+//! completed call delivered are always one single generation (the same
+//! guarantee `read_rows` gives for its assembled tensor, which is in fact
+//! built by an internal sink on exactly this path).
+//!
+//! # Adaptive fanout width
+//!
+//! Reads consult the range before drawing on the pool: the fanout is
+//! skipped entirely (chunks are read inline) when the range has ≤ 1
+//! durable chunk, when at most one durable chunk would actually occupy a
+//! device ([`crate::backend::ChunkStore::chunk_in_fast_tier`] — DRAM-tier
+//! front hits complete at memcpy speed, so queueing them on IO workers
+//! only adds handoff latency), or when every device-occupying chunk lives
+//! on one lane (a single lane serializes there anyway — front hits do not
+//! count toward the lane tally). When the pool *is* used, front hits are
+//! still read inline by the calling thread (only device-occupying chunks
+//! ride the lanes), and the effective width — the completion-channel
+//! staging bound — is capped at the count of occupied lanes, never the
+//! pool's full width.
+//!
 //! Deletion vs. concurrent appends uses a tombstone: `delete_stream` marks
 //! the state deleted and wipes the backend *while holding the stream write
 //! lock*, then drops the dead map entry. A writer holding a stale handle
@@ -119,6 +157,60 @@ struct ReadPlan<'a> {
     tail: Option<&'a [f32]>,
     /// First token of the requested range (maps to output row 0).
     range_start: u64,
+}
+
+/// One decoded token-chunk slice streamed out of
+/// [`StorageManager::read_rows_streaming`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeliveredRows {
+    /// Index of this slice in the range's `chunks_for_range` order (the
+    /// tail slice, if any, is always last).
+    pub slice_idx: usize,
+    /// First row of the requested range this slice covers (row 0 is the
+    /// range's `start` token).
+    pub row_start: usize,
+    /// The slice's decoded rows (`len × d_model`), carrying the same
+    /// precision round-trip `read_rows` applies.
+    pub rows: Tensor2,
+}
+
+/// Consumer of a streaming read: receives each chunk as its IO lands.
+pub trait RowSink {
+    /// One decoded chunk slice is ready. Under fanout, deliveries arrive
+    /// in completion order, not range order — every slice covers a
+    /// disjoint row range, so order never affects the assembled result.
+    /// Return `false` to cancel the rest of the read (the streaming call
+    /// then returns `Ok(())` without delivering further chunks).
+    fn deliver(&mut self, chunk: DeliveredRows) -> bool;
+
+    /// A concurrent delete invalidated the snapshot mid-stream: every
+    /// chunk delivered so far belongs to a dead generation and must be
+    /// discarded. The read restarts against the successor state and
+    /// redelivers every slice.
+    fn reset(&mut self);
+}
+
+/// How a single streaming pass over a snapshot ended.
+enum StreamPhase {
+    /// Every slice was delivered.
+    Done,
+    /// The sink cancelled the read.
+    Cancelled,
+    /// The snapshot was tombstoned mid-stream; retry on the successor.
+    Restart,
+}
+
+/// One fanout-eligible read's submission plan: the device-occupying
+/// chunks partitioned into per-device lanes for the pool, and the
+/// DRAM-tier front hits the calling thread reads inline.
+struct FanoutPlan<'p> {
+    pool: &'p FanoutPool,
+    /// Completion-channel bound: pool width capped at the occupied lanes.
+    width: usize,
+    /// Per-device lanes of `(slice_idx, key)` for device-occupying chunks.
+    lanes: Vec<Vec<(usize, ChunkKey)>>,
+    /// `(slice_idx, key)` of fast-tier front hits, ascending.
+    fast: Vec<(usize, ChunkKey)>,
 }
 
 /// Chunked f16 storage for token-row streams, generic over the backend.
@@ -215,6 +307,12 @@ impl<S: ChunkStore> StorageManager<S> {
     /// sequential reads — no fanout configured).
     pub fn read_fanout_width(&self) -> usize {
         self.fanout.as_ref().map_or(1, |p| p.width())
+    }
+
+    /// The configured fanout pool, if any (tests observe its submission
+    /// counter to pin the adaptive skip decisions).
+    pub fn read_fanout_pool(&self) -> Option<&Arc<FanoutPool>> {
+        self.fanout.as_ref()
     }
 
     /// Storage precision in use.
@@ -395,6 +493,72 @@ impl<S: ChunkStore> StorageManager<S> {
         start: u64,
         end: u64,
     ) -> Result<Tensor2, StorageError> {
+        assert!(start <= end, "reversed range {start}..{end}");
+
+        /// Assembles streamed chunks back into one tensor. The output is
+        /// allocated on the first delivery — i.e. only after the streaming
+        /// read's range validation passed, so an absurd `end` (stale
+        /// session length, `u64::MAX` as "everything") surfaces as the
+        /// `OutOfRange` error below instead of an allocation panic. Reset
+        /// needs no work: every slice is redelivered on retry and every
+        /// row of the output is covered by exactly one slice, so the dead
+        /// generation's rows are all overwritten.
+        struct Assemble {
+            n_rows: usize,
+            d_model: usize,
+            out: Option<Tensor2>,
+        }
+        impl RowSink for Assemble {
+            fn deliver(&mut self, chunk: DeliveredRows) -> bool {
+                let out = self
+                    .out
+                    .get_or_insert_with(|| Tensor2::zeros(self.n_rows, self.d_model));
+                for r in 0..chunk.rows.rows() {
+                    out.row_mut(chunk.row_start + r)
+                        .copy_from_slice(chunk.rows.row(r));
+                }
+                true
+            }
+
+            fn reset(&mut self) {}
+        }
+
+        let mut sink = Assemble {
+            n_rows: (end - start) as usize,
+            d_model: self.d_model,
+            out: None,
+        };
+        self.read_rows_streaming(stream, start, end, &mut sink)?;
+        // A validated non-empty range delivers every slice; only the empty
+        // range arrives here without an allocation.
+        Ok(sink
+            .out
+            .unwrap_or_else(|| Tensor2::zeros((end - start) as usize, self.d_model)))
+    }
+
+    /// Streams token rows `[start, end)` of `stream` to `sink`, one
+    /// decoded chunk slice at a time, each delivered **as soon as its IO
+    /// lands** — under chunk fanout that means in device-completion order,
+    /// with up to the (adaptively capped) fanout width of reads in flight
+    /// while earlier chunks are already being consumed.
+    ///
+    /// Semantics match [`StorageManager::read_rows`] exactly — same
+    /// snapshot discipline, same decode helpers, same errors — because
+    /// `read_rows` *is* this method plus an assembling sink. The
+    /// generation guarantee is kept per delivered chunk: the snapshot's
+    /// tombstone is revalidated after each chunk's IO, immediately before
+    /// delivery; a mid-stream delete (even with a same-size re-append
+    /// reusing the chunk keys) triggers [`RowSink::reset`] and a wholesale
+    /// redelivery from the successor state, so a completed call never
+    /// leaves the sink holding mixed-generation rows.
+    pub fn read_rows_streaming(
+        &self,
+        stream: StreamId,
+        start: u64,
+        end: u64,
+        sink: &mut dyn RowSink,
+    ) -> Result<(), StorageError> {
+        assert!(start <= end, "reversed range {start}..{end}");
         loop {
             // --- Locked phase: snapshot the cursors (+ tail if needed). ---
             let cell = self.stream_handle(stream);
@@ -424,22 +588,15 @@ impl<S: ChunkStore> StorageManager<S> {
                     requested: end,
                 });
             }
-            let n = (end - start) as usize;
-            let mut out = Tensor2::zeros(n, self.d_model);
-            if n == 0 {
-                return Ok(out);
+            if start == end {
+                return Ok(());
             }
 
-            // --- Lock-free phase: backend IO + decode. Chunk reads fan
-            // out across devices when a pool is configured and the range
-            // spans more than one durable chunk; either path fills `out`
-            // through the same decode/copy helpers, so the bytes are
-            // identical.
+            // --- Lock-free phase: backend IO + decode, one delivery per
+            // chunk slice. Reads fan out across devices when the adaptive
+            // decision says the range profits from it; either path decodes
+            // through the same helpers, so delivered bytes are identical.
             let slices = chunks_for_range(start, end);
-            let n_durable_slices = slices
-                .iter()
-                .filter(|s| Self::slice_is_durable(s, durable))
-                .count();
             let plan = ReadPlan {
                 stream,
                 slices: &slices,
@@ -447,25 +604,86 @@ impl<S: ChunkStore> StorageManager<S> {
                 tail: tail.as_deref(),
                 range_start: start,
             };
-            let result = match self
-                .fanout
-                .as_ref()
-                .filter(|p| p.width() > 1 && n_durable_slices > 1)
-            {
-                Some(pool) => self.read_slices_fanout(pool, &plan, &mut out),
-                None => self.read_slices_sequential(&plan, &mut out),
+            let phase = match self.fanout_for_range(&plan) {
+                Some(fp) => self.stream_slices_fanout(fp, &plan, &cell, sink),
+                None => self.stream_slices_sequential(&plan, &cell, sink),
             };
 
-            // --- Generation check: if the snapshotted cell was tombstoned
-            // while the IO ran, the fetched chunks may mix the deleted
-            // generation with a restarted appender's fresh writes (same
-            // chunk keys). Retry against the successor state; spurious
-            // MissingChunk errors from the wipe are retried away too.
-            if cell.is_some_and(|c| c.read().deleted) {
-                continue;
+            match phase {
+                Ok(StreamPhase::Done | StreamPhase::Cancelled) => return Ok(()),
+                // Tombstoned mid-stream: everything delivered belongs to a
+                // dead generation. Tell the sink, retry on the successor.
+                Ok(StreamPhase::Restart) => {
+                    sink.reset();
+                    continue;
+                }
+                Err(e) => {
+                    // Spurious MissingChunk from a concurrent wipe: retry
+                    // against the successor state (same rule read_rows
+                    // always had); a genuine error surfaces as-is.
+                    if Self::cell_tombstoned(&cell) {
+                        sink.reset();
+                        continue;
+                    }
+                    return Err(e);
+                }
             }
-            return result.map(|()| out);
         }
+    }
+
+    /// True when the snapshot's cell has been tombstoned by a concurrent
+    /// delete (a missing cell never was tombstoned: it reads as empty).
+    fn cell_tombstoned(cell: &Option<Arc<RwLock<StreamState>>>) -> bool {
+        cell.as_ref().is_some_and(|c| c.read().deleted)
+    }
+
+    /// The adaptive fanout decision for one planned read: `Some(plan)`
+    /// when fanning out pays, `None` to read every chunk inline. The only
+    /// question that matters is how many device *lanes* would actually be
+    /// occupied by chunks that cost device time — DRAM-tier front hits
+    /// ([`crate::backend::ChunkStore::chunk_in_fast_tier`]) complete at
+    /// memcpy speed and are excluded (they are read inline by the calling
+    /// thread either way, never queued on IO workers). A single occupied
+    /// lane serializes on its device regardless of width (this also covers
+    /// the ≤ 1 durable chunk and all-front-hits ranges), so only multi-
+    /// lane reads draw on the pool; the effective width — the completion-
+    /// channel staging bound — is capped at the occupied-lane count. The
+    /// partition is built here once and handed to
+    /// [`StorageManager::stream_slices_fanout`], so the decision and the
+    /// submission walk the slices (and take the fast-tier probe's lock) a
+    /// single time.
+    fn fanout_for_range(&self, plan: &ReadPlan<'_>) -> Option<FanoutPlan<'_>> {
+        let pool = self.fanout.as_ref()?;
+        let n_dev = self.store.n_devices().max(1);
+        let mut lanes: Vec<Vec<(usize, ChunkKey)>> = vec![Vec::new(); n_dev];
+        let mut fast: Vec<(usize, ChunkKey)> = Vec::new();
+        let mut lane_count = 0usize;
+        for (i, slice) in plan.slices.iter().enumerate() {
+            if Self::slice_is_durable(slice, plan.durable) {
+                let key = ChunkKey {
+                    stream: plan.stream,
+                    chunk_idx: slice.chunk_idx,
+                };
+                if self.store.chunk_in_fast_tier(key) {
+                    fast.push((i, key));
+                } else {
+                    let lane = device_for(&key, n_dev);
+                    if lanes[lane].is_empty() {
+                        lane_count += 1;
+                    }
+                    lanes[lane].push((i, key));
+                }
+            }
+        }
+        if lane_count <= 1 {
+            return None;
+        }
+        Some(FanoutPlan {
+            pool: pool.as_ref(),
+            width: pool.width().min(lane_count),
+            lanes,
+            fast,
+        })
     }
 
     /// True when every row of `slice` is covered by the durable cursor, so
@@ -512,25 +730,65 @@ impl<S: ChunkStore> StorageManager<S> {
         )
     }
 
-    /// Copies `slice`'s rows out of a decoded chunk into the output tensor.
-    fn copy_slice(&self, out: &mut Tensor2, slice: &ChunkSlice, range_start: u64, rows: &[f32]) {
-        let chunk_start_token = slice.chunk_idx as u64 * CHUNK_TOKENS;
-        let src_row0 = slice.start_in_chunk as usize;
-        let dst_row0 = (chunk_start_token + slice.start_in_chunk - range_start) as usize;
-        for r in 0..slice.len as usize {
-            let src = &rows[(src_row0 + r) * self.d_model..(src_row0 + r + 1) * self.d_model];
-            out.row_mut(dst_row0 + r).copy_from_slice(src);
+    /// Packages one decoded chunk's rows as the slice's delivery payload.
+    /// When the slice covers the whole decoded chunk the buffer is moved,
+    /// not copied (the common case for interior chunks of a long read).
+    fn slice_to_tensor(&self, slice: &ChunkSlice, rows: Vec<f32>) -> Tensor2 {
+        let n = slice.len as usize;
+        let src0 = slice.start_in_chunk as usize;
+        if src0 == 0 && rows.len() == n * self.d_model {
+            return Tensor2::from_vec(n, self.d_model, rows);
+        }
+        let mut out = Tensor2::zeros(n, self.d_model);
+        for r in 0..n {
+            out.row_mut(r)
+                .copy_from_slice(&rows[(src0 + r) * self.d_model..(src0 + r + 1) * self.d_model]);
+        }
+        out
+    }
+
+    /// Revalidates the tombstone, then hands `slice`'s decoded rows to the
+    /// sink. `Restart` when the generation died; `Cancelled` when the sink
+    /// declined; `Done` when delivered.
+    fn deliver_slice(
+        &self,
+        plan: &ReadPlan<'_>,
+        cell: &Option<Arc<RwLock<StreamState>>>,
+        sink: &mut dyn RowSink,
+        slice_idx: usize,
+        rows: Vec<f32>,
+    ) -> StreamPhase {
+        // Per-chunk generation check: a delete (+ possible re-append onto
+        // the same chunk keys) that raced this chunk's IO set the
+        // tombstone before any successor bytes could exist, so checking
+        // here — after the IO, before the delivery — catches every mix.
+        if Self::cell_tombstoned(cell) {
+            return StreamPhase::Restart;
+        }
+        let slice = &plan.slices[slice_idx];
+        let row_start = (slice.chunk_idx as u64 * CHUNK_TOKENS + slice.start_in_chunk
+            - plan.range_start) as usize;
+        let delivered = sink.deliver(DeliveredRows {
+            slice_idx,
+            row_start,
+            rows: self.slice_to_tensor(slice, rows),
+        });
+        if delivered {
+            StreamPhase::Done
+        } else {
+            StreamPhase::Cancelled
         }
     }
 
-    /// The pre-fanout read walk: one chunk at a time from the calling
-    /// thread, in range order.
-    fn read_slices_sequential(
+    /// The inline streaming walk: one chunk at a time from the calling
+    /// thread, delivered in range order.
+    fn stream_slices_sequential(
         &self,
         plan: &ReadPlan<'_>,
-        out: &mut Tensor2,
-    ) -> Result<(), StorageError> {
-        for slice in plan.slices {
+        cell: &Option<Arc<RwLock<StreamState>>>,
+        sink: &mut dyn RowSink,
+    ) -> Result<StreamPhase, StorageError> {
+        for (i, slice) in plan.slices.iter().enumerate() {
             // Rows of this chunk that are durable come from the backend;
             // otherwise from the snapshotted partial buffer.
             let rows: Vec<f32> = if Self::slice_is_durable(slice, plan.durable) {
@@ -545,44 +803,40 @@ impl<S: ChunkStore> StorageManager<S> {
                 debug_assert_eq!(slice.chunk_idx as u64 * CHUNK_TOKENS, plan.durable);
                 self.decode_tail(plan.tail.expect("range past durable implies tail"))
             };
-            self.copy_slice(out, slice, plan.range_start, &rows);
-        }
-        Ok(())
-    }
-
-    /// The chunk-fanout read: durable chunk keys are partitioned by owning
-    /// device and submitted to the pool as one lane per device (chunks on
-    /// one device serialize there anyway, so per-device lanes are maximally
-    /// parallel without queuing useless concurrency). The calling thread
-    /// validates, decodes and places each chunk as its completion lands —
-    /// in whatever order devices finish, which is safe because every slice
-    /// owns a disjoint row range of `out`. The completion channel is
-    /// bounded by the pool width, so raw chunk bytes never pile up faster
-    /// than this reader decodes them.
-    fn read_slices_fanout(
-        &self,
-        pool: &FanoutPool,
-        plan: &ReadPlan<'_>,
-        out: &mut Tensor2,
-    ) -> Result<(), StorageError> {
-        let slices = plan.slices;
-        let n_dev = self.store.n_devices().max(1);
-        let mut lanes: Vec<Vec<(usize, ChunkKey)>> = vec![Vec::new(); n_dev];
-        for (i, slice) in slices.iter().enumerate() {
-            if Self::slice_is_durable(slice, plan.durable) {
-                let key = ChunkKey {
-                    stream: plan.stream,
-                    chunk_idx: slice.chunk_idx,
-                };
-                lanes[device_for(&key, n_dev)].push((i, key));
+            match self.deliver_slice(plan, cell, sink, i, rows) {
+                StreamPhase::Done => {}
+                other => return Ok(other),
             }
         }
-        let submitted: usize = lanes.iter().map(|l| l.len()).sum();
-        let (tx, rx) = bounded::<(usize, Result<Vec<u8>, StorageError>)>(pool.width());
-        for lane in lanes.into_iter().filter(|l| !l.is_empty()) {
+        Ok(StreamPhase::Done)
+    }
+
+    /// The chunk-fanout streaming walk over a [`FanoutPlan`] (one lane per
+    /// device — chunks on one device serialize there anyway, so per-device
+    /// lanes are maximally parallel without queuing useless concurrency).
+    /// The calling thread first serves the plan's DRAM-tier front hits
+    /// inline (memcpy-speed — queueing them on IO workers would only add
+    /// handoff latency, and their early delivery grows the consumer's
+    /// contiguous prefix while the devices work), then validates, decodes
+    /// and delivers each device chunk as its completion lands — in
+    /// whatever order devices finish, which is safe because every slice
+    /// owns a disjoint row range. The completion channel is bounded by
+    /// the plan's effective width (≤ the occupied lanes), so raw chunk
+    /// bytes never pile up faster than this reader decodes them.
+    fn stream_slices_fanout(
+        &self,
+        fp: FanoutPlan<'_>,
+        plan: &ReadPlan<'_>,
+        cell: &Option<Arc<RwLock<StreamState>>>,
+        sink: &mut dyn RowSink,
+    ) -> Result<StreamPhase, StorageError> {
+        let slices = plan.slices;
+        let submitted: usize = fp.lanes.iter().map(|l| l.len()).sum();
+        let (tx, rx) = bounded::<(usize, Result<Vec<u8>, StorageError>)>(fp.width);
+        for lane in fp.lanes.into_iter().filter(|l| !l.is_empty()) {
             let store = Arc::clone(&self.store);
             let tx = tx.clone();
-            pool.submit(move || {
+            fp.pool.submit(move || {
                 for (i, key) in lane {
                     // A send error means this reader is gone; drop the
                     // lane's remaining reads.
@@ -593,16 +847,50 @@ impl<S: ChunkStore> StorageManager<S> {
             });
         }
         drop(tx);
+        // Front hits inline, in range order, while the lanes' device IO is
+        // already in flight. An error here does not return yet: the drain
+        // below may surface a lower-index lane error, and the lanes must
+        // finish cleanly either way.
+        let mut first_err: Option<(usize, StorageError)> = None;
+        let mut ended: Option<StreamPhase> = None;
+        for (i, key) in fp.fast {
+            match self
+                .store
+                .read_chunk(key)
+                .and_then(|bytes| self.decode_durable_chunk(plan.stream, &slices[i], &bytes))
+            {
+                Ok(rows) => match self.deliver_slice(plan, cell, sink, i, rows) {
+                    StreamPhase::Done => {}
+                    other => {
+                        ended = Some(other);
+                        break;
+                    }
+                },
+                Err(e) => {
+                    // Lowest-index determinism: later fast chunks cannot
+                    // have a lower index, so stop reading them.
+                    first_err = Some((i, e));
+                    break;
+                }
+            }
+        }
         // On failure keep draining completions so the lowest-index error
         // wins — the same error a sequential walk would have surfaced
-        // first (deterministic regardless of device timing).
-        let mut first_err: Option<(usize, StorageError)> = None;
+        // first (deterministic regardless of device timing). A restart or
+        // cancellation also drains (cheaply, without decoding) so the
+        // lanes finish cleanly instead of aborting mid-stream.
         for _ in 0..submitted {
             let (i, res) = rx.recv().expect("fanout lane dropped a completion");
+            if ended.is_some() {
+                continue;
+            }
             match res.and_then(|bytes| self.decode_durable_chunk(plan.stream, &slices[i], &bytes)) {
                 Ok(rows) => {
                     if first_err.is_none() {
-                        self.copy_slice(out, &slices[i], plan.range_start, &rows);
+                        match self.deliver_slice(plan, cell, sink, i, rows) {
+                            StreamPhase::Done => {}
+                            other => ended = Some(other),
+                        }
                     }
                 }
                 Err(e) => {
@@ -611,6 +899,9 @@ impl<S: ChunkStore> StorageManager<S> {
                     }
                 }
             }
+        }
+        if let Some(phase) = ended {
+            return Ok(phase);
         }
         if let Some((_, e)) = first_err {
             return Err(e);
@@ -623,9 +914,13 @@ impl<S: ChunkStore> StorageManager<S> {
         {
             debug_assert_eq!(slice.chunk_idx as u64 * CHUNK_TOKENS, plan.durable);
             let rows = self.decode_tail(plan.tail.expect("range past durable implies tail"));
-            self.copy_slice(out, slice, plan.range_start, &rows);
+            let i = slices.len() - 1;
+            match self.deliver_slice(plan, cell, sink, i, rows) {
+                StreamPhase::Done => {}
+                other => return Ok(other),
+            }
         }
-        Ok(())
+        Ok(StreamPhase::Done)
     }
 
     /// Backend bytes currently held by `stream` (durable chunks including
@@ -867,6 +1162,21 @@ mod tests {
     }
 
     #[test]
+    fn absurd_range_is_out_of_range_not_an_allocation_panic() {
+        // The output tensor must not be allocated before the range is
+        // validated: a stale "read everything" end (u64::MAX) returns the
+        // typed error instead of aborting on a capacity-overflow alloc.
+        let m = mgr();
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(10, 0)).unwrap();
+        let err = m.read_rows(s, 0, u64::MAX).unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::OutOfRange { available: 10, .. }
+        ));
+    }
+
+    #[test]
     fn empty_read_is_ok() {
         let m = mgr();
         let s = StreamId::hidden(1, 0);
@@ -1070,12 +1380,15 @@ mod tests {
         assert_eq!(m.total_resident_bytes(), 0);
     }
 
-    /// MemStore wrapper whose reads fire a one-shot hook — lets a test
+    /// MemStore wrapper whose Nth read fires a one-shot hook — lets a test
     /// deterministically interleave a delete/restart inside a reader's
-    /// lock-free IO phase (legal: read_rows holds no lock there).
+    /// lock-free IO phase (legal: read_rows holds no lock there), either
+    /// before the first chunk lands or in the middle of a streaming read.
     struct HookStore {
         inner: MemStore,
         on_read: parking_lot::Mutex<Option<Box<dyn FnMut() + Send>>>,
+        reads_seen: std::sync::atomic::AtomicUsize,
+        fire_on_read: std::sync::atomic::AtomicUsize,
     }
 
     impl HookStore {
@@ -1083,10 +1396,21 @@ mod tests {
             Self {
                 inner: MemStore::new(n_devices),
                 on_read: parking_lot::Mutex::new(None),
+                reads_seen: std::sync::atomic::AtomicUsize::new(0),
+                fire_on_read: std::sync::atomic::AtomicUsize::new(0),
             }
         }
 
+        /// Arms the hook for the next read (the historical behavior).
         fn set_on_read(&self, f: impl FnMut() + Send + 'static) {
+            self.set_on_read_at(0, f);
+        }
+
+        /// Arms the hook to fire on the `idx`-th read from now (0-based).
+        fn set_on_read_at(&self, idx: usize, f: impl FnMut() + Send + 'static) {
+            use std::sync::atomic::Ordering;
+            self.reads_seen.store(0, Ordering::SeqCst);
+            self.fire_on_read.store(idx, Ordering::SeqCst);
             *self.on_read.lock() = Some(Box::new(f));
         }
     }
@@ -1097,9 +1421,13 @@ mod tests {
         }
 
         fn read_chunk(&self, key: ChunkKey) -> Result<Vec<u8>, StorageError> {
-            let hook = self.on_read.lock().take();
-            if let Some(mut f) = hook {
-                f();
+            use std::sync::atomic::Ordering;
+            let n = self.reads_seen.fetch_add(1, Ordering::SeqCst);
+            if n == self.fire_on_read.load(Ordering::SeqCst) {
+                let hook = self.on_read.lock().take();
+                if let Some(mut f) = hook {
+                    f();
+                }
             }
             self.inner.read_chunk(key)
         }
@@ -1256,6 +1584,218 @@ mod tests {
                     got.get(r, c),
                     f16_roundtrip(gen2.get(r, c)),
                     "row {r} col {c} leaked generation-1 data through the fanout path"
+                );
+            }
+        }
+        assert_eq!(mgr.delete_stream(s), 128 * D as u64 * 2);
+    }
+
+    /// Records every delivery and reset; `assembled` rebuilds the range
+    /// from whatever survived the last reset — what a real consumer keeps.
+    #[derive(Default)]
+    struct RecordingSink {
+        delivered: Vec<DeliveredRows>,
+        resets: usize,
+        cancel_after: Option<usize>,
+    }
+
+    impl RecordingSink {
+        fn assembled(&self, n_rows: usize, d: usize) -> Tensor2 {
+            let mut out = Tensor2::zeros(n_rows, d);
+            for c in &self.delivered {
+                for r in 0..c.rows.rows() {
+                    out.row_mut(c.row_start + r).copy_from_slice(c.rows.row(r));
+                }
+            }
+            out
+        }
+    }
+
+    impl RowSink for RecordingSink {
+        fn deliver(&mut self, chunk: DeliveredRows) -> bool {
+            if self.cancel_after == Some(self.delivered.len()) {
+                return false;
+            }
+            self.delivered.push(chunk);
+            true
+        }
+
+        fn reset(&mut self) {
+            self.delivered.clear();
+            self.resets += 1;
+        }
+    }
+
+    #[test]
+    fn streaming_reads_match_read_rows_at_every_width() {
+        // Every range shape (aligned, interior, tail-touching,
+        // single-chunk) streamed at widths 1/2/4/8 must reassemble to the
+        // exact read_rows tensor, with each row covered by exactly one
+        // delivery.
+        let s = StreamId::hidden(3, 1);
+        let t = rows(300, 7); // 4 full chunks + 44-row unflushed tail
+        let ranges = [
+            (0u64, 300u64),
+            (0, 256),
+            (70, 200),
+            (64, 128),
+            (5, 20),
+            (250, 300),
+        ];
+        for width in [1usize, 2, 4, 8] {
+            let m = StorageManager::new(Arc::new(MemStore::new(4)), D).with_read_fanout(width);
+            m.append_rows(s, &t).unwrap();
+            for &(a, b) in &ranges {
+                let expect = m.read_rows(s, a, b).unwrap();
+                let mut sink = RecordingSink::default();
+                m.read_rows_streaming(s, a, b, &mut sink).unwrap();
+                assert_eq!(sink.resets, 0);
+                let n_slices = chunks_for_range(a, b).len();
+                assert_eq!(sink.delivered.len(), n_slices, "width {width} {a}..{b}");
+                let total: usize = sink.delivered.iter().map(|c| c.rows.rows()).sum();
+                assert_eq!(total, (b - a) as usize, "rows must partition the range");
+                assert_eq!(
+                    sink.assembled((b - a) as usize, D),
+                    expect,
+                    "width {width} range {a}..{b} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_out_of_range_and_cancellation() {
+        let m = mgr();
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(200, 3)).unwrap();
+        let mut sink = RecordingSink::default();
+        let err = m.read_rows_streaming(s, 0, 201, &mut sink).unwrap_err();
+        assert!(matches!(err, StorageError::OutOfRange { .. }));
+        assert!(sink.delivered.is_empty());
+        // Cancelling after the first delivery ends the read early and Ok.
+        let mut sink = RecordingSink {
+            cancel_after: Some(1),
+            ..Default::default()
+        };
+        m.read_rows_streaming(s, 0, 200, &mut sink).unwrap();
+        assert_eq!(sink.delivered.len(), 1);
+    }
+
+    #[test]
+    fn adaptive_fanout_skips_single_chunk_and_single_lane_ranges() {
+        // Multi-chunk multi-device ranges draw on the pool; a range inside
+        // one chunk does not, and a single-device store never does (one
+        // lane serializes there anyway).
+        let m = StorageManager::new(Arc::new(MemStore::new(4)), D).with_read_fanout(4);
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(256, 1)).unwrap();
+        let pool = Arc::clone(m.read_fanout_pool().unwrap());
+        let before = pool.jobs_submitted();
+        m.read_rows(s, 10, 40).unwrap(); // within chunk 0
+        assert_eq!(pool.jobs_submitted(), before, "≤1 durable chunk: inline");
+        m.read_rows(s, 0, 256).unwrap(); // 4 chunks over 4 devices
+        assert!(pool.jobs_submitted() > before, "wide range must fan out");
+
+        let single = StorageManager::new(Arc::new(MemStore::new(1)), D).with_read_fanout(4);
+        single.append_rows(s, &rows(256, 1)).unwrap();
+        let pool1 = Arc::clone(single.read_fanout_pool().unwrap());
+        single.read_rows(s, 0, 256).unwrap();
+        assert_eq!(pool1.jobs_submitted(), 0, "one device lane: inline");
+    }
+
+    #[test]
+    fn adaptive_fanout_skips_dram_front_hits() {
+        // Everything write-through hot in the tiered front: the fanout
+        // pool is never consulted, reads come back identical anyway.
+        let tiered = Arc::new(crate::tiered::TieredStore::new(
+            Arc::new(MemStore::new(4)),
+            1 << 20,
+        ));
+        let m = StorageManager::new(Arc::clone(&tiered), D).with_read_fanout(4);
+        let s = StreamId::hidden(1, 0);
+        let t = rows(256, 5);
+        m.append_rows(s, &t).unwrap();
+        let pool = Arc::clone(m.read_fanout_pool().unwrap());
+        let got = m.read_rows(s, 0, 256).unwrap();
+        assert_eq!(pool.jobs_submitted(), 0, "front hits must read inline");
+        let seq = StorageManager::new(Arc::new(MemStore::new(4)), D);
+        seq.append_rows(s, &t).unwrap();
+        assert_eq!(got, seq.read_rows(s, 0, 256).unwrap());
+        // Evict the front (tiny successor store) — cold multi-chunk reads
+        // fan out again.
+        let cold_back = Arc::new(MemStore::new(4));
+        let cold = Arc::new(crate::tiered::TieredStore::new(Arc::clone(&cold_back), 8));
+        let m2 = StorageManager::new(Arc::clone(&cold), D).with_read_fanout(4);
+        m2.append_rows(s, &t).unwrap(); // every chunk oversized for an 8-byte front
+        let pool2 = Arc::clone(m2.read_fanout_pool().unwrap());
+        m2.read_rows(s, 0, 256).unwrap();
+        assert!(pool2.jobs_submitted() > 0, "cold chunks must fan out");
+    }
+
+    #[test]
+    fn mixed_hot_cold_ranges_fan_out_cold_chunks_only() {
+        // A tiered front holding only the most recent chunks: the cold
+        // prefix fans out (one lane job per occupied device) while the
+        // hot suffix is read inline — the pool sees exactly the cold
+        // lanes, and the assembled bytes still match a plain manager.
+        let per_chunk = 64 * D as u64 * 2;
+        let tiered = Arc::new(crate::tiered::TieredStore::new(
+            Arc::new(MemStore::new(4)),
+            2 * per_chunk, // room for the 2 most recently written chunks
+        ));
+        let m = StorageManager::new(Arc::clone(&tiered), D).with_read_fanout(4);
+        let s = StreamId::hidden(1, 0);
+        let t = rows(256, 3); // chunks 0..4; front ends up holding 2 and 3
+        m.append_rows(s, &t).unwrap();
+        assert!(!tiered.chunk_in_fast_tier(ChunkKey {
+            stream: s,
+            chunk_idx: 0
+        }));
+        assert!(tiered.chunk_in_fast_tier(ChunkKey {
+            stream: s,
+            chunk_idx: 3
+        }));
+        let pool = Arc::clone(m.read_fanout_pool().unwrap());
+        let got = m.read_rows(s, 0, 256).unwrap();
+        assert_eq!(
+            pool.jobs_submitted(),
+            2,
+            "only the two cold chunks' lanes may draw on the pool"
+        );
+        let seq = StorageManager::new(Arc::new(MemStore::new(4)), D);
+        seq.append_rows(s, &t).unwrap();
+        assert_eq!(got, seq.read_rows(s, 0, 256).unwrap());
+    }
+
+    #[test]
+    fn streaming_mid_stream_delete_reappend_resets_and_redelivers() {
+        // The generation-ABA race delivered mid-stream: the delete +
+        // same-size re-append fires inside the second chunk's fetch, after
+        // chunk 0 was already delivered. The per-chunk revalidation must
+        // reset the sink and redeliver generation 2 wholesale.
+        let store = Arc::new(HookStore::new(2));
+        let mgr = Arc::new(StorageManager::new(Arc::clone(&store), D));
+        let s = StreamId::hidden(1, 0);
+        mgr.append_rows(s, &rows(128, 1)).unwrap(); // generation 1: 2 chunks
+        let mgr2 = Arc::clone(&mgr);
+        // Fire inside the *second* chunk fetch: chunk 0 has already been
+        // delivered to the sink by then.
+        store.set_on_read_at(1, move || {
+            mgr2.delete_stream(s);
+            mgr2.append_rows(s, &rows(128, 2)).unwrap(); // generation 2
+        });
+        let mut sink = RecordingSink::default();
+        mgr.read_rows_streaming(s, 0, 128, &mut sink).unwrap();
+        assert!(sink.resets >= 1, "mid-stream delete must reset the sink");
+        assert_eq!(sink.delivered.len(), 2, "both chunks redelivered");
+        let got = sink.assembled(128, D);
+        let gen2 = rows(128, 2);
+        for r in 0..128 {
+            for c in 0..D {
+                assert_eq!(
+                    got.get(r, c),
+                    f16_roundtrip(gen2.get(r, c)),
+                    "row {r} col {c} leaked generation-1 data past a reset"
                 );
             }
         }

@@ -210,6 +210,12 @@ impl<B: ChunkStore> ChunkStore for TieredStore<B> {
         self.back.contains(key)
     }
 
+    fn chunk_in_fast_tier(&self, key: ChunkKey) -> bool {
+        // Read-only peek: no LRU touch, so probing for the fanout decision
+        // never perturbs eviction order.
+        self.front.lock().chunks.contains_key(&key)
+    }
+
     fn delete_stream(&self, stream: StreamId) -> u64 {
         let front_freed = self.front.lock().delete_stream(stream);
         self.front_released
@@ -306,6 +312,25 @@ mod tests {
         assert_eq!(t.front_used_bytes(), 0);
         assert_eq!(t.read_chunk(key(0)).unwrap().len(), 64);
         assert_eq!(t.front_misses(), 1);
+    }
+
+    #[test]
+    fn fast_tier_flag_tracks_front_residency_without_lru_touch() {
+        let t = tiered(64); // two 32-byte chunks
+        t.write_chunk(key(0), &[0u8; 32]).unwrap();
+        t.write_chunk(key(1), &[1u8; 32]).unwrap();
+        assert!(t.chunk_in_fast_tier(key(0)));
+        assert!(t.chunk_in_fast_tier(key(1)));
+        assert!(!t.chunk_in_fast_tier(key(2)));
+        // Probing chunk 0 many times must not refresh it: the next write
+        // still evicts it as the LRU victim.
+        for _ in 0..10 {
+            assert!(t.chunk_in_fast_tier(key(0)));
+        }
+        t.write_chunk(key(2), &[2u8; 32]).unwrap();
+        assert!(!t.chunk_in_fast_tier(key(0)), "probe must not touch LRU");
+        assert!(t.chunk_in_fast_tier(key(1)));
+        assert!(t.chunk_in_fast_tier(key(2)));
     }
 
     #[test]

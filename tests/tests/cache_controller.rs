@@ -173,6 +173,112 @@ fn restore_scheduler_is_bit_identical_to_sequential_at_any_worker_count() {
     assert_eq!(ctl.metrics().restore_hits as usize, 3 * jobs.len());
 }
 
+/// A prefetch-stage panic (buggy backend under exactly one session's
+/// stream) fails that one scheduled job with the typed
+/// `CtlError::Prefetch { layer }` — the scheduler's workers survive and
+/// every healthy session still restores bit-identically.
+#[test]
+fn restore_scheduler_fails_one_job_on_prefetch_panic_without_tearing_down() {
+    use hc_storage::backend::{ChunkStore, StoreStats};
+    use hc_storage::chunk::ChunkKey;
+    use hc_storage::StreamId;
+
+    /// MemStore that panics on reads of one poisoned (session, layer).
+    struct PanicStore {
+        inner: MemStore,
+        poison_session: u64,
+        poison_layer: u32,
+    }
+
+    impl ChunkStore for PanicStore {
+        fn write_chunk(&self, key: ChunkKey, data: &[u8]) -> Result<(), hc_storage::StorageError> {
+            self.inner.write_chunk(key, data)
+        }
+        fn read_chunk(&self, key: ChunkKey) -> Result<Vec<u8>, hc_storage::StorageError> {
+            assert!(
+                !(key.stream.session == self.poison_session
+                    && key.stream.layer == self.poison_layer),
+                "poisoned chunk read"
+            );
+            self.inner.read_chunk(key)
+        }
+        fn contains(&self, key: ChunkKey) -> bool {
+            self.inner.contains(key)
+        }
+        fn delete_stream(&self, stream: StreamId) -> u64 {
+            self.inner.delete_stream(stream)
+        }
+        fn n_devices(&self) -> usize {
+            self.inner.n_devices()
+        }
+        fn stats(&self) -> StoreStats {
+            self.inner.stats()
+        }
+    }
+
+    let cfg = ModelConfig::tiny_llama();
+    let model = Model::new(&cfg, 31);
+    let store = Arc::new(PanicStore {
+        inner: MemStore::new(4),
+        poison_session: 2,
+        poison_layer: 1,
+    });
+    let mgr = Arc::new(StorageManager::new(store, cfg.d_model));
+    let ctl = CacheController::new(
+        Arc::clone(&mgr),
+        cfg.n_layers,
+        cfg.d_model,
+        ControllerConfig::unlimited(),
+    );
+    let scheme = PartitionScheme::pure_hidden(cfg.n_layers);
+    const N_TOKENS: usize = 70;
+    let mut jobs = Vec::new();
+    let mut references = std::collections::HashMap::new();
+    for s in 1..=3u64 {
+        let methods = ctl.open_session(s, &scheme);
+        let tokens: Vec<u32> = (0..N_TOKENS as u32)
+            .map(|i| (i * 13 + s as u32) % 256)
+            .collect();
+        let mut kv = KvCache::new(&cfg);
+        let out = model.prefill(&tokens, &mut kv, true);
+        save_session_state(
+            &model,
+            &mgr,
+            s,
+            &out.hidden_per_layer.unwrap(),
+            &kv,
+            &scheme,
+        )
+        .unwrap();
+        ctl.on_saved(s, N_TOKENS as u64).unwrap();
+        if s != 2 {
+            let seq =
+                restore_session_with_methods(&model, &mgr, s, &tokens, N_TOKENS, &methods).unwrap();
+            references.insert(s, seq);
+        }
+        jobs.push(RestoreJob { session: s, tokens });
+    }
+
+    let sched = RestoreScheduler::new(2, ParallelConfig::new(4));
+    let results = sched.run(&model, &ctl, &jobs);
+    assert_eq!(results.len(), 3);
+    for (session, result) in results {
+        if session == 2 {
+            assert!(
+                matches!(result, Err(hc_cachectl::CtlError::Prefetch { layer: 1 })),
+                "poisoned session must fail with the typed prefetch error"
+            );
+        } else {
+            let kv = result.unwrap();
+            assert_eq!(
+                kv_max_error(&kv, &references[&session]),
+                0.0,
+                "healthy session {session} must survive the sibling's panic"
+            );
+        }
+    }
+}
+
 /// The scheduler consumes `workload::arrival` traces: requests sorted by
 /// Poisson arrival drive restores in arrival order; sessions without
 /// history are skipped, unknown sessions surface errors.

@@ -21,12 +21,44 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use hc_storage::backend::MemStore;
-use hc_storage::manager::StorageManager;
+use hc_storage::manager::{DeliveredRows, RowSink, StorageManager};
 use hc_storage::StreamId;
 use hc_tensor::f16::f16_roundtrip;
 use hc_tensor::Tensor2;
 
 const D: usize = 16;
+
+/// Reassembles a streaming read the way a consumer would: chunks placed at
+/// their row offsets, everything discarded on a tombstone reset.
+#[derive(Default)]
+struct CollectSink {
+    delivered: Vec<DeliveredRows>,
+    resets: usize,
+}
+
+impl CollectSink {
+    fn assembled(&self, n_rows: usize) -> Tensor2 {
+        let mut out = Tensor2::zeros(n_rows, D);
+        for c in &self.delivered {
+            for r in 0..c.rows.rows() {
+                out.row_mut(c.row_start + r).copy_from_slice(c.rows.row(r));
+            }
+        }
+        out
+    }
+}
+
+impl RowSink for CollectSink {
+    fn deliver(&mut self, chunk: DeliveredRows) -> bool {
+        self.delivered.push(chunk);
+        true
+    }
+
+    fn reset(&mut self) {
+        self.delivered.clear();
+        self.resets += 1;
+    }
+}
 
 /// Deterministic row content: any thread can verify any (stream, token)
 /// cell without coordination.
@@ -261,6 +293,67 @@ fn fanout_reads_bit_identical_to_sequential_at_widths_1_to_8_under_appenders() {
     }
 }
 
+/// Chunk-streaming reads vs sequential `read_rows` at widths 1–8 while
+/// appenders actively extend the streams: every streamed prefix must
+/// reassemble bit-identically to what `read_rows` returns for the same
+/// range (the assembled tensor partitions the range — each row delivered
+/// exactly once), at every fanout width.
+#[test]
+fn streaming_reads_bit_identical_to_read_rows_at_widths_1_to_8_under_appenders() {
+    const BATCHES: u64 = 40;
+    const BATCH: usize = 10; // crosses chunk boundaries regularly
+    for width in 1..=8usize {
+        let mgr =
+            Arc::new(StorageManager::new(Arc::new(MemStore::new(4)), D).with_read_fanout(width));
+        let streams: Vec<StreamId> = (0..2)
+            .map(|l| StreamId::hidden(100 + width as u64, l))
+            .collect();
+        std::thread::scope(|scope| {
+            for &s in &streams {
+                let mgr = Arc::clone(&mgr);
+                scope.spawn(move || {
+                    for b in 0..BATCHES {
+                        mgr.append_rows(s, &rows_for(s, b * BATCH as u64, BATCH))
+                            .unwrap();
+                        if b % 4 == 3 {
+                            mgr.flush_stream(s).unwrap();
+                        }
+                    }
+                });
+            }
+            // Streaming readers chase the appenders: each observed prefix
+            // must reassemble to the deterministic content.
+            for &s in &streams {
+                let mgr = Arc::clone(&mgr);
+                scope.spawn(move || loop {
+                    let n = mgr.n_tokens(s);
+                    let mut sink = CollectSink::default();
+                    mgr.read_rows_streaming(s, 0, n, &mut sink).unwrap();
+                    let total: usize = sink.delivered.iter().map(|c| c.rows.rows()).sum();
+                    assert_eq!(total as u64, n, "rows must partition the range");
+                    assert_prefix_bit_identical(&sink.assembled(n as usize), s, 0);
+                    if n >= BATCHES * BATCH as u64 {
+                        break;
+                    }
+                });
+            }
+        });
+        // Final cross-check against a no-fanout sequential read_rows.
+        let seq = StorageManager::new(Arc::new(MemStore::new(4)), D);
+        for &s in &streams {
+            let total = BATCHES * BATCH as u64;
+            seq.append_rows(s, &rows_for(s, 0, total as usize)).unwrap();
+            let mut sink = CollectSink::default();
+            mgr.read_rows_streaming(s, 0, total, &mut sink).unwrap();
+            assert_eq!(
+                sink.assembled(total as usize),
+                seq.read_rows(s, 0, total).unwrap(),
+                "width {width} streaming reassembly diverged from sequential read of {s:?}"
+            );
+        }
+    }
+}
+
 /// Deterministic per-generation content: generations are told apart by
 /// their distinct value at (token 0, col 0), and every other cell must
 /// then belong to the *same* generation.
@@ -333,6 +426,88 @@ fn delete_reappend_same_size_generations_never_mix_in_fanout_reads() {
 
     // The final generation survived intact.
     let got = mgr.read_rows(s, 0, N).unwrap();
+    for r in 0..N as usize {
+        for c in 0..D {
+            assert_eq!(
+                got.get(r, c),
+                f16_roundtrip(gen_cell(GENERATIONS - 1, r as u64, c))
+            );
+        }
+    }
+    assert_eq!(mgr.delete_stream(s), N * D as u64 * 2);
+    assert_eq!(mgr.total_resident_bytes(), 0);
+}
+
+/// The delete→re-append generation race delivered **mid-stream**: the
+/// streaming read hands chunks to the sink as they land, so the churn
+/// window now spans *already-delivered* chunks — only the per-chunk
+/// tombstone revalidation (reset + wholesale redelivery) can prevent the
+/// sink from ending up with rows of two generations. Identical sizes per
+/// generation keep every length/OutOfRange check blind to the swap.
+#[test]
+fn delete_reappend_mid_stream_resets_sink_and_never_mixes_generations() {
+    const N: u64 = 128; // exactly 2 full chunks: no tail, sizes identical
+    const GENERATIONS: u64 = 40;
+    let mgr = Arc::new(StorageManager::new(Arc::new(MemStore::new(4)), D).with_read_fanout(4));
+    let s = StreamId::hidden(78, 0);
+    let gen_rows = |g: u64| Tensor2::from_fn(N as usize, D, |r, c| gen_cell(g, r as u64, c));
+    mgr.append_rows(s, &gen_rows(0)).unwrap();
+
+    let done = AtomicBool::new(false);
+    let resets_seen = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        {
+            let mgr = Arc::clone(&mgr);
+            let done = &done;
+            scope.spawn(move || {
+                for g in 1..GENERATIONS {
+                    mgr.delete_stream(s);
+                    mgr.append_rows(s, &gen_rows(g)).unwrap();
+                }
+                done.store(true, Ordering::Relaxed);
+            });
+        }
+        for _ in 0..2 {
+            let mgr = Arc::clone(&mgr);
+            let done = &done;
+            let resets_seen = &resets_seen;
+            scope.spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    let mut sink = CollectSink::default();
+                    match mgr.read_rows_streaming(s, 0, N, &mut sink) {
+                        Ok(()) => {
+                            resets_seen.fetch_add(sink.resets as u64, Ordering::Relaxed);
+                            let got = sink.assembled(N as usize);
+                            let probe = got.get(0, 0);
+                            let generation = (0..GENERATIONS)
+                                .find(|&g| probe == f16_roundtrip(gen_cell(g, 0, 0)))
+                                .unwrap_or_else(|| panic!("row 0 matches no generation: {probe}"));
+                            for r in 0..N as usize {
+                                for c in 0..D {
+                                    assert_eq!(
+                                        got.get(r, c),
+                                        f16_roundtrip(gen_cell(generation, r as u64, c)),
+                                        "token {r} col {c} mixed into generation {generation} \
+                                         past {} resets",
+                                        sink.resets
+                                    );
+                                }
+                            }
+                        }
+                        // A read can land in the instant between the wipe
+                        // and the restart (stream momentarily empty).
+                        Err(hc_storage::StorageError::OutOfRange { .. }) => {}
+                        Err(e) => panic!("only OutOfRange may escape: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    // The final generation survived intact through a streaming read too.
+    let mut sink = CollectSink::default();
+    mgr.read_rows_streaming(s, 0, N, &mut sink).unwrap();
+    let got = sink.assembled(N as usize);
     for r in 0..N as usize {
         for c in 0..D {
             assert_eq!(

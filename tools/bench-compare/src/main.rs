@@ -3,7 +3,16 @@
 //!
 //! ```text
 //! bench_compare <baseline-dir> <fresh-dir> [--threshold 0.25] [--gate-keys <file>]
+//! bench_compare --update-baselines <baseline-dir> <fresh-dir>
 //! ```
+//!
+//! `--update-baselines` replaces the compare: every `BENCH_*.json` in the
+//! fresh dir is copied over its committed baseline (new benches are added,
+//! baselines whose bench no longer produced a file are left untouched and
+//! reported so a silent drop is still visible). This is how intentional
+//! performance changes are accepted — re-run the benches, rewrite the
+//! baselines, commit both in the same PR — replacing the manual
+//! copy-each-file dance.
 //!
 //! Every numeric leaf of each JSON file is flattened to a stable path
 //! (arrays of objects are labeled by their distinguishing field — e.g.
@@ -596,16 +605,7 @@ fn run(
         _ => GateList::all(),
     };
 
-    let mut baseline_files: Vec<PathBuf> = std::fs::read_dir(baseline_dir)
-        .map_err(|e| format!("cannot list {}: {e}", baseline_dir.display()))?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| {
-            p.file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
-        })
-        .collect();
-    baseline_files.sort();
+    let baseline_files = bench_files(baseline_dir)?;
     if baseline_files.is_empty() {
         return Err(format!(
             "no BENCH_*.json baselines in {}",
@@ -671,14 +671,78 @@ fn run(
     Ok((report, failed))
 }
 
+/// Lists the `BENCH_*.json` files of `dir`, sorted.
+fn bench_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot list {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+/// `--update-baselines`: rewrite `baseline_dir`'s `BENCH_*.json` set from a
+/// fresh run in `fresh_dir`. Returns the human-readable report. Fresh
+/// files must parse as JSON before anything is copied — a truncated bench
+/// artifact must not clobber a good baseline.
+fn update_baselines(baseline_dir: &Path, fresh_dir: &Path) -> Result<String, String> {
+    let fresh = bench_files(fresh_dir)?;
+    if fresh.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json files in {} to update from",
+            fresh_dir.display()
+        ));
+    }
+    for path in &fresh {
+        load_flat(path)?; // validate before touching any baseline
+    }
+    let mut report = String::from("## Baselines updated from fresh run\n\n");
+    for path in &fresh {
+        let name = path.file_name().unwrap().to_str().unwrap();
+        let dest = baseline_dir.join(name);
+        let existed = dest.exists();
+        std::fs::copy(path, &dest)
+            .map_err(|e| format!("cannot copy {} to {}: {e}", path.display(), dest.display()))?;
+        let _ = writeln!(
+            report,
+            "- `{name}`: {}",
+            if existed {
+                "updated"
+            } else {
+                "added (new bench)"
+            }
+        );
+    }
+    // Baselines whose bench produced nothing this run: kept, but called
+    // out — a bench silently dropping out should not hide behind an
+    // update either.
+    for stale in bench_files(baseline_dir)? {
+        let name = stale.file_name().unwrap().to_str().unwrap();
+        if !fresh_dir.join(name).exists() {
+            let _ = writeln!(
+                report,
+                "- `{name}`: **kept unchanged** (no fresh {name} in this run)"
+            );
+        }
+    }
+    Ok(report)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional = Vec::new();
     let mut threshold = 0.25;
     let mut gate_file: Option<PathBuf> = None;
+    let mut update = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--update-baselines" => update = true,
             "--threshold" => {
                 i += 1;
                 threshold = args
@@ -698,9 +762,21 @@ fn main() -> ExitCode {
     }
     if positional.len() != 2 {
         eprintln!(
-            "usage: bench_compare <baseline-dir> <fresh-dir> [--threshold 0.25] [--gate-keys <file>]"
+            "usage: bench_compare <baseline-dir> <fresh-dir> [--threshold 0.25] [--gate-keys <file>]\n       bench_compare --update-baselines <baseline-dir> <fresh-dir>"
         );
         return ExitCode::from(2);
+    }
+    if update {
+        return match update_baselines(&positional[0], &positional[1]) {
+            Ok(report) => {
+                println!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_compare: {e}");
+                ExitCode::from(2)
+            }
+        };
     }
     let default_gates = positional[0].join("GATE_KEYS.txt");
     let gate_file = gate_file.unwrap_or(default_gates);
@@ -898,6 +974,65 @@ mod tests {
         let (report, failed) = run(&base, &fresh, 0.25, None).unwrap();
         assert!(failed, "zero baseline must fail CI:\n{report}");
         assert!(report.contains("ZERO-BASELINE"));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn update_baselines_rewrites_adds_and_keeps() {
+        let root =
+            std::env::temp_dir().join(format!("bench-compare-update-{}", std::process::id()));
+        let base = root.join("base");
+        let fresh = root.join("fresh");
+        std::fs::create_dir_all(&base).unwrap();
+        std::fs::create_dir_all(&fresh).unwrap();
+        std::fs::write(base.join("BENCH_a.json"), r#"{ "speedup": 1.0 }"#).unwrap();
+        std::fs::write(base.join("BENCH_gone.json"), r#"{ "speedup": 9.0 }"#).unwrap();
+        std::fs::write(fresh.join("BENCH_a.json"), r#"{ "speedup": 2.0 }"#).unwrap();
+        std::fs::write(fresh.join("BENCH_new.json"), r#"{ "speedup": 3.0 }"#).unwrap();
+        let report = update_baselines(&base, &fresh).unwrap();
+        assert!(report.contains("`BENCH_a.json`: updated"), "{report}");
+        assert!(report.contains("`BENCH_new.json`: added"), "{report}");
+        assert!(
+            report.contains("`BENCH_gone.json`: **kept unchanged**"),
+            "{report}"
+        );
+        // The baseline dir now matches the fresh run (plus the stale one).
+        assert_eq!(
+            std::fs::read_to_string(base.join("BENCH_a.json")).unwrap(),
+            r#"{ "speedup": 2.0 }"#
+        );
+        assert!(base.join("BENCH_new.json").exists());
+        assert_eq!(
+            std::fs::read_to_string(base.join("BENCH_gone.json")).unwrap(),
+            r#"{ "speedup": 9.0 }"#
+        );
+        // A followup compare against the rewritten baselines passes clean.
+        std::fs::write(base.join("GATE_KEYS.txt"), "speedup\n").unwrap();
+        let (_, failed) = run(&base, &fresh, 0.25, Some(&base.join("GATE_KEYS.txt")))
+            .map(|(r, f)| (r.clone(), f || r.contains("REGRESSED")))
+            .unwrap();
+        // BENCH_gone has no fresh counterpart, which the *gate* flags —
+        // update mode deliberately leaves that decision visible.
+        assert!(failed, "stale baseline must still fail the gate");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn update_baselines_rejects_malformed_fresh_files_before_copying() {
+        let root =
+            std::env::temp_dir().join(format!("bench-compare-update-bad-{}", std::process::id()));
+        let base = root.join("base");
+        let fresh = root.join("fresh");
+        std::fs::create_dir_all(&base).unwrap();
+        std::fs::create_dir_all(&fresh).unwrap();
+        std::fs::write(base.join("BENCH_a.json"), r#"{ "speedup": 1.0 }"#).unwrap();
+        std::fs::write(fresh.join("BENCH_a.json"), "{ truncated").unwrap();
+        assert!(update_baselines(&base, &fresh).is_err());
+        // The good baseline survived the rejected update.
+        assert_eq!(
+            std::fs::read_to_string(base.join("BENCH_a.json")).unwrap(),
+            r#"{ "speedup": 1.0 }"#
+        );
         std::fs::remove_dir_all(&root).unwrap();
     }
 
