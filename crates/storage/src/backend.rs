@@ -96,6 +96,22 @@ pub trait ChunkStore: Send + Sync + 'static {
         false
     }
 
+    /// Deletes one chunk, returning the bytes it held (0 when absent).
+    /// Crash recovery uses this to sweep orphan chunks (written durably
+    /// but never journaled, or journaled deleted but not yet wiped). The
+    /// default — for stores that never participate in recovery — removes
+    /// nothing.
+    fn delete_chunk(&self, _key: ChunkKey) -> u64 {
+        0
+    }
+
+    /// Every chunk key currently stored, in no particular order. Crash
+    /// recovery enumerates these to find orphans; the default (empty)
+    /// opts a store out of the sweep.
+    fn chunk_keys(&self) -> Vec<ChunkKey> {
+        Vec::new()
+    }
+
     /// Snapshot of the IO counters.
     fn stats(&self) -> StoreStats;
 }
@@ -193,6 +209,17 @@ impl ChunkStore for MemStore {
         freed
     }
 
+    fn delete_chunk(&self, key: ChunkKey) -> u64 {
+        self.chunks
+            .lock()
+            .remove(&key)
+            .map_or(0, |v| v.len() as u64)
+    }
+
+    fn chunk_keys(&self) -> Vec<ChunkKey> {
+        self.chunks.lock().keys().cloned().collect()
+    }
+
     fn n_devices(&self) -> usize {
         self.counters.len()
     }
@@ -209,11 +236,20 @@ impl ChunkStore for MemStore {
 // ---------------------------------------------------------------------------
 
 /// Chunk store backed by real files: `root/dev{i}/<chunk>.bin`.
+///
+/// Writes are crash-durable by default: each chunk lands in a temp file
+/// that is `sync_all`ed and atomically renamed over the live name (then
+/// the parent directory is fsynced), so a crash can never leave a
+/// half-written chunk under a live key — the property the
+/// [`crate::journal`] recovery protocol builds on. [`FileStore::no_sync`]
+/// trades that away for latency-model benches.
 pub struct FileStore {
     root: PathBuf,
     counters: Vec<Counters>,
     /// Index of existing chunks, avoiding filesystem probing on `contains`.
     index: Mutex<HashMap<ChunkKey, u64>>,
+    /// Fsync chunk files (and their directory) on write.
+    sync: bool,
 }
 
 impl FileStore {
@@ -229,7 +265,55 @@ impl FileStore {
             root,
             counters: (0..n_devices).map(|_| Counters::new()).collect(),
             index: Mutex::new(HashMap::new()),
+            sync: true,
         })
+    }
+
+    /// Reopens an existing store root, rebuilding the chunk index by
+    /// scanning the device directories (file name → key, file size →
+    /// stored bytes). Leftover temp files from a crashed mid-write are
+    /// removed — their rename never happened, so no live key points at
+    /// them. Missing device directories are created, so `open` also
+    /// accepts a fresh root.
+    pub fn open(root: impl Into<PathBuf>, n_devices: usize) -> Result<Self, StorageError> {
+        assert!(n_devices > 0, "need at least one device");
+        let root = root.into();
+        let mut index = HashMap::new();
+        for d in 0..n_devices {
+            let dir = root.join(format!("dev{d}"));
+            std::fs::create_dir_all(&dir).map_err(|e| StorageError::Io(e.to_string()))?;
+            let entries = std::fs::read_dir(&dir).map_err(|e| StorageError::Io(e.to_string()))?;
+            for entry in entries {
+                let entry = entry.map_err(|e| StorageError::Io(e.to_string()))?;
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if name.ends_with(".tmp") {
+                    let _ = std::fs::remove_file(entry.path());
+                    continue;
+                }
+                if let Some(key) = parse_chunk_name(name) {
+                    let len = entry
+                        .metadata()
+                        .map_err(|e| StorageError::Io(e.to_string()))?
+                        .len();
+                    index.insert(key, len);
+                }
+            }
+        }
+        Ok(Self {
+            root,
+            counters: (0..n_devices).map(|_| Counters::new()).collect(),
+            index: Mutex::new(index),
+            sync: true,
+        })
+    }
+
+    /// Disables per-write fsync (atomic rename is kept). For benches
+    /// whose latency model already charges device time — crash
+    /// durability is forfeit.
+    pub fn no_sync(mut self) -> Self {
+        self.sync = false;
+        self
     }
 
     fn path_for(&self, key: &ChunkKey) -> PathBuf {
@@ -246,10 +330,62 @@ impl FileStore {
     }
 }
 
+/// Parses a chunk file name (`s{session}_l{layer}_{h|k|v}_c{idx}.bin`)
+/// back into its key; foreign files decode to `None` and are ignored.
+fn parse_chunk_name(name: &str) -> Option<ChunkKey> {
+    let rest = name.strip_prefix('s')?.strip_suffix(".bin")?;
+    let mut parts = rest.split('_');
+    let session: u64 = parts.next()?.parse().ok()?;
+    let layer: u32 = parts.next()?.strip_prefix('l')?.parse().ok()?;
+    let kind = match parts.next()? {
+        "h" => crate::StateKind::Hidden,
+        "k" => crate::StateKind::Key,
+        "v" => crate::StateKind::Value,
+        _ => return None,
+    };
+    let chunk_idx: u32 = parts.next()?.strip_prefix('c')?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(ChunkKey {
+        stream: StreamId {
+            session,
+            layer,
+            kind,
+        },
+        chunk_idx,
+    })
+}
+
 impl ChunkStore for FileStore {
     fn write_chunk(&self, key: ChunkKey, data: &[u8]) -> Result<(), StorageError> {
+        use std::io::Write;
         let dev = device_for(&key, self.counters.len());
-        std::fs::write(self.path_for(&key), data).map_err(|e| StorageError::Io(e.to_string()))?;
+        let io = |e: std::io::Error| StorageError::DeviceFailed {
+            key,
+            device: dev,
+            transient: false,
+            msg: e.to_string(),
+        };
+        let dst = self.path_for(&key);
+        let tmp = dst.with_extension("tmp");
+        // Temp file + sync + atomic rename: a crash at any point leaves
+        // either the previous image or the new one under the live name,
+        // never a torn mix. The parent-directory fsync pins the rename.
+        let mut f = std::fs::File::create(&tmp).map_err(io)?;
+        f.write_all(data).map_err(io)?;
+        if self.sync {
+            f.sync_all().map_err(io)?;
+        }
+        drop(f);
+        std::fs::rename(&tmp, &dst).map_err(io)?;
+        if self.sync {
+            if let Some(parent) = dst.parent() {
+                if let Ok(d) = std::fs::File::open(parent) {
+                    let _ = d.sync_all();
+                }
+            }
+        }
         self.counters[dev].writes.fetch_add(1, Ordering::Relaxed);
         self.counters[dev]
             .bytes_written
@@ -266,8 +402,12 @@ impl ChunkStore for FileStore {
             });
         }
         let dev = device_for(&key, self.counters.len());
-        let data =
-            std::fs::read(self.path_for(&key)).map_err(|e| StorageError::Io(e.to_string()))?;
+        let data = std::fs::read(self.path_for(&key)).map_err(|e| StorageError::DeviceFailed {
+            key,
+            device: dev,
+            transient: false,
+            msg: e.to_string(),
+        })?;
         self.counters[dev].reads.fetch_add(1, Ordering::Relaxed);
         self.counters[dev]
             .bytes_read
@@ -294,6 +434,16 @@ impl ChunkStore for FileStore {
             }
         }
         freed
+    }
+
+    fn delete_chunk(&self, key: ChunkKey) -> u64 {
+        let mut index = self.index.lock();
+        let _ = std::fs::remove_file(self.path_for(&key));
+        index.remove(&key).unwrap_or(0)
+    }
+
+    fn chunk_keys(&self) -> Vec<ChunkKey> {
+        self.index.lock().keys().cloned().collect()
     }
 
     fn n_devices(&self) -> usize {
@@ -389,5 +539,117 @@ mod tests {
         store.write_chunk(other, &[2]).unwrap();
         store.delete_stream(StreamId::hidden(1, 0));
         assert!(store.contains(other));
+    }
+
+    #[test]
+    fn delete_chunk_and_chunk_keys_roundtrip() {
+        for store in [&MemStore::new(2) as &dyn ChunkStore, &{
+            let dir = std::env::temp_dir().join(format!("hcstore-chunkops-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            FileStore::new(&dir, 2).unwrap()
+        }] {
+            store.write_chunk(key(0), &[1, 2]).unwrap();
+            store.write_chunk(key(1), &[3, 4, 5]).unwrap();
+            let mut keys = store.chunk_keys();
+            keys.sort();
+            assert_eq!(keys, vec![key(0), key(1)]);
+            assert_eq!(store.delete_chunk(key(1)), 3);
+            assert_eq!(store.delete_chunk(key(1)), 0, "second delete frees 0");
+            assert!(!store.contains(key(1)));
+            assert!(store.contains(key(0)));
+        }
+    }
+
+    #[test]
+    fn filestore_open_rebuilds_the_index_from_disk() {
+        let dir = std::env::temp_dir().join(format!("hcstore-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let other = ChunkKey {
+            stream: StreamId::key(9, 3),
+            chunk_idx: 7,
+        };
+        {
+            let store = FileStore::new(&dir, 4).unwrap();
+            store.write_chunk(key(0), &[1, 2, 3]).unwrap();
+            store.write_chunk(key(5), &[4; 10]).unwrap();
+            store.write_chunk(other, &[7; 4]).unwrap();
+        }
+        // Plus a stray temp file a crash could leave behind.
+        std::fs::write(dir.join("dev0/s1_l0_h_c99.tmp"), b"torn").unwrap();
+        let store = FileStore::open(&dir, 4).unwrap();
+        assert_eq!(store.read_chunk(key(0)).unwrap(), vec![1, 2, 3]);
+        assert_eq!(store.read_chunk(key(5)).unwrap(), vec![4; 10]);
+        assert_eq!(store.read_chunk(other).unwrap(), vec![7; 4]);
+        let mut keys = store.chunk_keys();
+        keys.sort();
+        assert_eq!(keys, vec![key(0), key(5), other]);
+        assert!(!dir.join("dev0/s1_l0_h_c99.tmp").exists(), "tmp swept");
+        // Freed bytes equal the rescanned sizes.
+        assert_eq!(store.delete_stream(StreamId::hidden(1, 0)), 13);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chunk_names_roundtrip_through_the_parser() {
+        let keys = [
+            ChunkKey {
+                stream: StreamId::hidden(0, 0),
+                chunk_idx: 0,
+            },
+            ChunkKey {
+                stream: StreamId::key(123, 45),
+                chunk_idx: 678,
+            },
+            ChunkKey {
+                stream: StreamId::value(u64::MAX, u32::MAX),
+                chunk_idx: u32::MAX,
+            },
+        ];
+        for k in keys {
+            let kind = match k.stream.kind {
+                crate::StateKind::Hidden => "h",
+                crate::StateKind::Key => "k",
+                crate::StateKind::Value => "v",
+            };
+            let name = format!(
+                "s{}_l{}_{kind}_c{}.bin",
+                k.stream.session, k.stream.layer, k.chunk_idx
+            );
+            assert_eq!(parse_chunk_name(&name), Some(k));
+        }
+        for bad in [
+            "",
+            "x.bin",
+            "s1_l0_h_c2.tmp",
+            "s1_l0_q_c2.bin",
+            "s1_l0_h.bin",
+        ] {
+            assert_eq!(parse_chunk_name(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn filestore_write_errors_name_the_key_and_device() {
+        let dir = std::env::temp_dir().join(format!("hcstore-deverr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileStore::new(&dir, 2).unwrap();
+        // Destroy the device directory behind the store's back: the write
+        // must fail typed, naming the lane.
+        std::fs::remove_dir_all(dir.join("dev0")).unwrap();
+        let k = key(0); // chunk 0 of layer 0 → device 0
+        let err = store.write_chunk(k, &[1]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StorageError::DeviceFailed {
+                    key,
+                    device: 0,
+                    transient: false,
+                    ..
+                } if key == k
+            ),
+            "got {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,413 @@
+//! Fault injection for chunk stores.
+//!
+//! [`FaultStore`] wraps any [`ChunkStore`] and injects failures at
+//! programmable points, so the failure-scenario suite can prove each
+//! fault surfaces as a *typed* error with a one-stream blast radius
+//! instead of hoping real hardware misbehaves on cue. It is the
+//! first-class version of the ad-hoc `HookStore` the manager tests grew:
+//!
+//! * **Device errors** ([`FaultStore::fail_reads`] /
+//!   [`FaultStore::fail_writes`]): the next *n* matching operations
+//!   return [`StorageError::DeviceFailed`] naming the chunk key and
+//!   owning device. Transient faults are retried (with bounded backoff)
+//!   by the manager's read path; permanent ones surface immediately.
+//! * **Stalls** ([`FaultStore::stall_reads`]): matching reads sleep for
+//!   a fixed duration before proceeding — a slow device, not a dead one.
+//! * **Torn writes** ([`FaultStore::tear_next_write`]): the next
+//!   matching write persists only a prefix of its payload while
+//!   *reporting success* — the lie a non-durable store tells across a
+//!   crash, which recovery must catch by chunk checksum.
+//! * **Hooks** ([`FaultStore::on_nth_read`]): a one-shot closure fired
+//!   on the n-th read from now, for deterministically interleaving
+//!   deletes/evictions inside a reader's lock-free IO phase.
+//!
+//! Faults select their victims by [`FaultTarget`]: everything, one chunk
+//! key, one device lane, or one stream.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::backend::{ChunkStore, StoreStats};
+use crate::chunk::{device_for, ChunkKey};
+use crate::{StorageError, StreamId};
+
+/// Which operations a fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// Every chunk operation.
+    Any,
+    /// Operations addressing exactly this chunk.
+    Key(ChunkKey),
+    /// Operations served by this device lane
+    /// ([`crate::chunk::device_for`] of the key).
+    Device(usize),
+    /// Operations addressing any chunk of this stream.
+    Stream(StreamId),
+}
+
+impl FaultTarget {
+    fn matches(&self, key: &ChunkKey, n_devices: usize) -> bool {
+        match *self {
+            FaultTarget::Any => true,
+            FaultTarget::Key(k) => *key == k,
+            FaultTarget::Device(d) => device_for(key, n_devices) == d,
+            FaultTarget::Stream(s) => key.stream == s,
+        }
+    }
+}
+
+struct InjectedFault {
+    target: FaultTarget,
+    remaining: usize,
+    transient: bool,
+}
+
+type ReadHook = Box<dyn FnMut() + Send>;
+
+#[derive(Default)]
+struct FaultState {
+    read_faults: Vec<InjectedFault>,
+    write_faults: Vec<InjectedFault>,
+    read_stalls: Vec<(FaultTarget, Duration)>,
+    torn_writes: Vec<(FaultTarget, usize)>,
+    /// `(absolute read ordinal, hook)` — fired (and removed) when
+    /// `reads_seen` reaches the ordinal.
+    read_hooks: Vec<(u64, ReadHook)>,
+}
+
+/// A [`ChunkStore`] wrapper injecting programmable faults (see the
+/// module docs for the fault classes).
+pub struct FaultStore<B: ChunkStore> {
+    inner: Arc<B>,
+    state: Mutex<FaultState>,
+    reads_seen: AtomicU64,
+    reads_failed: AtomicU64,
+    writes_failed: AtomicU64,
+    writes_torn: AtomicU64,
+}
+
+impl<B: ChunkStore> FaultStore<B> {
+    /// Wraps `inner` with no faults armed: behavior is identical to the
+    /// inner store until a fault is injected.
+    pub fn new(inner: Arc<B>) -> Self {
+        Self {
+            inner,
+            state: Mutex::new(FaultState::default()),
+            reads_seen: AtomicU64::new(0),
+            reads_failed: AtomicU64::new(0),
+            writes_failed: AtomicU64::new(0),
+            writes_torn: AtomicU64::new(0),
+        }
+    }
+
+    /// Wrapped store handle.
+    pub fn inner(&self) -> &Arc<B> {
+        &self.inner
+    }
+
+    /// Arms the next `n` matching reads to fail with
+    /// [`StorageError::DeviceFailed`] (`transient` controls whether the
+    /// manager's bounded retry may mask them).
+    pub fn fail_reads(&self, target: FaultTarget, n: usize, transient: bool) {
+        self.state.lock().read_faults.push(InjectedFault {
+            target,
+            remaining: n,
+            transient,
+        });
+    }
+
+    /// Arms the next `n` matching writes to fail with
+    /// [`StorageError::DeviceFailed`].
+    pub fn fail_writes(&self, target: FaultTarget, n: usize, transient: bool) {
+        self.state.lock().write_faults.push(InjectedFault {
+            target,
+            remaining: n,
+            transient,
+        });
+    }
+
+    /// Stalls every matching read by `delay` until cleared — a slow
+    /// device rather than a failed one; reads still succeed.
+    pub fn stall_reads(&self, target: FaultTarget, delay: Duration) {
+        self.state.lock().read_stalls.push((target, delay));
+    }
+
+    /// Removes every armed read stall.
+    pub fn clear_read_stalls(&self) {
+        self.state.lock().read_stalls.clear();
+    }
+
+    /// Arms the next matching write to persist only its first
+    /// `keep_bytes` bytes while reporting success — the torn write a
+    /// crash leaves behind on a store without atomic-rename durability.
+    pub fn tear_next_write(&self, target: FaultTarget, keep_bytes: usize) {
+        self.state.lock().torn_writes.push((target, keep_bytes));
+    }
+
+    /// Fires `hook` once, on the `n`-th read from now (0 = the very next
+    /// read), before that read is served. Lets tests interleave
+    /// deletes/evictions inside a reader's lock-free IO phase at a
+    /// deterministic point.
+    pub fn on_nth_read(&self, n: u64, hook: impl FnMut() + Send + 'static) {
+        let at = self.reads_seen.load(Ordering::SeqCst) + n;
+        self.state.lock().read_hooks.push((at, Box::new(hook)));
+    }
+
+    /// Chunk reads observed (including failed ones).
+    pub fn reads_seen(&self) -> u64 {
+        self.reads_seen.load(Ordering::SeqCst)
+    }
+
+    /// Reads failed by injection.
+    pub fn reads_failed(&self) -> u64 {
+        self.reads_failed.load(Ordering::SeqCst)
+    }
+
+    /// Writes failed by injection.
+    pub fn writes_failed(&self) -> u64 {
+        self.writes_failed.load(Ordering::SeqCst)
+    }
+
+    /// Writes torn by injection.
+    pub fn writes_torn(&self) -> u64 {
+        self.writes_torn.load(Ordering::SeqCst)
+    }
+
+    fn n_devices_inner(&self) -> usize {
+        self.inner.n_devices().max(1)
+    }
+
+    /// Takes one matching fault charge from `faults`, returning its
+    /// transience.
+    fn take_fault(
+        faults: &mut Vec<InjectedFault>,
+        key: &ChunkKey,
+        n_devices: usize,
+    ) -> Option<bool> {
+        let idx = faults
+            .iter()
+            .position(|f| f.remaining > 0 && f.target.matches(key, n_devices))?;
+        faults[idx].remaining -= 1;
+        let transient = faults[idx].transient;
+        if faults[idx].remaining == 0 {
+            faults.remove(idx);
+        }
+        Some(transient)
+    }
+
+    fn device_failed(&self, key: ChunkKey, transient: bool, op: &str) -> StorageError {
+        StorageError::DeviceFailed {
+            key,
+            device: device_for(&key, self.n_devices_inner()),
+            transient,
+            msg: format!("injected {op} failure"),
+        }
+    }
+}
+
+impl<B: ChunkStore> ChunkStore for FaultStore<B> {
+    fn write_chunk(&self, key: ChunkKey, data: &[u8]) -> Result<(), StorageError> {
+        let n_dev = self.n_devices_inner();
+        let (fault, torn) = {
+            let mut state = self.state.lock();
+            let fault = Self::take_fault(&mut state.write_faults, &key, n_dev);
+            let torn = if fault.is_none() {
+                state
+                    .torn_writes
+                    .iter()
+                    .position(|(t, _)| t.matches(&key, n_dev))
+                    .map(|i| state.torn_writes.remove(i).1)
+            } else {
+                None
+            };
+            (fault, torn)
+        };
+        if let Some(transient) = fault {
+            self.writes_failed.fetch_add(1, Ordering::SeqCst);
+            return Err(self.device_failed(key, transient, "device write"));
+        }
+        if let Some(keep) = torn {
+            self.writes_torn.fetch_add(1, Ordering::SeqCst);
+            // Persist a prefix, report success: the durable-looking torn
+            // write recovery must unmask by checksum.
+            return self.inner.write_chunk(key, &data[..keep.min(data.len())]);
+        }
+        self.inner.write_chunk(key, data)
+    }
+
+    fn read_chunk(&self, key: ChunkKey) -> Result<Vec<u8>, StorageError> {
+        let n = self.reads_seen.fetch_add(1, Ordering::SeqCst);
+        let n_dev = self.n_devices_inner();
+        let (hooks, stall, fault) = {
+            let mut state = self.state.lock();
+            let mut hooks = Vec::new();
+            let mut i = 0;
+            while i < state.read_hooks.len() {
+                if state.read_hooks[i].0 == n {
+                    hooks.push(state.read_hooks.remove(i).1);
+                } else {
+                    i += 1;
+                }
+            }
+            let stall = state
+                .read_stalls
+                .iter()
+                .find(|(t, _)| t.matches(&key, n_dev))
+                .map(|&(_, d)| d);
+            let fault = Self::take_fault(&mut state.read_faults, &key, n_dev);
+            (hooks, stall, fault)
+        };
+        // Hooks run outside the state lock: they may re-enter the store
+        // (e.g. a delete that wipes chunks mid-read).
+        for mut hook in hooks {
+            hook();
+        }
+        if let Some(delay) = stall {
+            std::thread::sleep(delay);
+        }
+        if let Some(transient) = fault {
+            self.reads_failed.fetch_add(1, Ordering::SeqCst);
+            return Err(self.device_failed(key, transient, "device read"));
+        }
+        self.inner.read_chunk(key)
+    }
+
+    fn contains(&self, key: ChunkKey) -> bool {
+        self.inner.contains(key)
+    }
+
+    fn chunk_in_fast_tier(&self, key: ChunkKey) -> bool {
+        self.inner.chunk_in_fast_tier(key)
+    }
+
+    fn delete_stream(&self, stream: StreamId) -> u64 {
+        self.inner.delete_stream(stream)
+    }
+
+    fn delete_chunk(&self, key: ChunkKey) -> u64 {
+        self.inner.delete_chunk(key)
+    }
+
+    fn chunk_keys(&self) -> Vec<ChunkKey> {
+        self.inner.chunk_keys()
+    }
+
+    fn n_devices(&self) -> usize {
+        self.inner.n_devices()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemStore;
+    use std::time::Instant;
+
+    fn key(chunk_idx: u32) -> ChunkKey {
+        ChunkKey {
+            stream: StreamId::hidden(1, 0),
+            chunk_idx,
+        }
+    }
+
+    fn store() -> FaultStore<MemStore> {
+        FaultStore::new(Arc::new(MemStore::new(2)))
+    }
+
+    #[test]
+    fn unarmed_store_is_transparent() {
+        let s = store();
+        s.write_chunk(key(0), &[1, 2, 3]).unwrap();
+        assert_eq!(s.read_chunk(key(0)).unwrap(), vec![1, 2, 3]);
+        assert!(s.contains(key(0)));
+        assert_eq!(s.reads_failed(), 0);
+        assert_eq!(s.writes_failed(), 0);
+    }
+
+    #[test]
+    fn injected_read_fault_names_key_and_device() {
+        let s = store();
+        s.write_chunk(key(3), &[9]).unwrap();
+        s.fail_reads(FaultTarget::Key(key(3)), 1, false);
+        let err = s.read_chunk(key(3)).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::DeviceFailed {
+                key: key(3),
+                device: device_for(&key(3), 2),
+                transient: false,
+                msg: "injected device read failure".into(),
+            }
+        );
+        // The charge is spent: the next read succeeds.
+        assert_eq!(s.read_chunk(key(3)).unwrap(), vec![9]);
+        assert_eq!(s.reads_failed(), 1);
+    }
+
+    #[test]
+    fn device_target_hits_only_its_lane() {
+        let s = store();
+        for i in 0..4 {
+            s.write_chunk(key(i), &[i as u8]).unwrap();
+        }
+        // Device 1 serves chunks 1 and 3 (layer 0, 2 devices).
+        s.fail_reads(FaultTarget::Device(1), 2, false);
+        assert!(s.read_chunk(key(0)).is_ok());
+        assert!(s.read_chunk(key(1)).is_err());
+        assert!(s.read_chunk(key(2)).is_ok());
+        assert!(s.read_chunk(key(3)).is_err());
+        assert!(s.read_chunk(key(1)).is_ok(), "charges spent");
+    }
+
+    #[test]
+    fn torn_write_persists_a_prefix_and_reports_success() {
+        let s = store();
+        s.tear_next_write(FaultTarget::Key(key(0)), 2);
+        s.write_chunk(key(0), &[1, 2, 3, 4]).unwrap();
+        assert_eq!(s.read_chunk(key(0)).unwrap(), vec![1, 2], "torn to prefix");
+        assert_eq!(s.writes_torn(), 1);
+        // One-shot: the next write is intact.
+        s.write_chunk(key(0), &[5, 6, 7]).unwrap();
+        assert_eq!(s.read_chunk(key(0)).unwrap(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn stalls_delay_but_do_not_fail() {
+        let s = store();
+        s.write_chunk(key(0), &[1]).unwrap();
+        let delay = Duration::from_millis(5);
+        s.stall_reads(FaultTarget::Any, delay);
+        let t = Instant::now();
+        assert_eq!(s.read_chunk(key(0)).unwrap(), vec![1]);
+        assert!(t.elapsed() >= delay);
+        s.clear_read_stalls();
+        let t = Instant::now();
+        s.read_chunk(key(0)).unwrap();
+        assert!(t.elapsed() < delay, "cleared stall must not linger");
+    }
+
+    #[test]
+    fn on_nth_read_fires_once_at_the_right_ordinal() {
+        let s = store();
+        s.write_chunk(key(0), &[1]).unwrap();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&fired);
+        s.read_chunk(key(0)).unwrap(); // ordinal 0 consumed before arming
+        s.on_nth_read(1, move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        s.read_chunk(key(0)).unwrap(); // ordinal 1 (n=0 from arming point)
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        s.read_chunk(key(0)).unwrap(); // ordinal 2 — fires
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        s.read_chunk(key(0)).unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "one-shot");
+    }
+}

@@ -1,0 +1,675 @@
+//! Chunk-generation journal: the crash-durability manifest for
+//! [`crate::manager::StorageManager`] over [`crate::backend::FileStore`].
+//!
+//! The manager's in-memory stream metadata (durable cursors, partial
+//! tails, tombstone generations, resident-byte accounting) dies with the
+//! process; the journal is the on-disk record it is rebuilt from. One
+//! append-only file (`journal.log` under the store root) holds a header
+//! followed by one record per durable event, framed as
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! ```
+//!
+//! Payloads (type byte first):
+//!
+//! * **Header** (`0`): magic `HCJ1`, `d_model`, `n_devices`, precision —
+//!   enough for [`crate::manager::StorageManager::reopen`] to rebuild the
+//!   manager without external configuration.
+//! * **ChunkCommit** (`1`): stream id, chunk index, generation, row
+//!   count, tail flag, encoded byte length and a CRC32 of the chunk's
+//!   encoded bytes. Logged strictly *after* the chunk write became
+//!   durable (temp file + `sync_all` + atomic rename), so a present
+//!   record implies the payload reached the device — and the CRC lets
+//!   recovery prove it is still intact.
+//! * **StreamDelete** (`2`): stream id and the generation it kills.
+//!   Logged strictly *before* the backend wipe, so a crash between the
+//!   two leaves orphan chunk files that recovery's sweep removes — never
+//!   a resurrected stream.
+//!
+//! A torn journal tail (crash mid-append) is detected by the frame CRC:
+//! replay keeps the longest consistent record prefix and
+//! [`Journal::reopen`] truncates the file back to it. Generations are
+//! assigned by the journal itself (one bump per delete), so replaying the
+//! same record sequence always reproduces the same generation numbering.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use crate::chunk::ChunkKey;
+use crate::{Precision, StateKind, StorageError, StreamId};
+
+/// Journal file name under the store root.
+pub const JOURNAL_FILE: &str = "journal.log";
+
+/// Magic bytes opening the header payload (version baked into the tag).
+const MAGIC: &[u8; 4] = b"HCJ1";
+
+/// Sanity cap on one record's payload: real payloads are < 64 B, so a
+/// frame claiming more is corruption, not data.
+const MAX_PAYLOAD: u32 = 4096;
+
+const TYPE_HEADER: u8 = 0;
+const TYPE_COMMIT: u8 = 1;
+const TYPE_DELETE: u8 = 2;
+
+/// Path of the journal file for a store rooted at `root`.
+pub fn journal_path(root: &Path) -> PathBuf {
+    root.join(JOURNAL_FILE)
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected, poly 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 checksum (IEEE) over `bytes` — the integrity check for both
+/// journal frames and chunk payloads.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// Store-wide parameters persisted in the journal's first record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Row width of every stream.
+    pub d_model: usize,
+    /// Devices the chunk store stripes over.
+    pub n_devices: usize,
+    /// On-storage codec.
+    pub precision: Precision,
+}
+
+/// One replayed journal event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A chunk became durable in the backend.
+    Commit {
+        /// Owning stream.
+        stream: StreamId,
+        /// Chunk index within the stream.
+        chunk_idx: u32,
+        /// Stream generation the chunk belongs to (bumped by deletes).
+        generation: u32,
+        /// Token rows the chunk holds.
+        rows: u32,
+        /// True for a flushed partial tail (replaced by later tail
+        /// commits or absorbed by the full-chunk commit at its index).
+        is_tail: bool,
+        /// Encoded byte length of the chunk payload.
+        byte_len: u64,
+        /// CRC32 of the encoded chunk payload.
+        chunk_crc: u32,
+    },
+    /// A stream was deleted (backend wipe follows the record).
+    Delete {
+        /// Deleted stream.
+        stream: StreamId,
+        /// Generation the delete killed.
+        generation: u32,
+    },
+}
+
+fn kind_code(kind: StateKind) -> u8 {
+    match kind {
+        StateKind::Hidden => 0,
+        StateKind::Key => 1,
+        StateKind::Value => 2,
+    }
+}
+
+fn kind_from_code(code: u8) -> Option<StateKind> {
+    match code {
+        0 => Some(StateKind::Hidden),
+        1 => Some(StateKind::Key),
+        2 => Some(StateKind::Value),
+        _ => None,
+    }
+}
+
+fn precision_code(p: Precision) -> u8 {
+    match p {
+        Precision::F16 => 0,
+        Precision::Int8 => 1,
+    }
+}
+
+fn precision_from_code(code: u8) -> Option<Precision> {
+    match code {
+        0 => Some(Precision::F16),
+        1 => Some(Precision::Int8),
+        _ => None,
+    }
+}
+
+fn push_stream(buf: &mut Vec<u8>, s: StreamId) {
+    buf.extend_from_slice(&s.session.to_le_bytes());
+    buf.extend_from_slice(&s.layer.to_le_bytes());
+    buf.push(kind_code(s.kind));
+}
+
+fn encode_header(h: &JournalHeader) -> Vec<u8> {
+    let mut buf = vec![TYPE_HEADER];
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(h.d_model as u32).to_le_bytes());
+    buf.extend_from_slice(&(h.n_devices as u32).to_le_bytes());
+    buf.push(precision_code(h.precision));
+    buf
+}
+
+fn encode_record(rec: &JournalRecord) -> Vec<u8> {
+    match *rec {
+        JournalRecord::Commit {
+            stream,
+            chunk_idx,
+            generation,
+            rows,
+            is_tail,
+            byte_len,
+            chunk_crc,
+        } => {
+            let mut buf = vec![TYPE_COMMIT];
+            push_stream(&mut buf, stream);
+            buf.extend_from_slice(&chunk_idx.to_le_bytes());
+            buf.extend_from_slice(&generation.to_le_bytes());
+            buf.extend_from_slice(&rows.to_le_bytes());
+            buf.push(u8::from(is_tail));
+            buf.extend_from_slice(&byte_len.to_le_bytes());
+            buf.extend_from_slice(&chunk_crc.to_le_bytes());
+            buf
+        }
+        JournalRecord::Delete { stream, generation } => {
+            let mut buf = vec![TYPE_DELETE];
+            push_stream(&mut buf, stream);
+            buf.extend_from_slice(&generation.to_le_bytes());
+            buf
+        }
+    }
+}
+
+/// Byte-slice cursor for record decoding; every read is bounds-checked so
+/// corrupt payloads decode to `None`, never a panic.
+struct Cursor<'a>(&'a [u8]);
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.0.len() < n {
+            return None;
+        }
+        let (head, rest) = self.0.split_at(n);
+        self.0 = rest;
+        Some(head)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn stream(&mut self) -> Option<StreamId> {
+        let session = self.u64()?;
+        let layer = self.u32()?;
+        let kind = kind_from_code(self.u8()?)?;
+        Some(StreamId {
+            session,
+            layer,
+            kind,
+        })
+    }
+
+    fn done(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+fn decode_header(payload: &[u8]) -> Option<JournalHeader> {
+    let mut c = Cursor(payload);
+    if c.u8()? != TYPE_HEADER || c.take(4)? != MAGIC {
+        return None;
+    }
+    let d_model = c.u32()? as usize;
+    let n_devices = c.u32()? as usize;
+    let precision = precision_from_code(c.u8()?)?;
+    if !c.done() || d_model == 0 || n_devices == 0 {
+        return None;
+    }
+    Some(JournalHeader {
+        d_model,
+        n_devices,
+        precision,
+    })
+}
+
+fn decode_record(payload: &[u8]) -> Option<JournalRecord> {
+    let mut c = Cursor(payload);
+    let rec = match c.u8()? {
+        TYPE_COMMIT => JournalRecord::Commit {
+            stream: c.stream()?,
+            chunk_idx: c.u32()?,
+            generation: c.u32()?,
+            rows: c.u32()?,
+            is_tail: c.u8()? != 0,
+            byte_len: c.u64()?,
+            chunk_crc: c.u32()?,
+        },
+        TYPE_DELETE => JournalRecord::Delete {
+            stream: c.stream()?,
+            generation: c.u32()?,
+        },
+        _ => return None,
+    };
+    c.done().then_some(rec)
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn io_err(e: std::io::Error) -> StorageError {
+    StorageError::Io(format!("journal: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+/// Result of replaying a journal file: the decoded prefix plus how much
+/// torn tail was discarded.
+#[derive(Debug)]
+pub struct JournalReplay {
+    /// Store-wide parameters from the first record.
+    pub header: JournalHeader,
+    /// Every consistent record after the header, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Byte length of the longest consistent record prefix (what
+    /// [`Journal::reopen`] truncates the file to).
+    pub consistent_len: u64,
+    /// Bytes discarded past the consistent prefix (a torn final append).
+    pub truncated: u64,
+}
+
+/// Crash-durability journal for one store root. Appends serialize on an
+/// internal file mutex; generations are tracked here (one bump per
+/// delete) so replay reproduces them exactly.
+pub struct Journal {
+    file: Mutex<File>,
+    sync: bool,
+    gens: Mutex<HashMap<StreamId, u32>>,
+}
+
+impl Journal {
+    /// Creates a fresh journal under `root` (truncating any existing
+    /// one), writing and — with `sync` — fsyncing the header record.
+    pub fn create(root: &Path, header: JournalHeader, sync: bool) -> Result<Self, StorageError> {
+        std::fs::create_dir_all(root).map_err(io_err)?;
+        let path = journal_path(root);
+        let mut file = File::create(&path).map_err(io_err)?;
+        file.write_all(&frame(&encode_header(&header)))
+            .map_err(io_err)?;
+        if sync {
+            file.sync_all().map_err(io_err)?;
+            fsync_dir(root);
+        }
+        Ok(Self {
+            file: Mutex::new(file),
+            sync,
+            gens: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Replays the journal under `root` without modifying it: decodes the
+    /// longest consistent record prefix, stopping at the first frame whose
+    /// length or CRC does not check out (a torn final append — or
+    /// corruption, which is treated identically).
+    pub fn replay(root: &Path) -> Result<JournalReplay, StorageError> {
+        let path = journal_path(root);
+        let mut bytes = Vec::new();
+        File::open(&path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| StorageError::Io(format!("journal: open {}: {e}", path.display())))?;
+
+        let mut off = 0usize;
+        let mut payloads: Vec<&[u8]> = Vec::new();
+        while let Some(head) = bytes.get(off..off + 8) {
+            let len = u32::from_le_bytes(head[..4].try_into().unwrap());
+            let crc = u32::from_le_bytes(head[4..8].try_into().unwrap());
+            if len > MAX_PAYLOAD {
+                break;
+            }
+            let Some(payload) = bytes.get(off + 8..off + 8 + len as usize) else {
+                break;
+            };
+            if crc32(payload) != crc {
+                break;
+            }
+            payloads.push(payload);
+            off += 8 + len as usize;
+        }
+
+        let Some(first) = payloads.first() else {
+            return Err(StorageError::Io(format!(
+                "journal: {} holds no consistent header record",
+                path.display()
+            )));
+        };
+        let header = decode_header(first).ok_or_else(|| {
+            StorageError::Io(format!("journal: {} has a corrupt header", path.display()))
+        })?;
+        let mut records = Vec::with_capacity(payloads.len() - 1);
+        let mut consistent = {
+            // The header frame is always part of the consistent prefix.
+            8 + first.len()
+        };
+        for payload in &payloads[1..] {
+            match decode_record(payload) {
+                Some(rec) => {
+                    records.push(rec);
+                    consistent += 8 + payload.len();
+                }
+                // A frame that checks out but does not decode is
+                // corruption mid-file: keep the prefix before it.
+                None => break,
+            }
+        }
+        Ok(JournalReplay {
+            header,
+            records,
+            consistent_len: consistent as u64,
+            truncated: bytes.len() as u64 - consistent as u64,
+        })
+    }
+
+    /// Reopens the journal under `root` for appending: replays it,
+    /// truncates any torn tail back to the consistent prefix, and seeds
+    /// the generation counters from the replayed deletes.
+    pub fn reopen(root: &Path, sync: bool) -> Result<(Self, JournalReplay), StorageError> {
+        let replay = Self::replay(root)?;
+        let path = journal_path(root);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(io_err)?;
+        if replay.truncated > 0 {
+            file.set_len(replay.consistent_len).map_err(io_err)?;
+            if sync {
+                file.sync_all().map_err(io_err)?;
+            }
+        }
+        file.seek(SeekFrom::End(0)).map_err(io_err)?;
+        let mut gens: HashMap<StreamId, u32> = HashMap::new();
+        for rec in &replay.records {
+            if let JournalRecord::Delete { stream, .. } = rec {
+                *gens.entry(*stream).or_insert(0) += 1;
+            }
+        }
+        Ok((
+            Self {
+                file: Mutex::new(file),
+                sync,
+                gens: Mutex::new(gens),
+            },
+            replay,
+        ))
+    }
+
+    /// Current generation of `stream` (0 until its first delete).
+    pub fn generation(&self, stream: StreamId) -> u32 {
+        self.gens.lock().get(&stream).copied().unwrap_or(0)
+    }
+
+    /// Logs a durable chunk write. Call strictly *after* the backend
+    /// write completed durably — the record is the proof of existence
+    /// recovery trusts.
+    pub fn log_commit(
+        &self,
+        key: ChunkKey,
+        rows: u32,
+        is_tail: bool,
+        bytes: &[u8],
+    ) -> Result<(), StorageError> {
+        let rec = JournalRecord::Commit {
+            stream: key.stream,
+            chunk_idx: key.chunk_idx,
+            generation: self.generation(key.stream),
+            rows,
+            is_tail,
+            byte_len: bytes.len() as u64,
+            chunk_crc: crc32(bytes),
+        };
+        self.append(&encode_record(&rec))
+    }
+
+    /// Logs a stream delete and bumps its generation. Call strictly
+    /// *before* the backend wipe — a crash between the two leaves orphan
+    /// chunk files (removed by recovery's sweep), never a resurrected
+    /// stream.
+    pub fn log_delete(&self, stream: StreamId) -> Result<(), StorageError> {
+        let generation = {
+            let mut gens = self.gens.lock();
+            let g = gens.entry(stream).or_insert(0);
+            let killed = *g;
+            *g += 1;
+            killed
+        };
+        self.append(&encode_record(&JournalRecord::Delete {
+            stream,
+            generation,
+        }))
+    }
+
+    fn append(&self, payload: &[u8]) -> Result<(), StorageError> {
+        let mut file = self.file.lock();
+        file.write_all(&frame(payload)).map_err(io_err)?;
+        if self.sync {
+            file.sync_data().map_err(io_err)?;
+        }
+        Ok(())
+    }
+}
+
+fn fsync_dir(dir: &Path) {
+    // Directory fsync pins the journal's directory entry; failure here is
+    // not actionable beyond what the file sync already guaranteed.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hcjournal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            d_model: 8,
+            n_devices: 2,
+            precision: Precision::F16,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The IEEE check value: crc32("123456789") == 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_roundtrip_through_replay() {
+        let root = tmp_root("roundtrip");
+        let j = Journal::create(&root, header(), true).unwrap();
+        let s = StreamId::hidden(7, 3);
+        let key = |i| ChunkKey {
+            stream: s,
+            chunk_idx: i,
+        };
+        j.log_commit(key(0), 64, false, &[1, 2, 3]).unwrap();
+        j.log_commit(key(1), 10, true, &[4, 5]).unwrap();
+        j.log_delete(s).unwrap();
+        j.log_commit(key(0), 64, false, &[6]).unwrap();
+        drop(j);
+
+        let replay = Journal::replay(&root).unwrap();
+        assert_eq!(replay.header, header());
+        assert_eq!(replay.truncated, 0);
+        assert_eq!(replay.records.len(), 4);
+        assert_eq!(
+            replay.records[0],
+            JournalRecord::Commit {
+                stream: s,
+                chunk_idx: 0,
+                generation: 0,
+                rows: 64,
+                is_tail: false,
+                byte_len: 3,
+                chunk_crc: crc32(&[1, 2, 3]),
+            }
+        );
+        assert!(matches!(
+            replay.records[1],
+            JournalRecord::Commit {
+                is_tail: true,
+                rows: 10,
+                ..
+            }
+        ));
+        assert_eq!(
+            replay.records[2],
+            JournalRecord::Delete {
+                stream: s,
+                generation: 0
+            }
+        );
+        // Post-delete commits carry the bumped generation.
+        assert!(matches!(
+            replay.records[3],
+            JournalRecord::Commit { generation: 1, .. }
+        ));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncated() {
+        let root = tmp_root("torn");
+        let j = Journal::create(&root, header(), true).unwrap();
+        let s = StreamId::hidden(1, 0);
+        for i in 0..3 {
+            j.log_commit(
+                ChunkKey {
+                    stream: s,
+                    chunk_idx: i,
+                },
+                64,
+                false,
+                &[i as u8],
+            )
+            .unwrap();
+        }
+        drop(j);
+        let full = std::fs::metadata(journal_path(&root)).unwrap().len();
+        let intact = Journal::replay(&root).unwrap();
+        assert_eq!(intact.consistent_len, full);
+
+        // Cut the file mid-record: the last record must drop, the rest
+        // must survive, and reopen must shrink the file back.
+        let cut = full - 3;
+        let f = OpenOptions::new()
+            .write(true)
+            .open(journal_path(&root))
+            .unwrap();
+        f.set_len(cut).unwrap();
+        drop(f);
+        let (j2, replay) = Journal::reopen(&root, true).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.truncated, cut - replay.consistent_len);
+        assert!(replay.consistent_len < cut);
+        assert_eq!(
+            std::fs::metadata(journal_path(&root)).unwrap().len(),
+            replay.consistent_len
+        );
+        // Appending after the truncation yields a consistent journal again.
+        j2.log_delete(s).unwrap();
+        drop(j2);
+        let replay = Journal::replay(&root).unwrap();
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.truncated, 0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reopen_seeds_generations_from_deletes() {
+        let root = tmp_root("gens");
+        let s = StreamId::hidden(1, 0);
+        let j = Journal::create(&root, header(), true).unwrap();
+        j.log_delete(s).unwrap();
+        j.log_delete(s).unwrap();
+        drop(j);
+        let (j2, _) = Journal::reopen(&root, true).unwrap();
+        assert_eq!(j2.generation(s), 2);
+        assert_eq!(j2.generation(StreamId::hidden(2, 0)), 0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn missing_or_headerless_journal_is_a_typed_error() {
+        let root = tmp_root("noheader");
+        assert!(matches!(Journal::replay(&root), Err(StorageError::Io(_))));
+        std::fs::write(journal_path(&root), b"garbage").unwrap();
+        assert!(matches!(Journal::replay(&root), Err(StorageError::Io(_))));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

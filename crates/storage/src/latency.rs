@@ -103,6 +103,14 @@ impl<B: ChunkStore> ChunkStore for LatencyStore<B> {
         self.inner.delete_stream(stream)
     }
 
+    fn delete_chunk(&self, key: ChunkKey) -> u64 {
+        self.inner.delete_chunk(key)
+    }
+
+    fn chunk_keys(&self) -> Vec<ChunkKey> {
+        self.inner.chunk_keys()
+    }
+
     fn n_devices(&self) -> usize {
         self.inner.n_devices()
     }

@@ -47,10 +47,23 @@
 //! * **Layouts** ([`layout`]): the restoration-optimized layer-major layout
 //!   versus the save-optimized token-major layout, used by the ablation in
 //!   §4.2.1 to quantify read amplification.
+//! * **Crash durability** ([`journal`]): a chunk-generation journal for
+//!   [`backend::FileStore`]-backed managers — every durable chunk write
+//!   and stream delete is logged (with byte length and checksum), so
+//!   [`manager::StorageManager::reopen`] rebuilds every stream's durable
+//!   cursor, partial tail, tombstone generation and exact resident-byte
+//!   accounting after a crash, truncating torn chunks and torn journal
+//!   tails back to the last consistent prefix.
+//! * **Fault injection** ([`fault`]): a [`fault::FaultStore`] wrapper
+//!   that injects typed device errors ([`StorageError::DeviceFailed`]),
+//!   read stalls, torn writes and mid-read hooks at programmable points —
+//!   the executable fault matrix the failure-scenario suite runs against.
 
 pub mod backend;
 pub mod chunk;
 pub mod fanout;
+pub mod fault;
+pub mod journal;
 pub mod latency;
 pub mod layout;
 pub mod manager;
@@ -189,8 +202,23 @@ pub enum StorageError {
         /// Tokens requested (end of range).
         requested: u64,
     },
-    /// Underlying IO failure (file backend).
+    /// Underlying IO failure (file backend) not attributable to one
+    /// chunk operation (directory creation, journal IO, ...).
     Io(String),
+    /// A storage device failed serving one chunk operation. Carries the
+    /// chunk key and the owning device lane so logs and tests can name
+    /// the failing lane; `transient` faults are retried with bounded
+    /// backoff by the manager's read path before surfacing.
+    DeviceFailed {
+        /// Chunk the failing operation addressed.
+        key: crate::chunk::ChunkKey,
+        /// Device lane that failed ([`chunk::device_for`] of the key).
+        device: usize,
+        /// True when a retry may succeed.
+        transient: bool,
+        /// Underlying error description.
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -208,6 +236,18 @@ impl std::fmt::Display for StorageError {
                 "range request to {requested} exceeds {available} saved tokens of {stream:?}"
             ),
             StorageError::Io(e) => write!(f, "io error: {e}"),
+            StorageError::DeviceFailed {
+                key,
+                device,
+                transient,
+                msg,
+            } => write!(
+                f,
+                "device {device} failed{} on chunk {} of {:?}: {msg}",
+                if *transient { " (transient)" } else { "" },
+                key.chunk_idx,
+                key.stream
+            ),
         }
     }
 }

@@ -104,20 +104,108 @@
 //! *reader* whose snapshot cell gets tombstoned mid-IO re-checks the
 //! tombstone after its lock-free phase and retries against the successor
 //! state, so a delete + restart never yields mixed-generation rows.
+//!
+//! # Crash durability: journal + recovery protocol
+//!
+//! A manager with a [`crate::journal::Journal`] attached (built by
+//! [`StorageManager::create_durable`], rebuilt by
+//! [`StorageManager::reopen`]) survives a host crash. The protocol has
+//! two write-ordering rules and one recovery pass:
+//!
+//! * **Chunk commits — write, then log.** Every durable chunk write
+//!   (full chunks in [`StorageManager::append_rows`], flushed tails in
+//!   [`StorageManager::flush_stream`]) completes durably in the backend
+//!   first (temp file + `sync_all` + atomic rename + parent-dir fsync in
+//!   [`crate::backend::FileStore`]) and is *then* journaled as a
+//!   `ChunkCommit` record `(stream, chunk idx, generation, rows, tail
+//!   flag, byte length, chunk CRC32)`. A crash between the two leaves an
+//!   orphan chunk file recovery sweeps away; a present record implies a
+//!   durable chunk whose integrity the CRC can prove.
+//! * **Deletes — log, then wipe.** [`StorageManager::delete_stream`]
+//!   journals a `StreamDelete` record (bumping the stream's generation)
+//!   before wiping the backend. A crash between the two leaves orphan
+//!   chunk files of a dead generation — again removed by the sweep —
+//!   never a resurrected stream.
+//!
+//! **Recovery** ([`StorageManager::reopen`] /
+//! [`StorageManager::recover`]) replays the journal — truncating a torn
+//! journal tail back to the last consistent record by frame CRC — folds
+//! the records into each stream's expected chunk list, then validates
+//! every chunk against the backend in index order: a missing, short or
+//! CRC-mismatching chunk (a torn final write, or bit rot) truncates the
+//! stream at that chunk; a chunk *longer* than journaled with a matching
+//! prefix CRC (a durable tail re-flush that outran its journal record) is
+//! trimmed back to exactly the journaled bytes. The surviving prefix
+//! rebuilds the stream's durable cursor, decoded partial tail,
+//! resident-byte and tail-byte figures — so the freed == tracked
+//! invariant holds across restart — and every backend chunk not named by
+//! a surviving record is deleted. The report
+//! ([`crate::manager::RecoveryReport`]) quantifies all of it.
+//!
+//! # Fault matrix: typed errors and blast radius
+//!
+//! Storage faults surface as **typed** errors with a bounded blast
+//! radius; the failure-scenario suite drives each row of this matrix
+//! through [`crate::fault::FaultStore`]:
+//!
+//! | Fault | Typed error | Blast radius |
+//! |---|---|---|
+//! | Device read error (permanent) | [`StorageError::DeviceFailed`] `{transient: false}` through `read_rows`/`read_rows_streaming` → `RestoreError`/`CtlError`/`SystemError` | The faulted read/session only; sibling restores complete bit-identical |
+//! | Device read error (transient) | Masked by bounded retry-with-backoff ([`READ_RETRY_ATTEMPTS`] attempts) in both the sequential and fanout read paths; surfaces as `DeviceFailed {transient: true}` only if it persists | None when masked |
+//! | Device write error | `DeviceFailed` from `append_rows`/`flush_stream` | The appending stream only |
+//! | Read stall | No error — the lane is slow, not dead; fanout siblings proceed | Latency of the stalled read only |
+//! | Torn chunk write (crash) | Detected at reopen by chunk CRC; stream truncated to last consistent prefix | Rows past the torn chunk of that stream |
+//! | Torn journal tail (crash) | Detected at reopen by frame CRC; journal truncated to last consistent record | The unjournaled suffix of affected streams |
+//! | Mid-restore delete/eviction | [`RowSink::reset`] + retry on the successor generation, or `MissingChunk`/`OutOfRange` — never mixed-generation rows | The deleted stream only |
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use hc_tensor::Tensor2;
 use parking_lot::RwLock;
 
 use crossbeam::channel::bounded;
 
-use crate::backend::{ChunkStore, StoreStats};
+use crate::backend::{ChunkStore, FileStore, StoreStats};
 use crate::chunk::{chunks_for_range, device_for, ChunkKey, ChunkSlice, CHUNK_TOKENS};
 use crate::fanout::FanoutPool;
+use crate::journal::{crc32, Journal, JournalHeader, JournalRecord, JournalReplay};
 use crate::{Precision, StorageError, StreamId};
+
+/// Read attempts before a transient [`StorageError::DeviceFailed`] is
+/// surfaced (the first attempt plus the retries).
+pub const READ_RETRY_ATTEMPTS: usize = 3;
+
+/// Backoff before the first retry of a transient device error; doubles
+/// per attempt.
+const READ_RETRY_BACKOFF: Duration = Duration::from_micros(50);
+
+/// Reads one chunk, retrying *transient* device failures with bounded
+/// exponential backoff (permanent failures and every other error surface
+/// immediately). Shared by the sequential walk, the fanout lanes and the
+/// recovery validation pass, so every read path masks the same blips.
+pub(crate) fn read_chunk_retrying<S: ChunkStore + ?Sized>(
+    store: &S,
+    key: ChunkKey,
+) -> Result<Vec<u8>, StorageError> {
+    let mut backoff = READ_RETRY_BACKOFF;
+    let mut attempt = 1;
+    loop {
+        match store.read_chunk(key) {
+            Err(StorageError::DeviceFailed {
+                transient: true, ..
+            }) if attempt < READ_RETRY_ATTEMPTS => {
+                std::thread::sleep(backoff);
+                backoff *= 2;
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
 
 /// Per-stream append state.
 #[derive(Debug, Default)]
@@ -243,6 +331,10 @@ pub struct StorageManager<S: ChunkStore> {
     /// Sum of every stream's `resident_bytes`, maintained in the same
     /// stream-write critical sections that edit the per-stream figures.
     total_resident: AtomicU64,
+    /// Crash-durability journal (None: metadata is memory-only and a
+    /// crash loses the manager's stream state). See the module docs'
+    /// recovery protocol.
+    journal: Option<Arc<Journal>>,
 }
 
 impl<S: ChunkStore> StorageManager<S> {
@@ -264,7 +356,23 @@ impl<S: ChunkStore> StorageManager<S> {
             fanout: None,
             streams: RwLock::new(HashMap::new()),
             total_resident: AtomicU64::new(0),
+            journal: None,
         }
+    }
+
+    /// Attaches a crash-durability journal: every durable chunk write and
+    /// stream delete is logged so [`StorageManager::recover`] (or
+    /// [`StorageManager::reopen`] for [`FileStore`] managers) can rebuild
+    /// the stream metadata after a crash. The journal must belong to the
+    /// same store root as `store`.
+    pub fn with_journal(mut self, journal: Arc<Journal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The attached crash-durability journal, if any.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
     }
 
     /// Sets the thread budget used for chunk encode/decode. The parallel
@@ -411,8 +519,14 @@ impl<S: ChunkStore> StorageManager<S> {
                 let bytes = self
                     .precision
                     .encode_par(&full, self.d_model, &self.parallel);
-                self.store
-                    .write_chunk(ChunkKey { stream, chunk_idx }, &bytes)?;
+                let key = ChunkKey { stream, chunk_idx };
+                self.store.write_chunk(key, &bytes)?;
+                // Write, then log: the commit record is only appended once
+                // the chunk write completed (durably, on a durable
+                // backend), so a present record always names real bytes.
+                if let Some(journal) = &self.journal {
+                    journal.log_commit(key, CHUNK_TOKENS as u32, false, &bytes)?;
+                }
                 // The full chunk lands at the index a flushed tail (if any)
                 // occupied, replacing those bytes rather than adding to them.
                 let delta = bytes.len() as u64 - state.tail_bytes;
@@ -443,8 +557,14 @@ impl<S: ChunkStore> StorageManager<S> {
             let bytes = self
                 .precision
                 .encode_par(&state.partial, self.d_model, &self.parallel);
-            self.store
-                .write_chunk(ChunkKey { stream, chunk_idx }, &bytes)?;
+            let key = ChunkKey { stream, chunk_idx };
+            self.store.write_chunk(key, &bytes)?;
+            // Write, then log (see append_rows). Tail commits supersede
+            // earlier tail commits at the same index during recovery.
+            if let Some(journal) = &self.journal {
+                let rows = (state.partial.len() / self.d_model) as u32;
+                journal.log_commit(key, rows, true, &bytes)?;
+            }
             // Re-flushing replaces the previous tail image in place.
             let delta = bytes.len() as u64 - state.tail_bytes;
             state.resident_bytes += delta;
@@ -792,10 +912,13 @@ impl<S: ChunkStore> StorageManager<S> {
             // Rows of this chunk that are durable come from the backend;
             // otherwise from the snapshotted partial buffer.
             let rows: Vec<f32> = if Self::slice_is_durable(slice, plan.durable) {
-                let bytes = self.store.read_chunk(ChunkKey {
-                    stream: plan.stream,
-                    chunk_idx: slice.chunk_idx,
-                })?;
+                let bytes = read_chunk_retrying(
+                    self.store.as_ref(),
+                    ChunkKey {
+                        stream: plan.stream,
+                        chunk_idx: slice.chunk_idx,
+                    },
+                )?;
                 self.decode_durable_chunk(plan.stream, slice, &bytes)?
             } else {
                 // Tail chunk: buffer rows start at token n_durable ==
@@ -838,9 +961,12 @@ impl<S: ChunkStore> StorageManager<S> {
             let tx = tx.clone();
             fp.pool.submit(move || {
                 for (i, key) in lane {
-                    // A send error means this reader is gone; drop the
-                    // lane's remaining reads.
-                    if tx.send((i, store.read_chunk(key))).is_err() {
+                    // Transient device blips retry inside the lane, so a
+                    // flaky read costs backoff, not the whole range. A send
+                    // error means this reader is gone; drop the lane's
+                    // remaining reads.
+                    let res = read_chunk_retrying(store.as_ref(), key);
+                    if tx.send((i, res)).is_err() {
                         return;
                     }
                 }
@@ -854,9 +980,7 @@ impl<S: ChunkStore> StorageManager<S> {
         let mut first_err: Option<(usize, StorageError)> = None;
         let mut ended: Option<StreamPhase> = None;
         for (i, key) in fp.fast {
-            match self
-                .store
-                .read_chunk(key)
+            match read_chunk_retrying(self.store.as_ref(), key)
                 .and_then(|bytes| self.decode_durable_chunk(plan.stream, &slices[i], &bytes))
             {
                 Ok(rows) => match self.deliver_slice(plan, cell, sink, i, rows) {
@@ -997,6 +1121,14 @@ impl<S: ChunkStore> StorageManager<S> {
                 state.n_tokens = 0;
                 state.n_durable = 0;
                 self.total_resident.fetch_sub(tracked, Ordering::Relaxed);
+                // Log, then wipe: a crash between the two leaves orphan
+                // chunks of a dead generation (swept at recovery), never a
+                // resurrected stream. The append is best-effort — this
+                // method reports freed bytes, and a journal IO error must
+                // not leave the tombstoned state unwiped.
+                if let Some(journal) = &self.journal {
+                    let _ = journal.log_delete(stream);
+                }
                 let freed = self.store.delete_stream(stream);
                 debug_assert_eq!(
                     freed, tracked,
@@ -1044,12 +1176,259 @@ impl<S: ChunkStore> StorageManager<S> {
     pub fn stats(&self) -> StoreStats {
         self.store.stats()
     }
+
+    /// Rebuilds a journaled manager over `store` from the journal under
+    /// `root` — the generic form of [`StorageManager::reopen`] for
+    /// wrapped backends (e.g. a [`crate::fault::FaultStore`] around the
+    /// reopened [`FileStore`]). `store` must expose the same chunks the
+    /// journal describes and stripe over the journaled device count.
+    pub fn recover(
+        store: Arc<S>,
+        root: impl AsRef<Path>,
+    ) -> Result<(Self, RecoveryReport), StorageError> {
+        let (journal, replay) = Journal::reopen(root.as_ref(), true)?;
+        if store.n_devices() != replay.header.n_devices {
+            return Err(StorageError::Io(format!(
+                "recovery: store stripes over {} devices but the journal was written with {}",
+                store.n_devices(),
+                replay.header.n_devices
+            )));
+        }
+        Self::recover_replayed(store, Arc::new(journal), replay)
+    }
+
+    /// The recovery pass proper: folds the replayed records into each
+    /// stream's expected chunk list, validates every chunk against the
+    /// backend (truncating at the first torn one), rebuilds the stream
+    /// states and sweeps orphan chunks. See the module docs for the full
+    /// protocol.
+    fn recover_replayed(
+        store: Arc<S>,
+        journal: Arc<Journal>,
+        replay: JournalReplay,
+    ) -> Result<(Self, RecoveryReport), StorageError> {
+        /// Per-stream fold of the journal: the full chunks (byte length +
+        /// CRC, indexed by chunk idx) and the current tail commit.
+        #[derive(Default)]
+        struct Fold {
+            full: Vec<(u64, u32)>,
+            tail: Option<(u32, u64, u32)>,
+        }
+
+        let header = replay.header;
+        let mgr =
+            Self::with_precision(store, header.d_model, header.precision).with_journal(journal);
+
+        let mut folds: HashMap<StreamId, Fold> = HashMap::new();
+        for rec in &replay.records {
+            match *rec {
+                JournalRecord::Commit {
+                    stream,
+                    chunk_idx,
+                    rows,
+                    is_tail,
+                    byte_len,
+                    chunk_crc,
+                    ..
+                } => {
+                    let fold = folds.entry(stream).or_default();
+                    // Chunks commit strictly in index order; an
+                    // out-of-order record is journal corruption that
+                    // slipped past the frame CRC — drop it rather than
+                    // fabricate stream state.
+                    if chunk_idx as usize != fold.full.len() {
+                        continue;
+                    }
+                    if is_tail {
+                        // A later tail commit supersedes the earlier image
+                        // at the same index (re-flush replaces in place).
+                        fold.tail = Some((rows, byte_len, chunk_crc));
+                    } else {
+                        // The full chunk absorbs any flushed tail at its
+                        // index.
+                        fold.full.push((byte_len, chunk_crc));
+                        fold.tail = None;
+                    }
+                }
+                // Delete wipes the stream; later commits restart it from
+                // chunk 0 on a fresh fold.
+                JournalRecord::Delete { stream, .. } => {
+                    folds.remove(&stream);
+                }
+            }
+        }
+
+        let mut report = RecoveryReport {
+            journal_bytes_truncated: replay.truncated,
+            ..RecoveryReport::default()
+        };
+        let mut live: HashSet<ChunkKey> = HashSet::new();
+        let mut total: u64 = 0;
+        for (stream, fold) in folds {
+            let mut n_full = 0usize;
+            let mut resident = 0u64;
+            let mut truncated_stream = false;
+            for (i, &(byte_len, crc)) in fold.full.iter().enumerate() {
+                let key = ChunkKey {
+                    stream,
+                    chunk_idx: i as u32,
+                };
+                if mgr.recover_validate_chunk(key, byte_len, crc).is_some() {
+                    n_full = i + 1;
+                    resident += byte_len;
+                    live.insert(key);
+                    report.chunks_recovered += 1;
+                } else {
+                    // Torn/missing: keep the consistent prefix, drop this
+                    // chunk, everything after it and the tail.
+                    report.torn_chunks_discarded +=
+                        (fold.full.len() - i) + usize::from(fold.tail.is_some());
+                    truncated_stream = true;
+                    break;
+                }
+            }
+            let mut partial: Vec<f32> = Vec::new();
+            let mut tail_bytes = 0u64;
+            let mut tail_rows = 0u64;
+            if !truncated_stream {
+                if let Some((rows, byte_len, crc)) = fold.tail {
+                    let key = ChunkKey {
+                        stream,
+                        chunk_idx: n_full as u32,
+                    };
+                    let decoded = mgr
+                        .recover_validate_chunk(key, byte_len, crc)
+                        .map(|bytes| mgr.precision.decode_par(&bytes, mgr.d_model, &mgr.parallel));
+                    match decoded {
+                        Some(rows_f32) if rows_f32.len() == rows as usize * mgr.d_model => {
+                            partial = rows_f32;
+                            tail_bytes = byte_len;
+                            tail_rows = rows as u64;
+                            resident += byte_len;
+                            live.insert(key);
+                            report.chunks_recovered += 1;
+                        }
+                        _ => report.torn_chunks_discarded += 1,
+                    }
+                }
+            }
+            if n_full == 0 && tail_rows == 0 {
+                // Nothing of the stream survived; its stray files (if
+                // any) fall to the orphan sweep.
+                continue;
+            }
+            report.streams_recovered += 1;
+            let n_durable = n_full as u64 * CHUNK_TOKENS;
+            let state = StreamState {
+                n_tokens: n_durable + tail_rows,
+                n_durable,
+                partial,
+                resident_bytes: resident,
+                tail_bytes,
+                deleted: false,
+            };
+            total += resident;
+            mgr.streams
+                .write()
+                .insert(stream, Arc::new(RwLock::new(state)));
+        }
+
+        // Orphan sweep: chunks the backend holds but no surviving record
+        // names — unjournaled writes the crash outran, wipes the crash
+        // interrupted, or truncated suffixes.
+        for key in mgr.store.chunk_keys() {
+            if !live.contains(&key) {
+                mgr.store.delete_chunk(key);
+                report.orphan_chunks_removed += 1;
+            }
+        }
+        mgr.total_resident.store(total, Ordering::Relaxed);
+        report.resident_bytes = total;
+        Ok((mgr, report))
+    }
+
+    /// Validates one journaled chunk against the backend: present, at
+    /// least the journaled length, and CRC-matching over the journaled
+    /// prefix. A longer backend image with a matching prefix (a durable
+    /// re-flush that outran its journal record) is trimmed back to the
+    /// journaled bytes so the resident accounting stays exact. `None`
+    /// means torn/missing — the caller truncates the stream here.
+    fn recover_validate_chunk(&self, key: ChunkKey, byte_len: u64, crc: u32) -> Option<Vec<u8>> {
+        let mut bytes = read_chunk_retrying(self.store.as_ref(), key).ok()?;
+        let want = byte_len as usize;
+        if bytes.len() < want || crc32(&bytes[..want]) != crc {
+            return None;
+        }
+        if bytes.len() > want {
+            bytes.truncate(want);
+            self.store.write_chunk(key, &bytes).ok()?;
+        }
+        Some(bytes)
+    }
+}
+
+impl StorageManager<FileStore> {
+    /// Creates a crash-durable manager: a fresh [`FileStore`] under
+    /// `root` (fsyncing writes) plus a fresh journal, so
+    /// [`StorageManager::reopen`] can rebuild the manager after a crash.
+    pub fn create_durable(
+        root: impl Into<std::path::PathBuf>,
+        n_devices: usize,
+        d_model: usize,
+        precision: Precision,
+    ) -> Result<Self, StorageError> {
+        let root = root.into();
+        let store = Arc::new(FileStore::new(&root, n_devices)?);
+        let journal = Arc::new(Journal::create(
+            &root,
+            JournalHeader {
+                d_model,
+                n_devices,
+                precision,
+            },
+            true,
+        )?);
+        Ok(Self::with_precision(store, d_model, precision).with_journal(journal))
+    }
+
+    /// Reopens a crash-durable store root: replays the journal (itself
+    /// truncated past any torn tail), rescans the chunk files, and
+    /// rebuilds every stream's durable cursor, partial tail and exact
+    /// resident-byte accounting — the kill-and-reopen path. The report
+    /// says what was recovered and what the crash tore.
+    pub fn reopen(root: impl AsRef<Path>) -> Result<(Self, RecoveryReport), StorageError> {
+        let (journal, replay) = Journal::reopen(root.as_ref(), true)?;
+        let store = Arc::new(FileStore::open(root.as_ref(), replay.header.n_devices)?);
+        Self::recover_replayed(store, Arc::new(journal), replay)
+    }
+}
+
+/// What [`StorageManager::reopen`] / [`StorageManager::recover`]
+/// rebuilt — and what the crash cost.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Streams rebuilt with at least one surviving chunk.
+    pub streams_recovered: usize,
+    /// Chunks validated (present + CRC-intact) and re-tracked.
+    pub chunks_recovered: usize,
+    /// Journaled chunks dropped because the backend image was missing,
+    /// short or CRC-mismatching (each drops its stream's suffix too).
+    pub torn_chunks_discarded: usize,
+    /// Backend chunks no surviving journal record names, deleted by the
+    /// sweep.
+    pub orphan_chunks_removed: usize,
+    /// Torn journal-tail bytes truncated at replay.
+    pub journal_bytes_truncated: u64,
+    /// Total resident bytes after recovery (equals the rebuilt
+    /// [`StorageManager::total_resident_bytes`]).
+    pub resident_bytes: u64,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::backend::MemStore;
+    use crate::fault::{FaultStore, FaultTarget};
     use hc_tensor::f16::f16_roundtrip;
 
     const D: usize = 8;
@@ -1380,86 +1759,19 @@ mod tests {
         assert_eq!(m.total_resident_bytes(), 0);
     }
 
-    /// MemStore wrapper whose Nth read fires a one-shot hook — lets a test
-    /// deterministically interleave a delete/restart inside a reader's
-    /// lock-free IO phase (legal: read_rows holds no lock there), either
-    /// before the first chunk lands or in the middle of a streaming read.
-    struct HookStore {
-        inner: MemStore,
-        on_read: parking_lot::Mutex<Option<Box<dyn FnMut() + Send>>>,
-        reads_seen: std::sync::atomic::AtomicUsize,
-        fire_on_read: std::sync::atomic::AtomicUsize,
-    }
-
-    impl HookStore {
-        fn new(n_devices: usize) -> Self {
-            Self {
-                inner: MemStore::new(n_devices),
-                on_read: parking_lot::Mutex::new(None),
-                reads_seen: std::sync::atomic::AtomicUsize::new(0),
-                fire_on_read: std::sync::atomic::AtomicUsize::new(0),
-            }
-        }
-
-        /// Arms the hook for the next read (the historical behavior).
-        fn set_on_read(&self, f: impl FnMut() + Send + 'static) {
-            self.set_on_read_at(0, f);
-        }
-
-        /// Arms the hook to fire on the `idx`-th read from now (0-based).
-        fn set_on_read_at(&self, idx: usize, f: impl FnMut() + Send + 'static) {
-            use std::sync::atomic::Ordering;
-            self.reads_seen.store(0, Ordering::SeqCst);
-            self.fire_on_read.store(idx, Ordering::SeqCst);
-            *self.on_read.lock() = Some(Box::new(f));
-        }
-    }
-
-    impl ChunkStore for HookStore {
-        fn write_chunk(&self, key: ChunkKey, data: &[u8]) -> Result<(), StorageError> {
-            self.inner.write_chunk(key, data)
-        }
-
-        fn read_chunk(&self, key: ChunkKey) -> Result<Vec<u8>, StorageError> {
-            use std::sync::atomic::Ordering;
-            let n = self.reads_seen.fetch_add(1, Ordering::SeqCst);
-            if n == self.fire_on_read.load(Ordering::SeqCst) {
-                let hook = self.on_read.lock().take();
-                if let Some(mut f) = hook {
-                    f();
-                }
-            }
-            self.inner.read_chunk(key)
-        }
-
-        fn contains(&self, key: ChunkKey) -> bool {
-            self.inner.contains(key)
-        }
-
-        fn delete_stream(&self, stream: StreamId) -> u64 {
-            self.inner.delete_stream(stream)
-        }
-
-        fn n_devices(&self) -> usize {
-            self.inner.n_devices()
-        }
-
-        fn stats(&self) -> StoreStats {
-            self.inner.stats()
-        }
-    }
-
     #[test]
     fn read_racing_delete_and_restart_never_mixes_generations() {
         // Generation-ABA regression: the stream is deleted and rewritten
-        // (same chunk keys, different rows) while a reader is mid-IO. The
+        // (same chunk keys, different rows) while a reader is mid-IO —
+        // legal, because read_rows holds no lock there. A FaultStore read
+        // hook interleaves the delete/restart deterministically. The
         // reader must return the *new* generation wholesale, never a mix.
-        let store = Arc::new(HookStore::new(2));
+        let store = Arc::new(FaultStore::new(Arc::new(MemStore::new(2))));
         let mgr = Arc::new(StorageManager::new(Arc::clone(&store), D));
         let s = StreamId::hidden(1, 0);
         mgr.append_rows(s, &rows(128, 1)).unwrap(); // generation 1: 2 chunks
         let mgr2 = Arc::clone(&mgr);
-        store.set_on_read(move || {
+        store.on_nth_read(0, move || {
             // Fires inside the reader's first chunk fetch.
             mgr2.delete_stream(s);
             mgr2.append_rows(s, &rows(128, 2)).unwrap(); // generation 2
@@ -1567,12 +1879,12 @@ mod tests {
         // reused chunk keys) fires inside a pool worker's first fetch, and
         // the post-IO tombstone revalidation must still retry the read
         // wholesale onto generation 2.
-        let store = Arc::new(HookStore::new(2));
+        let store = Arc::new(FaultStore::new(Arc::new(MemStore::new(2))));
         let mgr = Arc::new(StorageManager::new(Arc::clone(&store), D).with_read_fanout(4));
         let s = StreamId::hidden(1, 0);
         mgr.append_rows(s, &rows(128, 1)).unwrap(); // generation 1: 2 chunks
         let mgr2 = Arc::clone(&mgr);
-        store.set_on_read(move || {
+        store.on_nth_read(0, move || {
             mgr2.delete_stream(s);
             mgr2.append_rows(s, &rows(128, 2)).unwrap(); // generation 2
         });
@@ -1773,14 +2085,14 @@ mod tests {
         // same-size re-append fires inside the second chunk's fetch, after
         // chunk 0 was already delivered. The per-chunk revalidation must
         // reset the sink and redeliver generation 2 wholesale.
-        let store = Arc::new(HookStore::new(2));
+        let store = Arc::new(FaultStore::new(Arc::new(MemStore::new(2))));
         let mgr = Arc::new(StorageManager::new(Arc::clone(&store), D));
         let s = StreamId::hidden(1, 0);
         mgr.append_rows(s, &rows(128, 1)).unwrap(); // generation 1: 2 chunks
         let mgr2 = Arc::clone(&mgr);
         // Fire inside the *second* chunk fetch: chunk 0 has already been
         // delivered to the sink by then.
-        store.set_on_read_at(1, move || {
+        store.on_nth_read(1, move || {
             mgr2.delete_stream(s);
             mgr2.append_rows(s, &rows(128, 2)).unwrap(); // generation 2
         });
@@ -1820,5 +2132,289 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn transient_device_faults_are_masked_by_bounded_retry() {
+        let store = Arc::new(FaultStore::new(Arc::new(MemStore::new(2))));
+        let m = StorageManager::new(Arc::clone(&store), D);
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(128, 3)).unwrap();
+        let expect = m.read_rows(s, 0, 128).unwrap();
+        // One charge fewer than the attempt budget: the last retry lands.
+        store.fail_reads(FaultTarget::Any, READ_RETRY_ATTEMPTS - 1, true);
+        assert_eq!(m.read_rows(s, 0, 128).unwrap(), expect);
+        assert_eq!(store.reads_failed() as usize, READ_RETRY_ATTEMPTS - 1);
+    }
+
+    #[test]
+    fn persistent_transient_faults_exhaust_the_retry_budget() {
+        let store = Arc::new(FaultStore::new(Arc::new(MemStore::new(2))));
+        let m = StorageManager::new(Arc::clone(&store), D);
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(64, 1)).unwrap();
+        let k0 = ChunkKey {
+            stream: s,
+            chunk_idx: 0,
+        };
+        store.fail_reads(FaultTarget::Key(k0), READ_RETRY_ATTEMPTS, true);
+        let err = m.read_rows(s, 0, 64).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StorageError::DeviceFailed {
+                    transient: true,
+                    ..
+                }
+            ),
+            "exhausted retries must surface the transient fault: {err:?}"
+        );
+        assert_eq!(store.reads_failed() as usize, READ_RETRY_ATTEMPTS);
+    }
+
+    #[test]
+    fn permanent_device_faults_surface_without_retry() {
+        let store = Arc::new(FaultStore::new(Arc::new(MemStore::new(2))));
+        let m = StorageManager::new(Arc::clone(&store), D);
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(64, 1)).unwrap();
+        let k0 = ChunkKey {
+            stream: s,
+            chunk_idx: 0,
+        };
+        store.fail_reads(FaultTarget::Key(k0), 1, false);
+        let err = m.read_rows(s, 0, 64).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::DeviceFailed {
+                key: k0,
+                device: device_for(&k0, 2),
+                transient: false,
+                msg: "injected device read failure".into(),
+            }
+        );
+        assert_eq!(store.reads_failed(), 1, "permanent faults get no retry");
+    }
+
+    #[test]
+    fn fanout_surfaces_the_lowest_faulted_slice() {
+        // Permanent faults on chunks 1 and 3: the fanout read must report
+        // chunk 1 (what a sequential walk hits first), regardless of
+        // completion order.
+        let store = Arc::new(FaultStore::new(Arc::new(MemStore::new(4))));
+        let m = StorageManager::new(Arc::clone(&store), D).with_read_fanout(4);
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(256, 1)).unwrap();
+        for idx in [1u32, 3] {
+            store.fail_reads(
+                FaultTarget::Key(ChunkKey {
+                    stream: s,
+                    chunk_idx: idx,
+                }),
+                1,
+                false,
+            );
+        }
+        let err = m.read_rows(s, 0, 256).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StorageError::DeviceFailed {
+                    key: ChunkKey { chunk_idx: 1, .. },
+                    transient: false,
+                    ..
+                }
+            ),
+            "lowest faulted slice must win: {err:?}"
+        );
+    }
+
+    fn tmp_root(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("hcmgr-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn reopen_rebuilds_streams_bit_identical_with_exact_accounting() {
+        let root = tmp_root("reopen");
+        let s = StreamId::hidden(1, 0);
+        let s2 = StreamId::key(2, 1);
+        let (expect, expect2, resident) = {
+            let m = StorageManager::create_durable(&root, 2, D, crate::Precision::F16).unwrap();
+            m.append_rows(s, &rows(200, 3)).unwrap(); // 3 chunks + 8-row tail
+            m.flush_stream(s).unwrap();
+            // 64 durable + 6 buffered rows; the buffer is never flushed,
+            // so a crash loses exactly those 6 rows and nothing else.
+            m.append_rows(s2, &rows(70, 5)).unwrap();
+            (
+                m.read_rows(s, 0, 200).unwrap(),
+                m.read_rows(s2, 0, 64).unwrap(),
+                m.total_resident_bytes(),
+            )
+        };
+        let (m2, report) = StorageManager::reopen(&root).unwrap();
+        assert_eq!(report.streams_recovered, 2);
+        assert_eq!(report.torn_chunks_discarded, 0);
+        assert_eq!(report.journal_bytes_truncated, 0);
+        assert_eq!(report.resident_bytes, resident);
+        assert_eq!(m2.total_resident_bytes(), resident);
+        assert_eq!(m2.n_tokens(s), 200);
+        assert_eq!(m2.n_tokens(s2), 64, "unflushed buffer rows are lost");
+        assert_eq!(m2.read_rows(s, 0, 200).unwrap(), expect);
+        assert_eq!(m2.read_rows(s2, 0, 64).unwrap(), expect2);
+        // freed == tracked holds across the restart.
+        let freed = m2.delete_stream(s) + m2.delete_stream(s2);
+        assert_eq!(freed, resident);
+        assert_eq!(m2.total_resident_bytes(), 0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reopened_tail_extends_and_reflushes_bit_identically() {
+        // Appending across the reopen boundary must match a never-crashed
+        // manager: the recovered tail re-encodes byte-identically (f16
+        // round-trip is idempotent), completes into a full chunk, and the
+        // stream keeps growing.
+        let root = tmp_root("extend");
+        let s = StreamId::hidden(1, 0);
+        let all = rows(150, 7);
+        {
+            let m = StorageManager::create_durable(&root, 2, D, crate::Precision::F16).unwrap();
+            let head = Tensor2::from_fn(100, D, |r, c| all.get(r, c));
+            m.append_rows(s, &head).unwrap();
+            m.flush_stream(s).unwrap();
+        }
+        let (m2, _) = StorageManager::reopen(&root).unwrap();
+        let tail = Tensor2::from_fn(50, D, |r, c| all.get(100 + r, c));
+        m2.append_rows(s, &tail).unwrap();
+        m2.flush_stream(s).unwrap();
+        let reference = mgr();
+        reference.append_rows(s, &all).unwrap();
+        assert_eq!(
+            m2.read_rows(s, 0, 150).unwrap(),
+            reference.read_rows(s, 0, 150).unwrap()
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reopen_recovers_the_post_delete_generation_only() {
+        let root = tmp_root("regen");
+        let s = StreamId::hidden(1, 0);
+        let (expect, resident) = {
+            let m = StorageManager::create_durable(&root, 2, D, crate::Precision::F16).unwrap();
+            m.append_rows(s, &rows(128, 1)).unwrap(); // generation 0
+            m.delete_stream(s);
+            m.append_rows(s, &rows(64, 9)).unwrap(); // generation 1
+            (m.read_rows(s, 0, 64).unwrap(), m.total_resident_bytes())
+        };
+        let (m2, report) = StorageManager::reopen(&root).unwrap();
+        assert_eq!(report.streams_recovered, 1);
+        assert_eq!(m2.n_tokens(s), 64);
+        assert_eq!(m2.read_rows(s, 0, 64).unwrap(), expect);
+        assert_eq!(m2.total_resident_bytes(), resident);
+        // The journal's generation counter survived the restart too.
+        assert_eq!(m2.journal().unwrap().generation(s), 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reopen_truncates_a_torn_final_chunk_by_checksum() {
+        let root = tmp_root("tornchunk");
+        let s = StreamId::hidden(1, 0);
+        {
+            let m = StorageManager::create_durable(&root, 2, D, crate::Precision::F16).unwrap();
+            m.append_rows(s, &rows(128, 1)).unwrap(); // chunks 0 and 1
+        }
+        // Tear chunk 1 on disk (simulates a torn write the journal already
+        // vouched for): recovery must unmask it by chunk CRC and truncate
+        // the stream to chunk 0.
+        let k1 = ChunkKey {
+            stream: s,
+            chunk_idx: 1,
+        };
+        let torn = root.join(format!("dev{}/s1_l0_h_c1.bin", device_for(&k1, 2)));
+        let len = std::fs::metadata(&torn).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&torn)
+            .unwrap()
+            .set_len(len / 2)
+            .unwrap();
+        let (m2, report) = StorageManager::reopen(&root).unwrap();
+        assert_eq!(report.chunks_recovered, 1);
+        assert_eq!(report.torn_chunks_discarded, 1);
+        assert_eq!(
+            report.orphan_chunks_removed, 1,
+            "the torn chunk's file is swept"
+        );
+        assert_eq!(m2.n_tokens(s), 64);
+        let reference = mgr();
+        reference.append_rows(s, &rows(128, 1)).unwrap();
+        assert_eq!(
+            m2.read_rows(s, 0, 64).unwrap(),
+            reference.read_rows(s, 0, 64).unwrap()
+        );
+        let tracked = m2.total_resident_bytes();
+        assert_eq!(tracked, report.resident_bytes);
+        assert_eq!(m2.delete_stream(s), tracked, "freed == tracked");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reopen_after_torn_journal_tail_drops_the_unjournaled_suffix() {
+        let root = tmp_root("tornjournal");
+        let s = StreamId::hidden(1, 0);
+        {
+            let m = StorageManager::create_durable(&root, 2, D, crate::Precision::F16).unwrap();
+            m.append_rows(s, &rows(128, 1)).unwrap(); // chunks 0 and 1 journaled
+        }
+        // Tear the journal mid-way through the last commit record: chunk 1
+        // is durable on disk but no longer vouched for.
+        let jpath = crate::journal::journal_path(&root);
+        let len = std::fs::metadata(&jpath).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&jpath)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        let (m2, report) = StorageManager::reopen(&root).unwrap();
+        assert!(report.journal_bytes_truncated > 0);
+        assert_eq!(m2.n_tokens(s), 64);
+        assert_eq!(
+            report.orphan_chunks_removed, 1,
+            "the unjournaled durable chunk is swept"
+        );
+        let reference = mgr();
+        reference.append_rows(s, &rows(128, 1)).unwrap();
+        assert_eq!(
+            m2.read_rows(s, 0, 64).unwrap(),
+            reference.read_rows(s, 0, 64).unwrap()
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn recover_runs_against_a_wrapped_store() {
+        // The generic recovery entry point accepts a wrapper (here a
+        // FaultStore around the reopened FileStore), so the fault matrix
+        // can drive recovery itself through injected faults.
+        let root = tmp_root("wrapped");
+        let s = StreamId::hidden(1, 0);
+        let expect = {
+            let m = StorageManager::create_durable(&root, 2, D, crate::Precision::F16).unwrap();
+            m.append_rows(s, &rows(64, 2)).unwrap();
+            m.read_rows(s, 0, 64).unwrap()
+        };
+        let inner = Arc::new(FileStore::open(&root, 2).unwrap());
+        let store = Arc::new(FaultStore::new(inner));
+        // A transient blip during recovery's validation pass is retried.
+        store.fail_reads(FaultTarget::Any, 1, true);
+        let (m2, report) = StorageManager::recover(Arc::clone(&store), &root).unwrap();
+        assert_eq!(report.streams_recovered, 1);
+        assert_eq!(m2.read_rows(s, 0, 64).unwrap(), expect);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 }

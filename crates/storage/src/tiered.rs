@@ -225,6 +225,22 @@ impl<B: ChunkStore> ChunkStore for TieredStore<B> {
         self.back.delete_stream(stream)
     }
 
+    fn delete_chunk(&self, key: ChunkKey) -> u64 {
+        // Purge the DRAM shadow too, so a recovery sweep cannot leave a
+        // stale front copy serving a deleted chunk.
+        {
+            let mut front = self.front.lock();
+            if let Some((old, _)) = front.chunks.remove(&key) {
+                front.used_bytes -= old.len() as u64;
+            }
+        }
+        self.back.delete_chunk(key)
+    }
+
+    fn chunk_keys(&self) -> Vec<ChunkKey> {
+        self.back.chunk_keys()
+    }
+
     fn n_devices(&self) -> usize {
         self.back.n_devices()
     }

@@ -1,0 +1,252 @@
+//! The executable fault matrix: every storage-fault class from the
+//! `hc-storage` manager docs, driven through the full restore stack
+//! (`FaultStore` → `StorageManager` → `CacheController` →
+//! `RestoreScheduler`). The acceptance bar for each row: the fault
+//! surfaces as a *typed* error naming the failing chunk and device, its
+//! blast radius is exactly one session, and every sibling session
+//! restores bit-identical to an unfaulted run.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hc_cachectl::scheduler::{RestoreJob, RestoreScheduler};
+use hc_cachectl::{CacheController, ControllerConfig, CtlError};
+use hc_model::{KvCache, Model, ModelConfig};
+use hc_restore::engine::{kv_max_error, restore_session_with_methods, save_session_state};
+use hc_sched::partition::PartitionScheme;
+use hc_storage::backend::MemStore;
+use hc_storage::chunk::ChunkKey;
+use hc_storage::fault::{FaultStore, FaultTarget};
+use hc_storage::manager::{StorageManager, READ_RETRY_ATTEMPTS};
+use hc_storage::{StorageError, StreamId};
+use hc_tensor::ParallelConfig;
+
+const N_TOKENS: usize = 70;
+
+type Store = FaultStore<MemStore>;
+
+/// Three saved sessions over a fault-injecting store, with sequential
+/// restore references captured *before* any fault is armed.
+struct Rig {
+    model: Model,
+    store: Arc<Store>,
+    mgr: Arc<StorageManager<Store>>,
+    ctl: CacheController<Store>,
+    jobs: Vec<RestoreJob>,
+    references: std::collections::HashMap<u64, KvCache>,
+}
+
+fn rig() -> Rig {
+    let cfg = ModelConfig::tiny_llama();
+    let model = Model::new(&cfg, 31);
+    let store = Arc::new(FaultStore::new(Arc::new(MemStore::new(4))));
+    let mgr = Arc::new(StorageManager::new(Arc::clone(&store), cfg.d_model));
+    let ctl = CacheController::new(
+        Arc::clone(&mgr),
+        cfg.n_layers,
+        cfg.d_model,
+        ControllerConfig::unlimited(),
+    );
+    let scheme = PartitionScheme::pure_hidden(cfg.n_layers);
+    let mut jobs = Vec::new();
+    let mut references = std::collections::HashMap::new();
+    for s in 1..=3u64 {
+        let methods = ctl.open_session(s, &scheme);
+        let tokens: Vec<u32> = (0..N_TOKENS as u32)
+            .map(|i| (i * 13 + s as u32) % 256)
+            .collect();
+        let mut kv = KvCache::new(&cfg);
+        let out = model.prefill(&tokens, &mut kv, true);
+        save_session_state(
+            &model,
+            &mgr,
+            s,
+            &out.hidden_per_layer.unwrap(),
+            &kv,
+            &scheme,
+        )
+        .unwrap();
+        ctl.on_saved(s, N_TOKENS as u64).unwrap();
+        let seq =
+            restore_session_with_methods(&model, &mgr, s, &tokens, N_TOKENS, &methods).unwrap();
+        references.insert(s, seq);
+        jobs.push(RestoreJob { session: s, tokens });
+    }
+    Rig {
+        model,
+        store,
+        mgr,
+        ctl,
+        jobs,
+        references,
+    }
+}
+
+fn run_sched(r: &Rig) -> Vec<(u64, Result<KvCache, CtlError>)> {
+    RestoreScheduler::new(2, ParallelConfig::new(4)).run(&r.model, &r.ctl, &r.jobs)
+}
+
+fn assert_sibling_bit_identical(r: &Rig, session: u64, result: Result<KvCache, CtlError>) {
+    let kv = result.unwrap_or_else(|e| panic!("healthy session {session} failed: {e}"));
+    assert_eq!(
+        kv_max_error(&kv, &r.references[&session]),
+        0.0,
+        "session {session} must restore bit-identical despite the sibling's fault"
+    );
+}
+
+/// Matrix row 1: a permanent device read error fails exactly the faulted
+/// session, with a typed error naming the chunk and its device lane.
+#[test]
+fn permanent_device_fault_fails_exactly_one_session() {
+    let r = rig();
+    // Every read of session 2's layer-1 hidden stream fails permanently.
+    r.store.fail_reads(
+        FaultTarget::Stream(StreamId::hidden(2, 1)),
+        usize::MAX,
+        false,
+    );
+    for (session, result) in run_sched(&r) {
+        if session == 2 {
+            match result {
+                Err(CtlError::Storage(StorageError::DeviceFailed {
+                    key,
+                    transient: false,
+                    ..
+                })) => {
+                    assert_eq!(key.stream.session, 2, "error must name the faulted stream");
+                }
+                other => panic!("expected a typed DeviceFailed, got {other:?}"),
+            }
+        } else {
+            assert_sibling_bit_identical(&r, session, result);
+        }
+    }
+}
+
+/// Matrix row 2: transient device errors within the retry budget are
+/// masked end to end — every session completes bit-identical.
+#[test]
+fn transient_device_faults_are_masked_end_to_end() {
+    let r = rig();
+    r.store
+        .fail_reads(FaultTarget::Any, READ_RETRY_ATTEMPTS - 1, true);
+    for (session, result) in run_sched(&r) {
+        assert_sibling_bit_identical(&r, session, result);
+    }
+    assert_eq!(
+        r.store.reads_failed() as usize,
+        READ_RETRY_ATTEMPTS - 1,
+        "the injected blips must actually have fired"
+    );
+}
+
+/// Matrix row 3: a device write error surfaces typed from the save path,
+/// naming the chunk whose write failed.
+#[test]
+fn device_write_fault_surfaces_typed_from_save() {
+    let r = rig();
+    let cfg = ModelConfig::tiny_llama();
+    let scheme = PartitionScheme::pure_hidden(cfg.n_layers);
+    r.ctl.open_session(9, &scheme);
+    let victim = StreamId::hidden(9, 0);
+    r.store.fail_writes(FaultTarget::Stream(victim), 1, false);
+    let tokens: Vec<u32> = (0..N_TOKENS as u32).map(|i| (i * 7 + 9) % 256).collect();
+    let mut kv = KvCache::new(&cfg);
+    let out = r.model.prefill(&tokens, &mut kv, true);
+    let err = save_session_state(
+        &r.model,
+        &r.mgr,
+        9,
+        &out.hidden_per_layer.unwrap(),
+        &kv,
+        &scheme,
+    )
+    .unwrap_err();
+    match err {
+        StorageError::DeviceFailed {
+            key,
+            transient: false,
+            ..
+        } => {
+            assert_eq!(key.stream, victim);
+            assert_eq!(
+                key,
+                ChunkKey {
+                    stream: victim,
+                    chunk_idx: 0
+                }
+            );
+        }
+        other => panic!("expected DeviceFailed from the save path, got {other:?}"),
+    }
+    assert_eq!(r.store.writes_failed(), 1);
+}
+
+/// Matrix row 4: a read stall delays but never fails — all sessions
+/// complete bit-identical through a slow lane.
+#[test]
+fn stalled_device_reads_complete_bit_identical() {
+    let r = rig();
+    r.store
+        .stall_reads(FaultTarget::Device(1), Duration::from_micros(300));
+    for (session, result) in run_sched(&r) {
+        assert_sibling_bit_identical(&r, session, result);
+    }
+}
+
+/// Matrix row 5: a delete racing the restore run fails only the deleted
+/// session with a typed storage error; siblings restore bit-identical.
+#[test]
+fn mid_restore_delete_race_fails_only_the_deleted_session() {
+    let r = rig();
+    let mgr2 = Arc::clone(&r.mgr);
+    // Fire at the first chunk read of the scheduler run: session 2's
+    // streams vanish while (or just before) its restore walks them.
+    r.store.on_nth_read(0, move || {
+        mgr2.delete_session(2);
+    });
+    for (session, result) in run_sched(&r) {
+        if session == 2 {
+            assert!(
+                matches!(result, Err(CtlError::Storage(_))),
+                "deleted session must fail typed, got {result:?}"
+            );
+        } else {
+            assert_sibling_bit_identical(&r, session, result);
+        }
+    }
+}
+
+/// The typed propagation chain: a `DeviceFailed` keeps its chunk key and
+/// device lane intact through `RestoreError` → `CtlError` →
+/// `SystemError`.
+#[test]
+fn device_failed_payload_survives_the_error_chain() {
+    let key = ChunkKey {
+        stream: StreamId::hidden(4, 2),
+        chunk_idx: 3,
+    };
+    let storage = StorageError::DeviceFailed {
+        key,
+        device: 1,
+        transient: false,
+        msg: "injected device read failure".into(),
+    };
+    let restore = hc_restore::engine::RestoreError::from(storage);
+    let ctl = CtlError::from(restore);
+    let system = hcache::SystemError::from(ctl);
+    match system {
+        hcache::SystemError::Storage(StorageError::DeviceFailed {
+            key: k,
+            device,
+            transient,
+            ..
+        }) => {
+            assert_eq!(k, key);
+            assert_eq!(device, 1);
+            assert!(!transient);
+        }
+        other => panic!("payload lost in the chain: {other:?}"),
+    }
+}
