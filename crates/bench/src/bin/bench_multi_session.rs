@@ -16,6 +16,12 @@
 //!   (unlimited → ½ → ¼ of the working set) and restore everything
 //!   concurrently; reports demotions/fallbacks/hit ratio and the restore
 //!   cost of the demoted pool.
+//! * **High-concurrency sweep** — ≥1k KV-offload sessions on the 4-device
+//!   latency-modeled store, restored once thread-per-lane (the scheduler's
+//!   worker pool, no reactor) and once through the event-driven IO reactor
+//!   at the same 4-thread budget. Emits the headline
+//!   `reactor_speedup_vs_thread_per_lane` (gated), the peak
+//!   `restores_in_flight` gauge, and per-session TTFR percentiles.
 //!
 //! Before any timing, every scheduled restore is checked **bit-identical**
 //! to the sequential methods-based restore of the same session — the
@@ -26,13 +32,18 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use std::time::Duration;
+
 use hc_cachectl::scheduler::{RestoreJob, RestoreScheduler};
 use hc_cachectl::{CacheController, ControllerConfig};
 use hc_model::{KvCache, Model, ModelConfig, NormKind, PosKind};
-use hc_restore::engine::{kv_max_error, restore_session_with_methods};
+use hc_restore::engine::{kv_max_error, restore_session_with_methods, RestoreRequest};
+use hc_restore::reactor::restore_sessions_reactor;
 use hc_sched::partition::{LayerMethod, PartitionScheme};
-use hc_storage::backend::FileStore;
+use hc_storage::backend::{FileStore, MemStore};
+use hc_storage::latency::LatencyStore;
 use hc_storage::manager::StorageManager;
+use hc_storage::reactor::Reactor;
 use hc_storage::StreamId;
 use hc_tensor::ParallelConfig;
 use hc_workload::arrival::poisson_arrivals;
@@ -165,6 +176,139 @@ fn verify(
     }
 }
 
+/// Token patterns shared across the high-concurrency fixture: sessions of
+/// one pattern carry identical saved state, so thousands of sessions cost
+/// [`HC_PATTERNS`] prefills to build and one sequential reference restore
+/// each to verify.
+const HC_PATTERNS: u64 = 16;
+/// Exactly one full storage chunk per stream: every restore's state is
+/// durable in the backend and comes back through device IO, not from an
+/// in-memory tail.
+const HC_TOKENS: usize = 64;
+/// The host grant both engines get: 4 scheduler workers / reactor compute
+/// workers.
+const HC_THREADS: usize = 4;
+const HC_IODEPTH: usize = 8;
+const HC_INFLIGHT: usize = 256;
+
+fn hc_tokens(pattern: u64) -> Vec<u32> {
+    (0..HC_TOKENS as u32)
+        .map(|i| (i * 37 + pattern as u32 * 13 + 5) % 256)
+        .collect()
+}
+
+/// Modeled device read latency. 1ms keeps restores IO-wait dominated even
+/// on a small host, which is the regime the reactor exists for: the
+/// thread-per-lane path can hold at most one read in flight per scheduler
+/// worker, while the reactor keeps every device queue full.
+const HC_READ_LATENCY: Duration = Duration::from_millis(1);
+
+/// The high-concurrency store stack: 4 latency-modeled devices over DRAM.
+type HcStore = LatencyStore<MemStore>;
+/// Manager + controller + Poisson-ordered jobs for one engine under test.
+type HcFixture = (
+    Arc<StorageManager<HcStore>>,
+    CacheController<HcStore>,
+    Vec<RestoreJob>,
+);
+
+/// KV-offload-only fixture on the 4-device latency-modeled store. Same
+/// deterministic content whether or not a reactor is attached.
+fn build_hc_fixture(
+    spec: &BenchSpec,
+    model: &Model,
+    n_sessions: usize,
+    reactor: Option<Arc<Reactor>>,
+) -> HcFixture {
+    let store = Arc::new(LatencyStore::new(
+        Arc::new(MemStore::new(4)),
+        HC_READ_LATENCY,
+        Duration::ZERO,
+    ));
+    let mut mgr = StorageManager::new(store, spec.cfg.d_model);
+    if let Some(r) = reactor {
+        mgr = mgr.with_reactor(r);
+    }
+    let mgr = Arc::new(mgr);
+    let ctl = CacheController::new(
+        Arc::clone(&mgr),
+        spec.cfg.n_layers,
+        spec.cfg.d_model,
+        ControllerConfig::unlimited(),
+    );
+    let scheme = PartitionScheme {
+        l_h: 0,
+        l_o: spec.cfg.n_layers,
+        complement: LayerMethod::KvOffload,
+    };
+    let mut jobs = vec![
+        RestoreJob {
+            session: 0,
+            tokens: Vec::new()
+        };
+        n_sessions
+    ];
+    for p in 0..HC_PATTERNS {
+        let tokens = hc_tokens(p);
+        let mut kv = KvCache::new(&spec.cfg);
+        model.prefill(&tokens, &mut kv, false);
+        for s in (p + 1..=n_sessions as u64).step_by(HC_PATTERNS as usize) {
+            ctl.open_session(s, &scheme);
+            for l in 0..spec.cfg.n_layers {
+                mgr.append_rows(StreamId::key(s, l as u32), kv.keys(l))
+                    .expect("bench save");
+                mgr.append_rows(StreamId::value(s, l as u32), kv.values(l))
+                    .expect("bench save");
+            }
+            ctl.on_saved(s, HC_TOKENS as u64).expect("reconcile");
+            jobs[s as usize - 1] = RestoreJob {
+                session: s,
+                tokens: tokens.clone(),
+            };
+        }
+    }
+    // Admit in Poisson-arrival order, as a workload trace would.
+    let arrivals = poisson_arrivals(1.0, 10_000.0, 43);
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| arrivals[a].total_cmp(&arrivals[b]));
+    let jobs = order.into_iter().map(|i| jobs[i].clone()).collect();
+    (mgr, ctl, jobs)
+}
+
+/// Bit-identity gate for the high-concurrency fixture: one scheduled pass
+/// must match the sequential methods-based restore of each session's
+/// pattern.
+fn verify_hc(
+    model: &Model,
+    mgr: &Arc<StorageManager<LatencyStore<MemStore>>>,
+    ctl: &CacheController<LatencyStore<MemStore>>,
+    jobs: &[RestoreJob],
+    sched: &RestoreScheduler,
+) {
+    let references: Vec<KvCache> = (0..HC_PATTERNS)
+        .map(|p| {
+            let session = p + 1;
+            let methods = ctl.session_methods(session).expect("known session");
+            restore_session_with_methods(model, mgr, session, &hc_tokens(p), HC_TOKENS, &methods)
+                .expect("sequential reference")
+        })
+        .collect();
+    for (session, result) in sched.run(model, ctl, jobs) {
+        let reference = &references[((session - 1) % HC_PATTERNS) as usize];
+        let kv = result.expect("scheduled restore");
+        assert_eq!(
+            kv_max_error(&kv, reference),
+            0.0,
+            "session {session} must be bit-identical to its pattern's sequential restore"
+        );
+    }
+}
+
+fn percentile_ms(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx] * 1e3
+}
+
 fn median_secs(runs: usize, mut run: impl FnMut()) -> f64 {
     run(); // warm-up
     let mut samples: Vec<f64> = (0..runs)
@@ -258,6 +402,53 @@ fn main() {
         ));
     }
 
+    // ---- High-concurrency sweep (reactor vs thread-per-lane) -------------
+    let hc_sessions = if tiny { 128 } else { 1024 };
+    let hc_budget = ParallelConfig::new(HC_THREADS);
+
+    let (tpl_mgr, tpl_ctl, tpl_jobs) = build_hc_fixture(&spec, &model, hc_sessions, None);
+    let tpl_sched = RestoreScheduler::new(HC_THREADS, hc_budget);
+    verify_hc(&model, &tpl_mgr, &tpl_ctl, &tpl_jobs, &tpl_sched);
+    let t_tpl = median_secs(spec.runs, || {
+        std::hint::black_box(tpl_sched.run(&model, &tpl_ctl, &tpl_jobs));
+    });
+
+    let hc_reactor = Reactor::new(4, HC_IODEPTH);
+    let (r_mgr, r_ctl, r_jobs) =
+        build_hc_fixture(&spec, &model, hc_sessions, Some(Arc::clone(&hc_reactor)));
+    let r_sched = RestoreScheduler::new(HC_THREADS, hc_budget).with_reactor(HC_INFLIGHT);
+    verify_hc(&model, &r_mgr, &r_ctl, &r_jobs, &r_sched);
+    let t_reactor = median_secs(spec.runs, || {
+        std::hint::black_box(r_sched.run(&model, &r_ctl, &r_jobs));
+    });
+
+    // Per-session TTFR (admission to completed KvCache) through the reactor
+    // driver directly, where each session's latency is observable.
+    let requests: Vec<RestoreRequest> = r_jobs
+        .iter()
+        .map(|j| RestoreRequest {
+            session: j.session,
+            tokens: j.tokens.clone(),
+            n_tokens: j.tokens.len(),
+            methods: r_ctl.session_methods(j.session).expect("known session"),
+        })
+        .collect();
+    let mut ttfr: Vec<f64> = restore_sessions_reactor(
+        &model,
+        &r_mgr,
+        &requests,
+        HC_THREADS,
+        HC_INFLIGHT,
+        &hc_budget,
+    )
+    .into_iter()
+    .map(|r| {
+        r.result.expect("reactor restore");
+        r.latency.as_secs_f64()
+    })
+    .collect();
+    ttfr.sort_by(|a, b| a.total_cmp(b));
+
     let json = format!(
         r#"{{
   "bench": "multi_session_restore",
@@ -274,6 +465,21 @@ fn main() {
   "quota_sweep": [
 {quota}
   ],
+  "high_concurrency": {{
+    "sessions": {hc_sessions},
+    "thread_budget": {hc_threads},
+    "devices": 4,
+    "iodepth": {hc_iodepth},
+    "max_inflight": {hc_inflight},
+    "read_latency_us": {hc_latency_us},
+    "thread_per_lane_ms": {tpl_ms:.3},
+    "reactor_ms": {reactor_ms:.3},
+    "reactor_speedup_vs_thread_per_lane": {hc_speedup:.2},
+    "restores_in_flight_peak": {hc_peak},
+    "ttfr_ms_p50": {p50:.3},
+    "ttfr_ms_p95": {p95:.3},
+    "ttfr_ms_p99": {p99:.3}
+  }},
   "bit_identical_to_sequential": true
 }}
 "#,
@@ -285,6 +491,17 @@ fn main() {
         n_tokens = spec.n_tokens,
         sweep = sweep_rows.join(",\n"),
         quota = quota_rows.join(",\n"),
+        hc_threads = HC_THREADS,
+        hc_iodepth = HC_IODEPTH,
+        hc_inflight = HC_INFLIGHT,
+        hc_latency_us = HC_READ_LATENCY.as_micros(),
+        tpl_ms = t_tpl * 1e3,
+        reactor_ms = t_reactor * 1e3,
+        hc_speedup = t_tpl / t_reactor,
+        hc_peak = hc_reactor.peak_restores_in_flight(),
+        p50 = percentile_ms(&ttfr, 0.50),
+        p95 = percentile_ms(&ttfr, 0.95),
+        p99 = percentile_ms(&ttfr, 0.99),
     );
     let _ = std::fs::remove_dir_all(&root);
     std::fs::write(&out_path, &json).expect("write BENCH_multi_session.json");

@@ -384,8 +384,23 @@ impl<S: ChunkStore + 'static> CacheController<S> {
         tokens: &[u32],
         par: &ParallelConfig,
     ) -> Result<KvCache, CtlError> {
+        self.restore_from_snapshot(model, session, tokens, par, None)
+    }
+
+    /// [`CacheController::restore`] with the retry loop primed: when
+    /// `last_methods` is `Some`, it is treated as a mix that already
+    /// failed once (so metrics are not re-counted and an unchanged mix
+    /// surfaces its error instead of retrying forever). The reactor batch
+    /// path uses this to resolve demotion races against its snapshots.
+    fn restore_from_snapshot(
+        &self,
+        model: &Model,
+        session: u64,
+        tokens: &[u32],
+        par: &ParallelConfig,
+        mut last_methods: Option<Vec<LayerMethod>>,
+    ) -> Result<KvCache, CtlError> {
         assert_eq!(model.cfg.n_layers, self.n_layers, "model mismatch");
-        let mut last_methods: Option<Vec<LayerMethod>> = None;
         loop {
             let (methods, n_tokens) = {
                 let mut st = self.state.lock();
@@ -418,6 +433,109 @@ impl<S: ChunkStore + 'static> CacheController<S> {
                 Err(_) => last_methods = Some(methods),
             }
         }
+    }
+
+    /// Restores a batch of sessions through the storage manager's IO
+    /// reactor ([`hc_restore::reactor::restore_sessions_reactor`]):
+    /// `workers` compute threads advance up to `max_inflight` restore
+    /// state machines, so the in-flight session count is bounded by
+    /// memory and iodepth instead of threads. Each job's method mix and
+    /// history length are snapshotted under the state lock (bumping the
+    /// same hit/fallback metrics as [`CacheController::restore`]); unknown
+    /// sessions fail only their own slot. A job whose reactor restore
+    /// fails because a concurrent save demoted it mid-flight (its mix
+    /// changed since the snapshot) is retried through the single-session
+    /// retry loop; a genuine failure surfaces as-is.
+    ///
+    /// Returns `(session, result)` pairs in job order, each successful
+    /// cache bit-identical to a sequential restore of the snapshot mix.
+    ///
+    /// # Panics
+    /// Panics when the manager has no reactor attached
+    /// (`StorageManager::with_reactor`) or on a model/controller layer
+    /// mismatch.
+    pub fn restore_batch_reactor(
+        &self,
+        model: &Model,
+        jobs: &[crate::scheduler::RestoreJob],
+        workers: usize,
+        max_inflight: usize,
+        par: &ParallelConfig,
+    ) -> Vec<(u64, Result<KvCache, CtlError>)> {
+        assert_eq!(model.cfg.n_layers, self.n_layers, "model mismatch");
+        enum Slot {
+            Req(usize),
+            Unknown(u64),
+        }
+        let mut slots = Vec::with_capacity(jobs.len());
+        let mut requests: Vec<hc_restore::engine::RestoreRequest> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            for job in jobs {
+                st.clock += 1;
+                let clock = st.clock;
+                match st.sessions.get_mut(&job.session) {
+                    None => slots.push(Slot::Unknown(job.session)),
+                    Some(entry) => {
+                        entry.last_access = clock;
+                        let counter = if entry.placement.is_fully_dropped() {
+                            &self.metrics.restore_fallbacks
+                        } else {
+                            &self.metrics.restore_hits
+                        };
+                        CtlMetrics::bump(counter, 1);
+                        slots.push(Slot::Req(requests.len()));
+                        requests.push(hc_restore::engine::RestoreRequest {
+                            session: job.session,
+                            tokens: job.tokens.clone(),
+                            n_tokens: entry.n_tokens as usize,
+                            methods: entry.placement.methods().to_vec(),
+                        });
+                    }
+                }
+            }
+        }
+        let outcomes = hc_restore::reactor::restore_sessions_reactor(
+            model,
+            &self.mgr,
+            &requests,
+            workers,
+            max_inflight,
+            par,
+        );
+        let mut results: Vec<Option<Result<KvCache, CtlError>>> = outcomes
+            .into_iter()
+            .zip(requests.iter())
+            .map(|(o, req)| {
+                Some(match o.result {
+                    Ok(kv) => Ok(kv),
+                    Err(e) => match self.session_methods(req.session) {
+                        // The mix moved under the snapshot (racing
+                        // demotion): retry with the refreshed mix, primed
+                        // so an unchanged mix surfaces its error.
+                        Some(m) if m != req.methods => self.restore_from_snapshot(
+                            model,
+                            req.session,
+                            &req.tokens,
+                            par,
+                            Some(req.methods.clone()),
+                        ),
+                        _ => Err(e.into()),
+                    },
+                })
+            })
+            .collect();
+        slots
+            .into_iter()
+            .zip(jobs.iter())
+            .map(|(slot, job)| match slot {
+                Slot::Req(i) => (
+                    job.session,
+                    results[i].take().expect("each request consumed once"),
+                ),
+                Slot::Unknown(s) => (s, Err(CtlError::UnknownSession(s))),
+            })
+            .collect()
     }
 
     /// Closes a session: deletes its storage and releases its charge.
@@ -677,6 +795,107 @@ mod tests {
             ctl4.restore(&model, 9, &[1, 2], &ParallelConfig::serial()),
             Err(CtlError::UnknownSession(9))
         ));
+    }
+
+    #[test]
+    fn scheduler_reactor_route_matches_thread_per_restore() {
+        use crate::scheduler::{RestoreJob, RestoreScheduler};
+        use hc_storage::reactor::Reactor;
+
+        let cfg_m = ModelConfig::tiny_llama();
+        let model = Model::new(&cfg_m, 29);
+        let reactor = Reactor::new(4, 2);
+        let mgr = Arc::new(
+            StorageManager::new(Arc::new(MemStore::new(4)), cfg_m.d_model)
+                .with_reactor(Arc::clone(&reactor)),
+        );
+        let ctl = CacheController::new(
+            Arc::clone(&mgr),
+            cfg_m.n_layers,
+            cfg_m.d_model,
+            ControllerConfig::unlimited(),
+        );
+        let scheme = PartitionScheme {
+            l_h: 3,
+            l_o: 1,
+            complement: LayerMethod::KvOffload,
+        };
+        let mut jobs = Vec::new();
+        let mut references = Vec::new();
+        for s in 0..6u64 {
+            let methods = ctl.open_session(s, &scheme);
+            let tokens: Vec<u32> = (0..80u32).map(|i| (i * 41 + s as u32) % 256).collect();
+            let mut kv = KvCache::new(&cfg_m);
+            let out = model.prefill(&tokens, &mut kv, true);
+            save_session_state(
+                &model,
+                &mgr,
+                s,
+                &out.hidden_per_layer.unwrap(),
+                &kv,
+                &scheme,
+            )
+            .unwrap();
+            ctl.on_saved(s, 80).unwrap();
+            references.push(
+                restore_session_with_methods(&model, &mgr, s, &tokens, 80, &methods).unwrap(),
+            );
+            jobs.push(RestoreJob { session: s, tokens });
+        }
+        jobs.push(RestoreJob {
+            session: 999, // never opened
+            tokens: vec![1, 2, 3],
+        });
+        let sched = RestoreScheduler::new(4, ParallelConfig::new(4)).with_reactor(64);
+        assert_eq!(sched.reactor_inflight(), Some(64));
+        let results = sched.run(&model, &ctl, &jobs);
+        assert_eq!(results.len(), 7);
+        for (s, (session, r)) in results.into_iter().enumerate() {
+            if s == 6 {
+                assert_eq!(session, 999);
+                assert!(matches!(r, Err(CtlError::UnknownSession(999))));
+            } else {
+                assert_eq!(session, s as u64);
+                assert_eq!(kv_max_error(&r.unwrap(), &references[s]), 0.0);
+            }
+        }
+        assert!(
+            reactor.ios_submitted() > 0,
+            "the batch must ride the reactor"
+        );
+        assert_eq!(reactor.restores_in_flight(), 0, "gauge drains");
+        assert_eq!(ctl.metrics().restore_hits, 6);
+
+        // A reactor-configured scheduler over a reactor-less manager falls
+        // back to the thread-per-restore path and still restores.
+        let plain_mgr = Arc::new(StorageManager::new(
+            Arc::new(MemStore::new(4)),
+            cfg_m.d_model,
+        ));
+        let plain_ctl = CacheController::new(
+            Arc::clone(&plain_mgr),
+            cfg_m.n_layers,
+            cfg_m.d_model,
+            ControllerConfig::unlimited(),
+        );
+        let methods = plain_ctl.open_session(0, &scheme);
+        let tokens = jobs[0].tokens.clone();
+        let mut kv = KvCache::new(&cfg_m);
+        let out = model.prefill(&tokens, &mut kv, true);
+        save_session_state(
+            &model,
+            &plain_mgr,
+            0,
+            &out.hidden_per_layer.unwrap(),
+            &kv,
+            &scheme,
+        )
+        .unwrap();
+        plain_ctl.on_saved(0, 80).unwrap();
+        let seq =
+            restore_session_with_methods(&model, &plain_mgr, 0, &tokens, 80, &methods).unwrap();
+        let results = sched.run(&model, &plain_ctl, &jobs[..1]);
+        assert_eq!(kv_max_error(results[0].1.as_ref().unwrap(), &seq), 0.0);
     }
 
     mod quota_properties {

@@ -32,6 +32,15 @@
 //! sequential restore of that session would produce: the per-session
 //! pipelines share no mutable state and every parallel kernel is bit-equal
 //! to its serial form.
+//!
+//! **Reactor mode** ([`RestoreScheduler::with_reactor`]) lifts the
+//! thread-per-restore ceiling entirely: when the controller's storage
+//! manager runs an IO reactor, batches route through
+//! [`CacheController::restore_batch_reactor`] — each restore is a state
+//! machine advanced by a fixed worker pool, IO flows through per-device
+//! submission queues, and the in-flight count is bounded by the configured
+//! admission window (memory) and the reactor's iodepth, not by threads.
+//! 10k concurrent restores on a 4-thread grant is the design point.
 
 use hc_model::{KvCache, Model};
 use hc_restore::engine::map_concurrent;
@@ -58,6 +67,9 @@ pub struct RestoreScheduler {
     /// Chunk-fanout IO workers the storage manager runs, reserved out of
     /// `host_budget` before the compute split (0: no fanout configured).
     io_fanout: usize,
+    /// When `Some(max_inflight)`, route batches through the manager's IO
+    /// reactor: restore state machines instead of thread-per-restore.
+    reactor_inflight: Option<usize>,
 }
 
 impl RestoreScheduler {
@@ -69,7 +81,28 @@ impl RestoreScheduler {
             n_workers: n_workers.max(1),
             host_budget,
             io_fanout: 0,
+            reactor_inflight: None,
         }
+    }
+
+    /// Routes batches through the storage manager's IO reactor
+    /// (`StorageManager::with_reactor`): up to `max_inflight` restore
+    /// *state machines* in flight — bounded by memory and iodepth, not
+    /// threads — advanced by a worker pool sized to the host grant, all IO
+    /// riding the reactor's per-device submission queues. Takes effect
+    /// only when the controller's manager actually has a reactor attached;
+    /// otherwise [`RestoreScheduler::run`] falls back to the
+    /// thread-per-restore path. `max_inflight` may vastly exceed the
+    /// thread budget (that is the point: 10k concurrent restores on a
+    /// 4-thread grant).
+    pub fn with_reactor(mut self, max_inflight: usize) -> Self {
+        self.reactor_inflight = Some(max_inflight.max(1));
+        self
+    }
+
+    /// The reactor admission window, when reactor routing is configured.
+    pub fn reactor_inflight(&self) -> Option<usize> {
+        self.reactor_inflight
     }
 
     /// Declares that the controller's storage manager keeps up to `width`
@@ -135,12 +168,34 @@ impl RestoreScheduler {
 
     /// Runs every job, at most `n_workers` concurrently, in queue order.
     /// Returns `(session, result)` pairs in job order.
+    ///
+    /// With [`RestoreScheduler::with_reactor`] configured *and* the
+    /// controller's manager running an IO reactor, the batch instead goes
+    /// through [`CacheController::restore_batch_reactor`]: the whole host
+    /// grant becomes the compute-worker pool and up to the configured
+    /// admission window of restore state machines stay in flight — the
+    /// in-flight count is then bounded by memory and iodepth, not by
+    /// `n_workers`. The reactor's IO threads, like the fanout pool's and
+    /// the per-restore prefetch threads, spend their lives blocked on
+    /// device service and are not charged compute.
     pub fn run<S: ChunkStore + Sync + 'static>(
         &self,
         model: &Model,
         ctl: &CacheController<S>,
         jobs: &[RestoreJob],
     ) -> Vec<(u64, Result<KvCache, CtlError>)> {
+        if let Some(max_inflight) = self.reactor_inflight {
+            if ctl.mgr().reactor().is_some() {
+                let workers = self.host_budget.threads().max(1);
+                return ctl.restore_batch_reactor(
+                    model,
+                    jobs,
+                    workers,
+                    max_inflight,
+                    &self.host_budget,
+                );
+            }
+        }
         // Split the budget over the workers that will actually run, so a
         // short job list doesn't strand granted threads — clamped to the
         // compute budget so the aggregate stays within the grant.

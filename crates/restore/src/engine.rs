@@ -63,9 +63,10 @@
 //! measured baseline for the chunk-streaming speedup in `bench_restore`
 //! (TTFR on the `LatencyStore` device model), a reference executor for
 //! the bit-identity matrix, and the path [`restore_session_pipelined`]
-//! itself takes when the manager has no chunk-fanout pool — without
-//! in-flight IO breadth, chunk granularity only pays staging and
-//! dispatch overhead, so granularity adapts with the fanout config.
+//! itself takes when the manager has neither a chunk-fanout pool nor an
+//! IO reactor — without in-flight IO breadth, chunk granularity only
+//! pays staging and dispatch overhead, so granularity adapts with the
+//! read-engine config.
 //!
 //! Prefetch failures are **typed**: a panicking backend (or lost fanout
 //! completions) inside the prefetch stage surfaces as
@@ -335,19 +336,21 @@ impl RowSink for ChannelSink<'_> {
 /// Compute-side assembly of one stream (hidden, K or V) of the layer
 /// currently being restored: a destination-sized staging tensor plus the
 /// contiguous-prefix bookkeeping that drives incremental consumption.
-struct StreamAssembly {
-    staged: Tensor2,
+/// Shared with the event-driven [`crate::reactor`] driver, whose restore
+/// state machines assemble streams the same way.
+pub(crate) struct StreamAssembly {
+    pub(crate) staged: Tensor2,
     /// Which slices (64-token chunks of `0..n_tokens`) have landed.
-    received: Vec<bool>,
+    pub(crate) received: Vec<bool>,
     /// Leading received slices.
-    ready_slices: usize,
+    pub(crate) ready_slices: usize,
     /// Rows covered by the leading received slices — the contiguous
     /// prefix compute may consume.
-    ready_rows: usize,
+    pub(crate) ready_rows: usize,
 }
 
 impl StreamAssembly {
-    fn new(n_tokens: usize, d_model: usize, n_slices: usize) -> Self {
+    pub(crate) fn new(n_tokens: usize, d_model: usize, n_slices: usize) -> Self {
         Self {
             staged: Tensor2::zeros(n_tokens, d_model),
             received: vec![false; n_slices],
@@ -357,7 +360,13 @@ impl StreamAssembly {
     }
 
     /// Places one delivered chunk and advances the contiguous prefix.
-    fn place(&mut self, slice_idx: usize, row_start: usize, rows: &Tensor2, slice_rows: &[usize]) {
+    pub(crate) fn place(
+        &mut self,
+        slice_idx: usize,
+        row_start: usize,
+        rows: &Tensor2,
+        slice_rows: &[usize],
+    ) {
         for r in 0..rows.rows() {
             self.staged
                 .row_mut(row_start + r)
@@ -372,7 +381,7 @@ impl StreamAssembly {
 
     /// Forgets everything (a tombstone reset): the stream redelivers all
     /// slices, overwriting the dead generation's staged rows.
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.received.iter_mut().for_each(|r| *r = false);
         self.ready_slices = 0;
         self.ready_rows = 0;
@@ -428,13 +437,16 @@ pub fn restore_session_pipelined<S: ChunkStore>(
 /// isolated and surfaced as [`RestoreError::PrefetchFailed`] with the
 /// in-flight layer index — the caller's thread never unwinds.
 ///
-/// Granularity is adaptive, mirroring the manager's adaptive fanout: when
-/// the manager has no chunk-fanout pool (`read_fanout_width() ≤ 1`) a
-/// single read cannot keep more than one chunk in flight, so intra-layer
-/// streaming has no IO to overlap and only pays per-chunk staging and
-/// GEMM-dispatch overhead — the restore then runs the layer-granular
-/// executor instead. Both executors are bit-identical to the sequential
-/// restore, so the choice changes wall-clock only.
+/// Granularity is adaptive, mirroring the manager's adaptive read
+/// engines: when the manager has neither a chunk-fanout pool nor an IO
+/// reactor (`read_parallelism() ≤ 1`) a single read cannot keep more than
+/// one chunk in flight, so intra-layer streaming has no IO to overlap and
+/// only pays per-chunk staging and GEMM-dispatch overhead — the restore
+/// then runs the layer-granular executor instead. With a reactor attached
+/// the streamed reads ride its per-device submission queues
+/// (`stream_slices_reactor`), keeping `iodepth` chunk reads in flight per
+/// device. All executors are bit-identical to the sequential restore, so
+/// the choice changes wall-clock only.
 ///
 /// # Panics
 /// Panics when `methods` does not cover the model's layers or when its
@@ -448,7 +460,7 @@ pub fn restore_session_pipelined_with_methods<S: ChunkStore>(
     methods: &[LayerMethod],
     par: &ParallelConfig,
 ) -> Result<KvCache, RestoreError> {
-    if mgr.read_fanout_width() <= 1 {
+    if mgr.read_parallelism() <= 1 {
         return restore_session_pipelined_layerwise_with_methods(
             model, mgr, session, tokens, n_tokens, methods, par,
         );
@@ -473,7 +485,7 @@ pub fn restore_session_pipelined_with_methods<S: ChunkStore>(
         .map(|s| s.len as usize)
         .collect();
     let n_slices = slice_rows.len();
-    let depth = (mgr.read_fanout_width() * 2).max(MIN_CHUNK_DEPTH);
+    let depth = (mgr.read_parallelism() * 2).max(MIN_CHUNK_DEPTH);
 
     let mut kv = KvCache::new(cfg);
     std::thread::scope(|scope| -> Result<(), RestoreError> {

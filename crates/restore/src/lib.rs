@@ -7,6 +7,11 @@
 //!   `hc-storage` manager and rebuilds a `KvCache` with real math, for any
 //!   layer-wise partition scheme (hidden / KV-offload / recompute layers).
 //!   This is where the correctness claims are tested end to end.
+//! * [`reactor`] — the **many-session** layer: an event-driven driver that
+//!   advances thousands of concurrent restore state machines with a fixed
+//!   pool of compute workers, all IO flowing through the storage manager's
+//!   per-device reactor queues — in-flight restores bounded by memory and
+//!   iodepth, not threads.
 //! * [`sim`] — the **timed** layer: virtual-time restoration estimates for
 //!   every method on any platform, built from the `hc-simhw` profiles and
 //!   the `hc-sched` pipeline. This is what the evaluation figures use.
@@ -24,6 +29,7 @@
 
 pub mod cost;
 pub mod engine;
+pub mod reactor;
 pub mod sim;
 
 /// Identifies a restoration method in experiments and reports.

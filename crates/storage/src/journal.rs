@@ -26,12 +26,28 @@
 //!   Logged strictly *before* the backend wipe, so a crash between the
 //!   two leaves orphan chunk files that recovery's sweep removes — never
 //!   a resurrected stream.
+//! * **GenBaseline** (`3`): stream id and its current generation counter.
+//!   Written only by compaction, standing in for the delete history it
+//!   folded away so generation numbering survives the rewrite.
 //!
 //! A torn journal tail (crash mid-append) is detected by the frame CRC:
 //! replay keeps the longest consistent record prefix and
 //! [`Journal::reopen`] truncates the file back to it. Generations are
 //! assigned by the journal itself (one bump per delete), so replaying the
 //! same record sequence always reproduces the same generation numbering.
+//!
+//! ## Compaction
+//!
+//! The journal is append-only, so a long-lived store accumulates dead
+//! records: superseded tail flushes, and every commit/delete of a stream
+//! generation that a later delete wiped. Once deletes dominate
+//! (configurable via [`CompactionPolicy`]), [`Journal::compact`] rewrites
+//! the file down to its live prefix — the header, one `Gen` baseline per
+//! ever-deleted stream, and exactly the commits a recovery replay would
+//! keep — making reopen O(live chunks) instead of O(history). The rewrite
+//! goes to a temp file, is fsynced, and atomically renamed over the
+//! journal, so a crash at any point leaves either the old or the new
+//! journal fully intact; [`Journal::reopen`] removes a stray temp file.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -56,6 +72,11 @@ const MAX_PAYLOAD: u32 = 4096;
 const TYPE_HEADER: u8 = 0;
 const TYPE_COMMIT: u8 = 1;
 const TYPE_DELETE: u8 = 2;
+const TYPE_GEN: u8 = 3;
+
+/// Temp file compaction writes before atomically renaming it over the
+/// journal. A crash leaves it behind; [`Journal::reopen`] removes it.
+const COMPACT_TMP: &str = "journal.log.compact";
 
 /// Path of the journal file for a store rooted at `root`.
 pub fn journal_path(root: &Path) -> PathBuf {
@@ -141,6 +162,15 @@ pub enum JournalRecord {
         /// Generation the delete killed.
         generation: u32,
     },
+    /// Generation baseline written by compaction in place of the folded
+    /// delete history: the stream's counter stands at `generation`, as if
+    /// that many deletes had been replayed.
+    Gen {
+        /// Stream the baseline applies to.
+        stream: StreamId,
+        /// Current generation counter (count of folded deletes).
+        generation: u32,
+    },
 }
 
 fn kind_code(kind: StateKind) -> u8 {
@@ -213,6 +243,12 @@ fn encode_record(rec: &JournalRecord) -> Vec<u8> {
         }
         JournalRecord::Delete { stream, generation } => {
             let mut buf = vec![TYPE_DELETE];
+            push_stream(&mut buf, stream);
+            buf.extend_from_slice(&generation.to_le_bytes());
+            buf
+        }
+        JournalRecord::Gen { stream, generation } => {
+            let mut buf = vec![TYPE_GEN];
             push_stream(&mut buf, stream);
             buf.extend_from_slice(&generation.to_le_bytes());
             buf
@@ -298,6 +334,10 @@ fn decode_record(payload: &[u8]) -> Option<JournalRecord> {
             stream: c.stream()?,
             generation: c.u32()?,
         },
+        TYPE_GEN => JournalRecord::Gen {
+            stream: c.stream()?,
+            generation: c.u32()?,
+        },
         _ => return None,
     };
     c.done().then_some(rec)
@@ -334,13 +374,126 @@ pub struct JournalReplay {
     pub truncated: u64,
 }
 
+/// When to rewrite the journal down to its live prefix. Checked after
+/// every delete append (deletes are the only records that create dead
+/// history wholesale).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionPolicy {
+    /// Records after the header below which compaction never runs —
+    /// keeps tiny journals from rewriting on every delete.
+    pub min_records: usize,
+    /// Dead-record fraction above which compaction runs.
+    pub max_dead_ratio: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        Self {
+            min_records: 1024,
+            max_dead_ratio: 0.5,
+        }
+    }
+}
+
+/// Per-stream slice of the record accounting.
+#[derive(Default)]
+struct StreamCount {
+    /// Records a compaction would keep for the stream right now.
+    live: usize,
+    /// Whether the stream's newest record is a flushed tail (the next
+    /// commit at its index supersedes it).
+    has_tail: bool,
+}
+
+/// Running live/dead record accounting — the compaction trigger. An
+/// estimate rebuilt from replay on reopen, reset by compaction.
+#[derive(Default)]
+struct JournalStats {
+    /// Records after the header currently in the file.
+    total: usize,
+    /// Of those, records a compaction would drop.
+    dead: usize,
+    per_stream: HashMap<StreamId, StreamCount>,
+    /// Compactions performed over this handle's lifetime.
+    compactions: u64,
+}
+
+impl JournalStats {
+    fn note_commit(&mut self, stream: StreamId, is_tail: bool) {
+        self.total += 1;
+        let c = self.per_stream.entry(stream).or_default();
+        if c.has_tail {
+            // The new commit supersedes the flushed tail at its index
+            // (replaced in place or absorbed by the full chunk).
+            self.dead += 1;
+            c.live -= 1;
+        }
+        c.live += 1;
+        c.has_tail = is_tail;
+    }
+
+    fn note_delete(&mut self, stream: StreamId) {
+        self.total += 1;
+        // Everything the stream held, plus the delete itself, folds into
+        // at most one Gen baseline at the next compaction.
+        self.dead += self.per_stream.remove(&stream).map_or(0, |c| c.live) + 1;
+    }
+
+    fn note_gen(&mut self, stream: StreamId) {
+        self.total += 1;
+        self.per_stream.entry(stream).or_default().live += 1;
+    }
+
+    fn seed(records: &[JournalRecord]) -> Self {
+        let mut stats = Self::default();
+        for rec in records {
+            match *rec {
+                JournalRecord::Commit {
+                    stream, is_tail, ..
+                } => stats.note_commit(stream, is_tail),
+                JournalRecord::Delete { stream, .. } => stats.note_delete(stream),
+                JournalRecord::Gen { stream, .. } => stats.note_gen(stream),
+            }
+        }
+        stats
+    }
+}
+
+/// Folds a replayed record sequence into the generation counters a fresh
+/// handle must resume from: `Gen` baselines set the floor, every replayed
+/// delete bumps past it.
+fn seed_gens(records: &[JournalRecord]) -> HashMap<StreamId, u32> {
+    let mut gens: HashMap<StreamId, u32> = HashMap::new();
+    for rec in records {
+        match *rec {
+            JournalRecord::Gen { stream, generation } => {
+                let g = gens.entry(stream).or_insert(0);
+                *g = (*g).max(generation);
+            }
+            JournalRecord::Delete { stream, .. } => *gens.entry(stream).or_insert(0) += 1,
+            JournalRecord::Commit { .. } => {}
+        }
+    }
+    gens
+}
+
+/// Deterministic cross-stream ordering for compaction output (per-stream
+/// record order is what recovery depends on; this just keeps rewrites
+/// reproducible).
+fn stream_sort_key(s: &StreamId) -> (u64, u32, u8) {
+    (s.session, s.layer, kind_code(s.kind))
+}
+
 /// Crash-durability journal for one store root. Appends serialize on an
 /// internal file mutex; generations are tracked here (one bump per
 /// delete) so replay reproduces them exactly.
 pub struct Journal {
+    root: PathBuf,
     file: Mutex<File>,
     sync: bool,
     gens: Mutex<HashMap<StreamId, u32>>,
+    stats: Mutex<JournalStats>,
+    policy: CompactionPolicy,
 }
 
 impl Journal {
@@ -357,10 +510,20 @@ impl Journal {
             fsync_dir(root);
         }
         Ok(Self {
+            root: root.to_path_buf(),
             file: Mutex::new(file),
             sync,
             gens: Mutex::new(HashMap::new()),
+            stats: Mutex::new(JournalStats::default()),
+            policy: CompactionPolicy::default(),
         })
+    }
+
+    /// Replaces the default [`CompactionPolicy`]. Builder-style; call
+    /// before the journal is shared.
+    pub fn with_compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Replays the journal under `root` without modifying it: decodes the
@@ -425,10 +588,13 @@ impl Journal {
         })
     }
 
-    /// Reopens the journal under `root` for appending: replays it,
-    /// truncates any torn tail back to the consistent prefix, and seeds
-    /// the generation counters from the replayed deletes.
+    /// Reopens the journal under `root` for appending: removes any stray
+    /// compaction temp file (a crash mid-compaction, before the rename),
+    /// replays the journal, truncates any torn tail back to the
+    /// consistent prefix, and seeds the generation counters from the
+    /// replayed deletes and `Gen` baselines.
     pub fn reopen(root: &Path, sync: bool) -> Result<(Self, JournalReplay), StorageError> {
+        let _ = std::fs::remove_file(root.join(COMPACT_TMP));
         let replay = Self::replay(root)?;
         let path = journal_path(root);
         let mut file = OpenOptions::new()
@@ -443,17 +609,14 @@ impl Journal {
             }
         }
         file.seek(SeekFrom::End(0)).map_err(io_err)?;
-        let mut gens: HashMap<StreamId, u32> = HashMap::new();
-        for rec in &replay.records {
-            if let JournalRecord::Delete { stream, .. } = rec {
-                *gens.entry(*stream).or_insert(0) += 1;
-            }
-        }
         Ok((
             Self {
+                root: root.to_path_buf(),
                 file: Mutex::new(file),
                 sync,
-                gens: Mutex::new(gens),
+                gens: Mutex::new(seed_gens(&replay.records)),
+                stats: Mutex::new(JournalStats::seed(&replay.records)),
+                policy: CompactionPolicy::default(),
             },
             replay,
         ))
@@ -483,7 +646,9 @@ impl Journal {
             byte_len: bytes.len() as u64,
             chunk_crc: crc32(bytes),
         };
-        self.append(&encode_record(&rec))
+        self.append(&encode_record(&rec))?;
+        self.stats.lock().note_commit(key.stream, is_tail);
+        Ok(())
     }
 
     /// Logs a stream delete and bumps its generation. Call strictly
@@ -501,7 +666,140 @@ impl Journal {
         self.append(&encode_record(&JournalRecord::Delete {
             stream,
             generation,
-        }))
+        }))?;
+        self.stats.lock().note_delete(stream);
+        self.maybe_compact()
+    }
+
+    /// Records after the header currently in the file.
+    pub fn records_total(&self) -> usize {
+        self.stats.lock().total
+    }
+
+    /// Of [`Journal::records_total`], how many a compaction would drop.
+    pub fn records_dead(&self) -> usize {
+        self.stats.lock().dead
+    }
+
+    /// Compactions performed over this handle's lifetime.
+    pub fn compactions(&self) -> u64 {
+        self.stats.lock().compactions
+    }
+
+    /// Runs [`Journal::compact`] if the dead-record share exceeds the
+    /// configured [`CompactionPolicy`].
+    fn maybe_compact(&self) -> Result<(), StorageError> {
+        let due = {
+            let stats = self.stats.lock();
+            stats.total >= self.policy.min_records
+                && stats.dead as f64 > self.policy.max_dead_ratio * stats.total as f64
+        };
+        if due {
+            self.compact()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Rewrites the journal down to its live prefix: the header, one
+    /// `Gen` baseline per stream whose generation counter is nonzero, and
+    /// exactly the commit records a recovery replay would keep. Runs
+    /// under the file lock (concurrent appends block and then land in the
+    /// rewritten file). The replacement is written to a temp file,
+    /// fsynced, and atomically renamed over the journal, so a crash at
+    /// any point leaves either the old or the new journal fully intact.
+    pub fn compact(&self) -> Result<(), StorageError> {
+        let mut file = self.file.lock();
+        let replay = Self::replay(&self.root)?;
+
+        /// Live records of one stream, folded with recovery's semantics:
+        /// commits in index order, a tail superseded by the next commit
+        /// at its index, a delete wiping the fold.
+        #[derive(Default)]
+        struct LiveFold {
+            full: Vec<JournalRecord>,
+            tail: Option<JournalRecord>,
+        }
+        let mut folds: HashMap<StreamId, LiveFold> = HashMap::new();
+        let mut gens: HashMap<StreamId, u32> = HashMap::new();
+        for rec in &replay.records {
+            match *rec {
+                JournalRecord::Commit {
+                    stream,
+                    chunk_idx,
+                    is_tail,
+                    ..
+                } => {
+                    let fold = folds.entry(stream).or_default();
+                    // Out-of-order commits are corruption recovery drops;
+                    // dropping them here keeps the rewrite equivalent.
+                    if chunk_idx as usize != fold.full.len() {
+                        continue;
+                    }
+                    if is_tail {
+                        fold.tail = Some(*rec);
+                    } else {
+                        fold.full.push(*rec);
+                        fold.tail = None;
+                    }
+                }
+                JournalRecord::Delete { stream, .. } => {
+                    folds.remove(&stream);
+                    *gens.entry(stream).or_insert(0) += 1;
+                }
+                JournalRecord::Gen { stream, generation } => {
+                    let g = gens.entry(stream).or_insert(0);
+                    *g = (*g).max(generation);
+                }
+            }
+        }
+
+        let tmp = self.root.join(COMPACT_TMP);
+        let mut out = File::create(&tmp).map_err(io_err)?;
+        out.write_all(&frame(&encode_header(&replay.header)))
+            .map_err(io_err)?;
+        let mut stats = JournalStats {
+            compactions: self.stats.lock().compactions + 1,
+            ..JournalStats::default()
+        };
+        let mut deleted: Vec<StreamId> = gens
+            .iter()
+            .filter(|&(_, &g)| g > 0)
+            .map(|(s, _)| *s)
+            .collect();
+        deleted.sort_by_key(stream_sort_key);
+        for stream in deleted {
+            let generation = gens[&stream];
+            out.write_all(&frame(&encode_record(&JournalRecord::Gen {
+                stream,
+                generation,
+            })))
+            .map_err(io_err)?;
+            stats.note_gen(stream);
+        }
+        let mut streams: Vec<StreamId> = folds.keys().copied().collect();
+        streams.sort_by_key(stream_sort_key);
+        for stream in streams {
+            let fold = &folds[&stream];
+            for rec in fold.full.iter().chain(fold.tail.iter()) {
+                out.write_all(&frame(&encode_record(rec))).map_err(io_err)?;
+                let is_tail = matches!(rec, JournalRecord::Commit { is_tail: true, .. });
+                stats.note_commit(stream, is_tail);
+            }
+        }
+        out.sync_all().map_err(io_err)?;
+        drop(out);
+        std::fs::rename(&tmp, journal_path(&self.root)).map_err(io_err)?;
+        fsync_dir(&self.root);
+        let mut fresh = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(journal_path(&self.root))
+            .map_err(io_err)?;
+        fresh.seek(SeekFrom::End(0)).map_err(io_err)?;
+        *file = fresh;
+        *self.stats.lock() = stats;
+        Ok(())
     }
 
     fn append(&self, payload: &[u8]) -> Result<(), StorageError> {
@@ -664,6 +962,127 @@ mod tests {
         std::fs::remove_dir_all(&root).unwrap();
     }
 
+    /// Compaction policy small enough for unit tests to trip.
+    fn eager_policy() -> CompactionPolicy {
+        CompactionPolicy {
+            min_records: 4,
+            max_dead_ratio: 0.4,
+        }
+    }
+
+    #[test]
+    fn compaction_folds_dead_history_into_a_live_prefix() {
+        let root = tmp_root("compact");
+        let j = Journal::create(&root, header(), true)
+            .unwrap()
+            .with_compaction(eager_policy());
+        let kept = StreamId::hidden(1, 0);
+        let churn = StreamId::hidden(2, 0);
+        let key = |s, i| ChunkKey {
+            stream: s,
+            chunk_idx: i,
+        };
+        j.log_commit(key(kept, 0), 64, false, &[1]).unwrap();
+        j.log_commit(key(kept, 1), 7, true, &[2, 3]).unwrap();
+        for round in 0..3u8 {
+            j.log_commit(key(churn, 0), 64, false, &[round]).unwrap();
+            j.log_commit(key(churn, 1), 64, false, &[round, round])
+                .unwrap();
+            j.log_delete(churn).unwrap();
+        }
+        assert!(j.compactions() >= 1, "churn deletes should trip the policy");
+        // The survivor's records and both streams' generations survive
+        // the rewrite; the churn history does not.
+        let replay = Journal::replay(&root).unwrap();
+        assert_eq!(replay.header, header());
+        let commits: Vec<_> = replay
+            .records
+            .iter()
+            .filter(|r| matches!(r, JournalRecord::Commit { .. }))
+            .collect();
+        assert_eq!(commits.len(), 2, "only the kept stream's commits remain");
+        assert!(replay.records.contains(&JournalRecord::Gen {
+            stream: churn,
+            generation: 3
+        }));
+        assert_eq!(j.generation(churn), 3);
+        assert_eq!(j.generation(kept), 0);
+        // The handle keeps appending into the rewritten file.
+        j.log_commit(key(kept, 1), 12, true, &[9]).unwrap();
+        let replay = Journal::replay(&root).unwrap();
+        assert_eq!(replay.truncated, 0);
+        assert!(matches!(
+            replay.records.last(),
+            Some(JournalRecord::Commit {
+                rows: 12,
+                is_tail: true,
+                ..
+            })
+        ));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reopen_after_compaction_restores_generations_and_stats() {
+        let root = tmp_root("compact-reopen");
+        let before = {
+            let j = Journal::create(&root, header(), true)
+                .unwrap()
+                .with_compaction(eager_policy());
+            let s = StreamId::hidden(5, 2);
+            for _ in 0..4 {
+                j.log_commit(
+                    ChunkKey {
+                        stream: s,
+                        chunk_idx: 0,
+                    },
+                    64,
+                    false,
+                    &[1],
+                )
+                .unwrap();
+                j.log_delete(s).unwrap();
+            }
+            assert!(j.compactions() >= 1);
+            (j.generation(s), j.records_total(), j.records_dead())
+        };
+        let (j2, replay) = Journal::reopen(&root, true).unwrap();
+        assert_eq!(replay.truncated, 0);
+        assert_eq!(j2.generation(StreamId::hidden(5, 2)), before.0);
+        assert_eq!(j2.records_total(), before.1);
+        assert_eq!(j2.records_dead(), before.2);
+        // The next delete numbers on from the baseline, exactly as an
+        // uncompacted history would have.
+        j2.log_commit(
+            ChunkKey {
+                stream: StreamId::hidden(5, 2),
+                chunk_idx: 0,
+            },
+            64,
+            false,
+            &[2],
+        )
+        .unwrap();
+        j2.log_delete(StreamId::hidden(5, 2)).unwrap();
+        assert_eq!(j2.generation(StreamId::hidden(5, 2)), before.0 + 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn a_stray_compaction_temp_file_is_removed_on_reopen() {
+        let root = tmp_root("compact-stray");
+        let j = Journal::create(&root, header(), true).unwrap();
+        j.log_delete(StreamId::hidden(1, 0)).unwrap();
+        drop(j);
+        let stray = root.join(COMPACT_TMP);
+        std::fs::write(&stray, b"half-written rewrite").unwrap();
+        let (j2, replay) = Journal::reopen(&root, true).unwrap();
+        assert!(!stray.exists(), "reopen must clear the aborted rewrite");
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(j2.generation(StreamId::hidden(1, 0)), 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
     #[test]
     fn missing_or_headerless_journal_is_a_typed_error() {
         let root = tmp_root("noheader");
@@ -671,5 +1090,130 @@ mod tests {
         std::fs::write(journal_path(&root), b"garbage").unwrap();
         assert!(matches!(Journal::replay(&root), Err(StorageError::Io(_))));
         std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// Writes a small fixed history and returns its bytes + records.
+    fn fault_fixture(root: &Path) -> (Vec<u8>, Vec<JournalRecord>) {
+        let j = Journal::create(root, header(), true).unwrap();
+        let s = StreamId::hidden(3, 1);
+        for i in 0..3 {
+            j.log_commit(
+                ChunkKey {
+                    stream: s,
+                    chunk_idx: i,
+                },
+                64,
+                false,
+                &[i as u8, 7],
+            )
+            .unwrap();
+        }
+        j.log_delete(s).unwrap();
+        j.log_commit(
+            ChunkKey {
+                stream: s,
+                chunk_idx: 0,
+            },
+            20,
+            true,
+            &[9],
+        )
+        .unwrap();
+        drop(j);
+        let bytes = std::fs::read(journal_path(root)).unwrap();
+        let records = Journal::replay(root).unwrap().records;
+        (bytes, records)
+    }
+
+    #[test]
+    fn any_single_bit_flip_leaves_a_consistent_truncatable_prefix() {
+        let master = tmp_root("flip-master");
+        let (bytes, records) = fault_fixture(&master);
+        // Header frame length: 8-byte frame head + 14-byte payload.
+        let header_len = 22;
+        let case = tmp_root("flip-case");
+        for off in 0..bytes.len() {
+            for bit in [0u8, 3, 7] {
+                let mut corrupt = bytes.clone();
+                corrupt[off] ^= 1 << bit;
+                std::fs::write(journal_path(&case), &corrupt).unwrap();
+                if off < header_len {
+                    // A damaged header is unrecoverable by design: fail
+                    // typed, never fabricate a manager config.
+                    assert!(
+                        Journal::reopen(&case, true).is_err(),
+                        "offset {off} bit {bit}: corrupt header must not reopen"
+                    );
+                    continue;
+                }
+                let (j, replay) = Journal::reopen(&case, true)
+                    .unwrap_or_else(|e| panic!("offset {off} bit {bit}: reopen failed: {e}"));
+                assert!(
+                    replay.records.len() <= records.len()
+                        && replay.records == records[..replay.records.len()],
+                    "offset {off} bit {bit}: replay is not a prefix of the true history"
+                );
+                assert_eq!(
+                    std::fs::metadata(journal_path(&case)).unwrap().len(),
+                    replay.consistent_len,
+                    "offset {off} bit {bit}: reopen left bytes past the consistent prefix"
+                );
+                // The truncated journal accepts appends and replays clean.
+                j.log_delete(StreamId::hidden(3, 1)).unwrap();
+                drop(j);
+                let again = Journal::replay(&case).unwrap();
+                assert_eq!(again.truncated, 0, "offset {off} bit {bit}");
+                assert_eq!(again.records.len(), replay.records.len() + 1);
+            }
+        }
+        std::fs::remove_dir_all(&master).unwrap();
+        std::fs::remove_dir_all(&case).unwrap();
+    }
+
+    /// Frame boundaries of a journal image: (start, end) byte offsets.
+    fn frame_bounds(bytes: &[u8]) -> Vec<(usize, usize)> {
+        let mut bounds = Vec::new();
+        let mut off = 0;
+        while off + 8 <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            bounds.push((off, off + 8 + len));
+            off += 8 + len;
+        }
+        bounds
+    }
+
+    #[test]
+    fn duplicated_frames_never_break_replay_or_generation_numbering() {
+        let master = tmp_root("dup-master");
+        let (bytes, records) = fault_fixture(&master);
+        let case = tmp_root("dup-case");
+        for (idx, &(start, end)) in frame_bounds(&bytes).iter().enumerate() {
+            // A retried write that landed twice: the frame duplicated in
+            // place.
+            let mut dup = bytes[..end].to_vec();
+            dup.extend_from_slice(&bytes[start..end]);
+            dup.extend_from_slice(&bytes[end..]);
+            std::fs::write(journal_path(&case), &dup).unwrap();
+            let (j, replay) = Journal::reopen(&case, true).unwrap();
+            if idx == 0 {
+                // A duplicated header decodes as no known record: replay
+                // keeps the prefix before it — the empty history.
+                assert!(replay.records.is_empty(), "duplicated header frame");
+            } else {
+                // Every record duplicate replays (the consumers fold
+                // idempotently or bump the generation one extra — both
+                // consistent states), and nothing after it is lost.
+                assert_eq!(replay.records.len(), records.len() + 1, "frame {idx}");
+                assert_eq!(replay.records[idx - 1], replay.records[idx], "frame {idx}");
+                assert_eq!(replay.truncated, 0, "frame {idx}");
+            }
+            // Generation counters stay monotone and appendable.
+            let s = StreamId::hidden(3, 1);
+            let g = j.generation(s);
+            j.log_delete(s).unwrap();
+            assert_eq!(j.generation(s), g + 1, "frame {idx}");
+        }
+        std::fs::remove_dir_all(&master).unwrap();
+        std::fs::remove_dir_all(&case).unwrap();
     }
 }

@@ -35,10 +35,19 @@
 //!   layer the sharded read path was built to feed. Opt in with
 //!   [`manager::StorageManager::with_read_fanout`]; output is bit-identical
 //!   to the sequential read at every width.
+//! * **IO reactor** ([`reactor::Reactor`]): the event-driven alternative
+//!   to thread-per-lane reads — per-device submission queues with
+//!   configurable iodepth, completion-driven read state machines
+//!   (`planned → submitted → decoded → placed`), and a shared run queue
+//!   for a fixed pool of compute workers, so in-flight restores are
+//!   bounded by memory and iodepth rather than threads. Opt in with
+//!   [`manager::StorageManager::with_reactor`]; output stays bit-identical
+//!   to the sequential walk at every iodepth.
 //! * **Latency model** ([`latency::LatencyStore`]): wraps any backend with
-//!   per-device service time and occupancy (one request in flight per
-//!   device), so benches measure the IO-overlap behavior real NVMe arrays
-//!   exhibit instead of page-cache speed.
+//!   per-device service time modeled by a deadline clock (a service
+//!   window is reserved at submission; nothing sleeps holding a lock), so
+//!   benches measure the IO-overlap behavior real NVMe arrays exhibit
+//!   instead of page-cache speed.
 //! * **Two-stage saver** ([`two_stage`]): stage 1 snapshots a batch of new
 //!   rows synchronously (cheap memcpy, as `cudaMemcpy` to host DRAM in the
 //!   paper); stage 2, a background daemon, reorganizes rows into chunks and
@@ -67,6 +76,7 @@ pub mod journal;
 pub mod latency;
 pub mod layout;
 pub mod manager;
+pub mod reactor;
 pub mod tiered;
 pub mod two_stage;
 
@@ -184,7 +194,7 @@ impl StreamId {
 }
 
 /// Errors surfaced by the storage layer.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StorageError {
     /// A requested chunk does not exist in the backend.
     MissingChunk {

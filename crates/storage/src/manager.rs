@@ -173,6 +173,7 @@ use crate::backend::{ChunkStore, FileStore, StoreStats};
 use crate::chunk::{chunks_for_range, device_for, ChunkKey, ChunkSlice, CHUNK_TOKENS};
 use crate::fanout::FanoutPool;
 use crate::journal::{crc32, Journal, JournalHeader, JournalRecord, JournalReplay};
+use crate::reactor::Reactor;
 use crate::{Precision, StorageError, StreamId};
 
 /// Read attempts before a transient [`StorageError::DeviceFailed`] is
@@ -288,6 +289,24 @@ enum StreamPhase {
     Restart,
 }
 
+/// `(slice_idx, key, device)` of device-occupying durable chunks,
+/// ascending slice order.
+type DeviceChunks = Vec<(usize, ChunkKey, usize)>;
+/// `(slice_idx, key)` of DRAM-tier front hits, ascending slice order.
+type FastChunks = Vec<(usize, ChunkKey)>;
+
+/// One reactor-eligible read's submission plan: every device-occupying
+/// durable chunk with its owning device (ascending slice order — the
+/// order submissions enter the device queues), the DRAM-tier front hits
+/// read inline, and the in-flight window.
+struct ReactorPlan {
+    device_chunks: DeviceChunks,
+    fast: FastChunks,
+    /// Max chunk reads in flight at once: `iodepth × occupied devices`,
+    /// capped at the chunk count — also the completion-staging bound.
+    window: usize,
+}
+
 /// One fanout-eligible read's submission plan: the device-occupying
 /// chunks partitioned into per-device lanes for the pool, and the
 /// DRAM-tier front hits the calling thread reads inline.
@@ -325,6 +344,12 @@ pub struct StorageManager<S: ChunkStore> {
     /// sequentially from the calling thread). Shared by every read of this
     /// manager, so the in-flight IO bound holds across concurrent readers.
     fanout: Option<Arc<FanoutPool>>,
+    /// Event-driven IO reactor (None: reads use the fanout pool or the
+    /// sequential walk). When attached, multi-chunk reads ride the
+    /// per-device submission queues instead of thread-per-lane fanout,
+    /// and the async [`ReactorReadJob`] API becomes available. Takes
+    /// precedence over `fanout` on eligible ranges.
+    reactor: Option<Arc<Reactor>>,
     /// Outer shard map: stream id → per-stream state cell. Held only to
     /// resolve/insert/remove entries, never across IO or codec work.
     streams: RwLock<HashMap<StreamId, Arc<RwLock<StreamState>>>>,
@@ -354,6 +379,7 @@ impl<S: ChunkStore> StorageManager<S> {
             precision,
             parallel: hc_tensor::ParallelConfig::serial(),
             fanout: None,
+            reactor: None,
             streams: RwLock::new(HashMap::new()),
             total_resident: AtomicU64::new(0),
             journal: None,
@@ -421,6 +447,41 @@ impl<S: ChunkStore> StorageManager<S> {
     /// counter to pin the adaptive skip decisions).
     pub fn read_fanout_pool(&self) -> Option<&Arc<FanoutPool>> {
         self.fanout.as_ref()
+    }
+
+    /// Attaches an event-driven IO [`Reactor`] as the read engine:
+    /// multi-chunk reads submit to its per-device queues (iodepth requests
+    /// in flight per device) instead of fanning out thread-per-lane, and
+    /// [`StorageManager::begin_read_reactor`] exposes the asynchronous
+    /// read state machine restore drivers use to keep thousands of
+    /// restores in flight from a fixed worker pool. Output is
+    /// bit-identical to the sequential walk at every iodepth. The
+    /// reactor's device count must match the store's.
+    pub fn with_reactor(mut self, reactor: Arc<Reactor>) -> Self {
+        assert_eq!(
+            reactor.n_devices(),
+            self.store.n_devices().max(1),
+            "reactor device count must match the store's device count"
+        );
+        self.reactor = Some(reactor);
+        self
+    }
+
+    /// The attached IO reactor, if any.
+    pub fn reactor(&self) -> Option<&Arc<Reactor>> {
+        self.reactor.as_ref()
+    }
+
+    /// How many chunk reads one `read_rows` call can keep in flight: the
+    /// reactor's aggregate queue depth when one is attached, else the
+    /// fanout width, else 1 (sequential). Restore pipelines size their
+    /// chunk-staging depth from this.
+    pub fn read_parallelism(&self) -> usize {
+        let reactor = self
+            .reactor
+            .as_ref()
+            .map_or(1, |r| r.n_devices() * r.iodepth());
+        reactor.max(self.read_fanout_width())
     }
 
     /// Storage precision in use.
@@ -724,9 +785,13 @@ impl<S: ChunkStore> StorageManager<S> {
                 tail: tail.as_deref(),
                 range_start: start,
             };
-            let phase = match self.fanout_for_range(&plan) {
-                Some(fp) => self.stream_slices_fanout(fp, &plan, &cell, sink),
-                None => self.stream_slices_sequential(&plan, &cell, sink),
+            let phase = if let Some(rp) = self.reactor_plan_for_range(&plan) {
+                self.stream_slices_reactor(rp, &plan, &cell, sink)
+            } else {
+                match self.fanout_for_range(&plan) {
+                    Some(fp) => self.stream_slices_fanout(fp, &plan, &cell, sink),
+                    None => self.stream_slices_sequential(&plan, &cell, sink),
+                }
             };
 
             match phase {
@@ -1047,6 +1112,235 @@ impl<S: ChunkStore> StorageManager<S> {
         Ok(StreamPhase::Done)
     }
 
+    /// Partitions a planned range for the reactor: every durable chunk
+    /// that occupies a device (ascending slice order, tagged with its
+    /// owning device), fast-tier front hits separately, plus the in-flight
+    /// window (`iodepth × occupied devices`, capped at the chunk count).
+    fn reactor_partition(
+        &self,
+        plan: &ReadPlan<'_>,
+        iodepth: usize,
+    ) -> (DeviceChunks, FastChunks, usize) {
+        let n_dev = self.store.n_devices().max(1);
+        let mut device_chunks: Vec<(usize, ChunkKey, usize)> = Vec::new();
+        let mut fast: Vec<(usize, ChunkKey)> = Vec::new();
+        let mut occupied: HashSet<usize> = HashSet::new();
+        for (i, slice) in plan.slices.iter().enumerate() {
+            if Self::slice_is_durable(slice, plan.durable) {
+                let key = ChunkKey {
+                    stream: plan.stream,
+                    chunk_idx: slice.chunk_idx,
+                };
+                if self.store.chunk_in_fast_tier(key) {
+                    fast.push((i, key));
+                } else {
+                    let device = device_for(&key, n_dev);
+                    occupied.insert(device);
+                    device_chunks.push((i, key, device));
+                }
+            }
+        }
+        let window = (iodepth * occupied.len().max(1))
+            .min(device_chunks.len())
+            .max(1);
+        (device_chunks, fast, window)
+    }
+
+    /// The adaptive reactor decision for one planned read: `Some(plan)`
+    /// when at least two chunks occupy devices (a single device-occupying
+    /// chunk serializes anyway, and fast-tier hits are read inline either
+    /// way), `None` to fall through to fanout/sequential. An attached
+    /// reactor takes precedence over a fanout pool.
+    fn reactor_plan_for_range(&self, plan: &ReadPlan<'_>) -> Option<ReactorPlan> {
+        let reactor = self.reactor.as_ref()?;
+        let (device_chunks, fast, window) = self.reactor_partition(plan, reactor.iodepth());
+        if device_chunks.len() <= 1 {
+            return None;
+        }
+        Some(ReactorPlan {
+            device_chunks,
+            fast,
+            window,
+        })
+    }
+
+    /// The reactor streaming walk: device chunks are submitted to the
+    /// per-device queues in ascending slice order with at most
+    /// `rp.window` in flight; the calling thread serves fast-tier front
+    /// hits inline, then validates, decodes and delivers each chunk as
+    /// its completion lands, topping the window back up after every
+    /// completion. Ascending submission keeps the lowest-index-error
+    /// determinism argument of the fanout path: any chunk not yet
+    /// submitted has a higher slice index than every submitted one, so
+    /// draining the in-flight set always surfaces the same error the
+    /// sequential walk would have hit first.
+    ///
+    /// Unlike [`FanoutPool`] lanes, IO threads never block on this
+    /// reader's completion channel (its capacity equals the window, and
+    /// at most `window` completions are outstanding), so a slow consumer
+    /// cannot head-of-line block other readers sharing the device queues.
+    fn stream_slices_reactor(
+        &self,
+        rp: ReactorPlan,
+        plan: &ReadPlan<'_>,
+        cell: &Option<Arc<RwLock<StreamState>>>,
+        sink: &mut dyn RowSink,
+    ) -> Result<StreamPhase, StorageError> {
+        let reactor = self.reactor.as_ref().expect("plan implies reactor");
+        let slices = plan.slices;
+        let total = rp.device_chunks.len();
+        let (tx, rx) = bounded::<(usize, Result<Vec<u8>, StorageError>)>(rp.window);
+        let mut next = 0usize;
+        let mut in_flight = 0usize;
+        let submit_next = |next: &mut usize, in_flight: &mut usize| {
+            let (i, key, device) = rp.device_chunks[*next];
+            *next += 1;
+            *in_flight += 1;
+            let store = Arc::clone(&self.store);
+            let tx = tx.clone();
+            reactor.submit_io(device, move || {
+                // A panicking store must not strand the reader waiting on
+                // a completion that never comes: convert to a typed error.
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    read_chunk_retrying(store.as_ref(), key)
+                }))
+                .unwrap_or_else(|_| {
+                    Err(StorageError::Io(format!(
+                        "chunk read panicked (chunk {} of {:?})",
+                        key.chunk_idx, key.stream
+                    )))
+                });
+                let _ = tx.send((i, res));
+            });
+        };
+        while in_flight < rp.window && next < total {
+            submit_next(&mut next, &mut in_flight);
+        }
+        // Front hits inline while device IO is in flight (same rationale
+        // as the fanout path).
+        let mut first_err: Option<(usize, StorageError)> = None;
+        let mut ended: Option<StreamPhase> = None;
+        for (i, key) in rp.fast.iter().copied() {
+            match read_chunk_retrying(self.store.as_ref(), key)
+                .and_then(|bytes| self.decode_durable_chunk(plan.stream, &slices[i], &bytes))
+            {
+                Ok(rows) => match self.deliver_slice(plan, cell, sink, i, rows) {
+                    StreamPhase::Done => {}
+                    other => {
+                        ended = Some(other);
+                        break;
+                    }
+                },
+                Err(e) => {
+                    first_err = Some((i, e));
+                    break;
+                }
+            }
+        }
+        // Drain in-flight completions; keep the window topped up while
+        // healthy. On error/restart/cancel, submission stops and the
+        // remaining in-flight chunks drain cheaply.
+        while in_flight > 0 {
+            let (i, res) = rx.recv().expect("reactor dropped a completion");
+            in_flight -= 1;
+            if ended.is_none() && first_err.is_none() && next < total {
+                submit_next(&mut next, &mut in_flight);
+            }
+            if ended.is_some() {
+                continue;
+            }
+            match res.and_then(|bytes| self.decode_durable_chunk(plan.stream, &slices[i], &bytes)) {
+                Ok(rows) => {
+                    if first_err.is_none() {
+                        match self.deliver_slice(plan, cell, sink, i, rows) {
+                            StreamPhase::Done => {}
+                            other => ended = Some(other),
+                        }
+                    }
+                }
+                Err(e) => {
+                    if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_err = Some((i, e));
+                    }
+                }
+            }
+        }
+        if let Some(phase) = ended {
+            return Ok(phase);
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        // Tail slice inline, exactly like the other walks.
+        if let Some(slice) = slices
+            .last()
+            .filter(|s| !Self::slice_is_durable(s, plan.durable))
+        {
+            debug_assert_eq!(slice.chunk_idx as u64 * CHUNK_TOKENS, plan.durable);
+            let rows = self.decode_tail(plan.tail.expect("range past durable implies tail"));
+            let i = slices.len() - 1;
+            match self.deliver_slice(plan, cell, sink, i, rows) {
+                StreamPhase::Done => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(StreamPhase::Done)
+    }
+
+    /// Begins an **asynchronous** streaming read of `[start, end)` driven
+    /// by the attached reactor: the per-restore read state machine
+    /// (`planned → submitted → decoded → placed`).
+    ///
+    /// The returned job immediately owns no thread. Device IO is
+    /// submitted (ascending, windowed) on the first [`ReactorReadJob::pump`];
+    /// each completion stages its raw bytes on the job and fires `notify`.
+    /// The owner — typically a restore driver's compute worker pool —
+    /// responds to `notify` by calling `pump` with its sink, which
+    /// validates/decodes/delivers every staged chunk through the exact
+    /// helpers the sequential walk uses (bit-identical output), restarts
+    /// the pass on a mid-read tombstone (after `sink.reset()`), and
+    /// resolves errors to the lowest slice index once the window drains.
+    ///
+    /// Caller contract: `pump` must not run concurrently for one job (the
+    /// driver's run-queue serialization provides this); `notify` must be
+    /// cheap and non-blocking (push a token, nothing more).
+    ///
+    /// # Panics
+    /// Panics when no reactor is attached, or on a reversed range.
+    pub fn begin_read_reactor(
+        self: &Arc<Self>,
+        stream: StreamId,
+        start: u64,
+        end: u64,
+        notify: Arc<dyn Fn() + Send + Sync>,
+    ) -> Arc<ReactorReadJob<S>> {
+        assert!(start <= end, "reversed range {start}..{end}");
+        assert!(
+            self.reactor.is_some(),
+            "begin_read_reactor requires a manager with_reactor"
+        );
+        Arc::new(ReactorReadJob {
+            mgr: Arc::clone(self),
+            stream,
+            start,
+            end,
+            notify,
+            core: parking_lot::Mutex::new(JobCore {
+                pass: None,
+                epoch: 0,
+                staged: std::collections::VecDeque::new(),
+                in_flight: 0,
+                next_submit: 0,
+                halted: false,
+                first_err: None,
+                delivered: 0,
+                fast_done: false,
+                tail_done: false,
+                terminal: None,
+            }),
+        })
+    }
+
     /// Backend bytes currently held by `stream` (durable chunks including
     /// the flushed tail; rows still sitting in the partial buffer occupy no
     /// backend bytes until a flush).
@@ -1255,6 +1549,9 @@ impl<S: ChunkStore> StorageManager<S> {
                 JournalRecord::Delete { stream, .. } => {
                     folds.remove(&stream);
                 }
+                // Compaction's generation baseline carries no chunk
+                // state; the journal consumes it when seeding counters.
+                JournalRecord::Gen { .. } => {}
             }
         }
 
@@ -1400,6 +1697,431 @@ impl StorageManager<FileStore> {
         let (journal, replay) = Journal::reopen(root.as_ref(), true)?;
         let store = Arc::new(FileStore::open(root.as_ref(), replay.header.n_devices)?);
         Self::recover_replayed(store, Arc::new(journal), replay)
+    }
+}
+
+/// Progress of one asynchronous reactor read after a
+/// [`ReactorReadJob::pump`] pass.
+#[derive(Debug)]
+pub enum PumpOutcome {
+    /// IO is still in flight; another `notify` → `pump` round will follow.
+    Pending,
+    /// Every slice (and the tail) was delivered; the job is finished.
+    /// Terminal and sticky — later pumps return `Done` again.
+    Done,
+    /// The read failed after its in-flight window drained; the error is
+    /// the lowest-slice-index one, exactly what the sequential walk would
+    /// have surfaced first. Terminal and sticky.
+    Failed(StorageError),
+}
+
+/// Pass-immutable snapshot of one attempt at the range: built under the
+/// brief stream read lock (same discipline as `read_rows_streaming`),
+/// then shared by pump passes so decode runs with no job lock held.
+struct JobPass {
+    slices: Vec<ChunkSlice>,
+    durable: u64,
+    tail: Option<Vec<f32>>,
+    cell: Option<Arc<RwLock<StreamState>>>,
+    /// `(slice_idx, key, device)` of device-occupying chunks, ascending.
+    device_chunks: Vec<(usize, ChunkKey, usize)>,
+    /// `(slice_idx, key)` of fast-tier front hits, ascending.
+    fast: Vec<(usize, ChunkKey)>,
+    /// In-flight submission window (also bounds staged raw bytes).
+    window: usize,
+}
+
+/// Mutable state of one async read job, guarded by the job mutex. The
+/// lock is held for staging/bookkeeping only — never across backend IO
+/// or decode.
+struct JobCore {
+    /// Current pass; `None` before the first pump and between a tombstone
+    /// restart and the next pump.
+    pass: Option<Arc<JobPass>>,
+    /// Fences off completions of abandoned passes: submissions carry the
+    /// epoch they were issued under, and stale completions are dropped.
+    epoch: u64,
+    /// Raw completions awaiting decode, in completion order.
+    staged: std::collections::VecDeque<(usize, Result<Vec<u8>, StorageError>)>,
+    in_flight: usize,
+    /// Next index into `pass.device_chunks` to submit.
+    next_submit: usize,
+    /// An error was observed; stop topping up the window and let the
+    /// in-flight chunks drain so the lowest-index error wins.
+    halted: bool,
+    first_err: Option<(usize, StorageError)>,
+    /// Device chunks delivered this pass.
+    delivered: usize,
+    fast_done: bool,
+    tail_done: bool,
+    /// Sticky final result; set exactly once.
+    terminal: Option<Result<(), StorageError>>,
+}
+
+/// The per-read state machine of the event-driven read path: each chunk
+/// advances `planned` (in `pass.device_chunks`, not yet submitted) →
+/// `submitted` (in its device queue / in flight) → `decoded` (staged
+/// bytes validated + decoded on a pump pass) → `placed` (delivered to the
+/// sink). Created by [`StorageManager::begin_read_reactor`]; see there
+/// for the ownership contract.
+pub struct ReactorReadJob<S: ChunkStore> {
+    mgr: Arc<StorageManager<S>>,
+    stream: StreamId,
+    start: u64,
+    end: u64,
+    /// Fired (outside the job lock) whenever completions are staged; the
+    /// owner responds by scheduling a pump.
+    notify: Arc<dyn Fn() + Send + Sync>,
+    core: parking_lot::Mutex<JobCore>,
+}
+
+/// What one pump iteration decided to do, resolved under the job lock
+/// and executed (IO, decode, delivery) after releasing it.
+enum PumpStep {
+    /// State changed under the lock; re-decide.
+    Continue,
+    Done,
+    Failed(StorageError),
+    Pending,
+    /// Decode + deliver this batch (and the fast front hits first, when
+    /// `fast_todo`).
+    Batch {
+        pass: Arc<JobPass>,
+        batch: Vec<(usize, Result<Vec<u8>, StorageError>)>,
+        fast_todo: bool,
+        /// An earlier pass already recorded an error: drain without
+        /// delivering (mirrors the fanout drain's post-error behavior).
+        prior_failed: bool,
+    },
+    /// All device chunks placed; rebuild and deliver the tail slice.
+    Tail(Arc<JobPass>),
+}
+
+impl<S: ChunkStore> ReactorReadJob<S> {
+    /// The stream this job reads.
+    pub fn stream(&self) -> StreamId {
+        self.stream
+    }
+
+    /// The half-open token range this job reads.
+    pub fn range(&self) -> (u64, u64) {
+        (self.start, self.end)
+    }
+
+    /// Starts a pass: snapshot the stream (brief read lock), plan the
+    /// range, submit the initial window. Caller holds the core lock.
+    fn start_pass(self: &Arc<Self>, core: &mut JobCore) -> Result<(), StorageError> {
+        let mgr = &self.mgr;
+        let cell = mgr.stream_handle(self.stream);
+        let (available, durable, tail) = match &cell {
+            Some(cell) => {
+                let state = cell.read();
+                let available = state.n_tokens;
+                let tail = if self.end > state.n_durable && !state.partial.is_empty() {
+                    Some(state.partial.clone())
+                } else {
+                    None
+                };
+                (available, state.n_durable, tail)
+            }
+            None => (0, 0, None),
+        };
+        if self.end > available {
+            return Err(StorageError::OutOfRange {
+                stream: self.stream,
+                available,
+                requested: self.end,
+            });
+        }
+        let slices = chunks_for_range(self.start, self.end);
+        let iodepth = mgr.reactor.as_ref().expect("job implies reactor").iodepth();
+        let (device_chunks, fast, window) = {
+            let plan = ReadPlan {
+                stream: self.stream,
+                slices: &slices,
+                durable,
+                tail: tail.as_deref(),
+                range_start: self.start,
+            };
+            mgr.reactor_partition(&plan, iodepth)
+        };
+        core.epoch += 1;
+        core.staged.clear();
+        core.in_flight = 0;
+        core.next_submit = 0;
+        core.halted = false;
+        core.first_err = None;
+        core.delivered = 0;
+        core.fast_done = false;
+        core.tail_done = false;
+        let pass = Arc::new(JobPass {
+            slices,
+            durable,
+            tail,
+            cell,
+            device_chunks,
+            fast,
+            window,
+        });
+        core.pass = Some(Arc::clone(&pass));
+        while core.in_flight < pass.window && core.next_submit < pass.device_chunks.len() {
+            self.submit_one(core, &pass);
+        }
+        Ok(())
+    }
+
+    /// Submits the next planned chunk to its device queue (a channel
+    /// send — never blocks). Caller holds the core lock.
+    fn submit_one(self: &Arc<Self>, core: &mut JobCore, pass: &Arc<JobPass>) {
+        let (i, key, device) = pass.device_chunks[core.next_submit];
+        core.next_submit += 1;
+        core.in_flight += 1;
+        let epoch = core.epoch;
+        let job = Arc::clone(self);
+        let store = Arc::clone(&self.mgr.store);
+        self.mgr
+            .reactor
+            .as_ref()
+            .expect("job implies reactor")
+            .submit_io(device, move || {
+                // A panicking store must not strand the machine on a
+                // completion that never comes: convert to a typed error.
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    read_chunk_retrying(store.as_ref(), key)
+                }))
+                .unwrap_or_else(|_| {
+                    Err(StorageError::Io(format!(
+                        "chunk read panicked (chunk {} of {:?})",
+                        key.chunk_idx, key.stream
+                    )))
+                });
+                job.complete_io(epoch, i, res);
+            });
+    }
+
+    /// IO-thread side of a completion: stage the raw bytes, top the
+    /// window back up, fire `notify`. Stale-epoch completions (from a
+    /// pass abandoned by a tombstone restart) are dropped.
+    fn complete_io(
+        self: &Arc<Self>,
+        epoch: u64,
+        slice_idx: usize,
+        res: Result<Vec<u8>, StorageError>,
+    ) {
+        {
+            let mut core = self.core.lock();
+            if core.epoch != epoch || core.terminal.is_some() {
+                return;
+            }
+            core.in_flight -= 1;
+            if res.is_err() {
+                core.halted = true;
+            }
+            core.staged.push_back((slice_idx, res));
+            if !core.halted {
+                if let Some(pass) = core.pass.clone() {
+                    if core.next_submit < pass.device_chunks.len() {
+                        self.submit_one(&mut core, &pass);
+                    }
+                }
+            }
+        }
+        (self.notify)();
+    }
+
+    /// Abandons the current pass after a tombstone observation: the epoch
+    /// bump fences off its in-flight completions, the sink discards
+    /// everything delivered, and the next decide starts a fresh pass
+    /// against the successor state.
+    fn restart(&self, sink: &mut dyn RowSink) {
+        let mut core = self.core.lock();
+        core.epoch += 1;
+        core.pass = None;
+        core.staged.clear();
+        core.in_flight = 0;
+        core.next_submit = 0;
+        core.halted = false;
+        core.first_err = None;
+        core.delivered = 0;
+        core.fast_done = false;
+        core.tail_done = false;
+        drop(core);
+        sink.reset();
+    }
+
+    /// Advances the state machine: validates, decodes and delivers every
+    /// staged completion to `sink` (through the same helpers the
+    /// sequential walk uses — bit-identical output), handling tombstone
+    /// restarts, sink cancellation and deterministic error resolution.
+    ///
+    /// Must not run concurrently for one job (see
+    /// [`StorageManager::begin_read_reactor`]); IO threads staging new
+    /// completions during a pump are fine — they fire another `notify`.
+    pub fn pump(self: &Arc<Self>, sink: &mut dyn RowSink) -> PumpOutcome {
+        loop {
+            let step = {
+                let mut core = self.core.lock();
+                if let Some(t) = &core.terminal {
+                    match t {
+                        Ok(()) => PumpStep::Done,
+                        Err(e) => PumpStep::Failed(e.clone()),
+                    }
+                } else if core.pass.is_none() {
+                    match self.start_pass(&mut core) {
+                        Ok(()) => PumpStep::Continue,
+                        Err(e) => {
+                            core.terminal = Some(Err(e.clone()));
+                            PumpStep::Failed(e)
+                        }
+                    }
+                } else if !core.staged.is_empty() || !core.fast_done {
+                    let pass = Arc::clone(core.pass.as_ref().expect("checked above"));
+                    let batch: Vec<_> = core.staged.drain(..).collect();
+                    let fast_todo = !core.fast_done;
+                    core.fast_done = true;
+                    PumpStep::Batch {
+                        pass,
+                        batch,
+                        fast_todo,
+                        prior_failed: core.first_err.is_some(),
+                    }
+                } else if core.halted {
+                    if core.in_flight == 0 {
+                        let (_, e) = core.first_err.take().expect("halted implies an error");
+                        core.terminal = Some(Err(e.clone()));
+                        PumpStep::Failed(e)
+                    } else {
+                        PumpStep::Pending
+                    }
+                } else {
+                    let pass = Arc::clone(core.pass.as_ref().expect("checked above"));
+                    if core.delivered == pass.device_chunks.len() && core.in_flight == 0 {
+                        let has_tail = pass.slices.last().is_some_and(|s| {
+                            !StorageManager::<S>::slice_is_durable(s, pass.durable)
+                        });
+                        if core.tail_done || !has_tail {
+                            core.terminal = Some(Ok(()));
+                            PumpStep::Done
+                        } else {
+                            core.tail_done = true;
+                            PumpStep::Tail(pass)
+                        }
+                    } else {
+                        PumpStep::Pending
+                    }
+                }
+            };
+
+            match step {
+                PumpStep::Continue => continue,
+                PumpStep::Done => return PumpOutcome::Done,
+                PumpStep::Failed(e) => return PumpOutcome::Failed(e),
+                PumpStep::Pending => return PumpOutcome::Pending,
+                PumpStep::Tail(pass) => {
+                    let plan = ReadPlan {
+                        stream: self.stream,
+                        slices: &pass.slices,
+                        durable: pass.durable,
+                        tail: pass.tail.as_deref(),
+                        range_start: self.start,
+                    };
+                    let rows = self
+                        .mgr
+                        .decode_tail(plan.tail.expect("tail slice implies snapshotted tail"));
+                    let i = pass.slices.len() - 1;
+                    match self.mgr.deliver_slice(&plan, &pass.cell, sink, i, rows) {
+                        StreamPhase::Done => continue,
+                        StreamPhase::Cancelled => {
+                            self.core.lock().terminal = Some(Ok(()));
+                            return PumpOutcome::Done;
+                        }
+                        StreamPhase::Restart => {
+                            self.restart(sink);
+                            continue;
+                        }
+                    }
+                }
+                PumpStep::Batch {
+                    pass,
+                    batch,
+                    fast_todo,
+                    prior_failed,
+                } => {
+                    let plan = ReadPlan {
+                        stream: self.stream,
+                        slices: &pass.slices,
+                        durable: pass.durable,
+                        tail: pass.tail.as_deref(),
+                        range_start: self.start,
+                    };
+                    let mut errs: Vec<(usize, StorageError)> = Vec::new();
+                    let mut delivered = 0usize;
+                    let mut ended: Option<StreamPhase> = None;
+                    if fast_todo && !prior_failed {
+                        for (i, key) in pass.fast.iter().copied() {
+                            if ended.is_some() || !errs.is_empty() {
+                                break;
+                            }
+                            match read_chunk_retrying(self.mgr.store.as_ref(), key).and_then(
+                                |bytes| {
+                                    self.mgr.decode_durable_chunk(
+                                        self.stream,
+                                        &pass.slices[i],
+                                        &bytes,
+                                    )
+                                },
+                            ) {
+                                Ok(rows) => {
+                                    match self.mgr.deliver_slice(&plan, &pass.cell, sink, i, rows) {
+                                        StreamPhase::Done => {}
+                                        other => ended = Some(other),
+                                    }
+                                }
+                                Err(e) => errs.push((i, e)),
+                            }
+                        }
+                    }
+                    for (i, res) in batch {
+                        if ended.is_some() {
+                            continue;
+                        }
+                        match res.and_then(|bytes| {
+                            self.mgr
+                                .decode_durable_chunk(self.stream, &pass.slices[i], &bytes)
+                        }) {
+                            Ok(rows) => {
+                                if !prior_failed && errs.is_empty() {
+                                    match self.mgr.deliver_slice(&plan, &pass.cell, sink, i, rows) {
+                                        StreamPhase::Done => delivered += 1,
+                                        other => ended = Some(other),
+                                    }
+                                }
+                            }
+                            Err(e) => errs.push((i, e)),
+                        }
+                    }
+                    {
+                        let mut core = self.core.lock();
+                        core.delivered += delivered;
+                        for (i, e) in errs {
+                            core.halted = true;
+                            if core.first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                                core.first_err = Some((i, e));
+                            }
+                        }
+                    }
+                    match ended {
+                        Some(StreamPhase::Restart) => self.restart(sink),
+                        Some(StreamPhase::Cancelled) => {
+                            self.core.lock().terminal = Some(Ok(()));
+                            return PumpOutcome::Done;
+                        }
+                        _ => {}
+                    }
+                    continue;
+                }
+            }
+        }
     }
 }
 
@@ -2416,5 +3138,237 @@ mod tests {
         assert_eq!(report.streams_recovered, 1);
         assert_eq!(m2.read_rows(s, 0, 64).unwrap(), expect);
         std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    // ---- Event-driven reactor read path ----
+
+    use crate::reactor::Reactor;
+
+    #[test]
+    fn reactor_reads_bit_identical_to_sequential_at_every_iodepth() {
+        let seq = mgr();
+        let s = StreamId::hidden(1, 0);
+        let t = rows(300, 3); // 4 full chunks + a 44-row tail
+        seq.append_rows(s, &t).unwrap();
+        let ranges = [
+            (0, 300),
+            (0, 256),
+            (70, 200),
+            (64, 128),
+            (5, 20),
+            (250, 300),
+        ];
+        for iodepth in [1usize, 2, 4, 8] {
+            let reactor = Reactor::new(4, iodepth);
+            let m = StorageManager::new(Arc::new(MemStore::new(4)), D)
+                .with_reactor(Arc::clone(&reactor));
+            assert_eq!(m.read_parallelism(), 4 * iodepth);
+            m.append_rows(s, &t).unwrap();
+            for &(a, b) in &ranges {
+                assert_eq!(
+                    m.read_rows(s, a, b).unwrap(),
+                    seq.read_rows(s, a, b).unwrap(),
+                    "iodepth {iodepth} range {a}..{b} diverged"
+                );
+            }
+            assert!(
+                reactor.ios_submitted() > 0,
+                "multi-chunk ranges must ride the device queues"
+            );
+        }
+    }
+
+    #[test]
+    fn reactor_takes_precedence_over_fanout_and_skips_small_ranges() {
+        let reactor = Reactor::new(4, 2);
+        let m = StorageManager::new(Arc::new(MemStore::new(4)), D)
+            .with_read_fanout(4)
+            .with_reactor(Arc::clone(&reactor));
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(256, 1)).unwrap();
+        // ≤ 1 device chunk: read inline — neither engine sees it.
+        let fanout_jobs = m.read_fanout_pool().unwrap().jobs_submitted();
+        m.read_rows(s, 0, 64).unwrap();
+        assert_eq!(reactor.ios_submitted(), 0);
+        assert_eq!(m.read_fanout_pool().unwrap().jobs_submitted(), fanout_jobs);
+        // Multi-chunk: the reactor serves it, not the fanout pool.
+        m.read_rows(s, 0, 256).unwrap();
+        assert_eq!(reactor.ios_submitted(), 4);
+        assert_eq!(m.read_fanout_pool().unwrap().jobs_submitted(), fanout_jobs);
+    }
+
+    #[test]
+    fn reactor_missing_state_surfaces_the_lowest_chunk_error() {
+        let store = Arc::new(MemStore::new(4));
+        let m = StorageManager::new(Arc::clone(&store), D).with_reactor(Reactor::new(4, 4));
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(256, 1)).unwrap();
+        store.delete_stream(s);
+        let err = m.read_rows(s, 0, 256).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::MissingChunk {
+                stream: s,
+                chunk_idx: 0
+            }
+        );
+    }
+
+    #[test]
+    fn reactor_read_racing_delete_and_restart_never_mixes_generations() {
+        let store = Arc::new(FaultStore::new(Arc::new(MemStore::new(2))));
+        let mgr =
+            Arc::new(StorageManager::new(Arc::clone(&store), D).with_reactor(Reactor::new(2, 4)));
+        let s = StreamId::hidden(1, 0);
+        mgr.append_rows(s, &rows(128, 1)).unwrap(); // generation 1: 2 chunks
+        let mgr2 = Arc::clone(&mgr);
+        store.on_nth_read(0, move || {
+            mgr2.delete_stream(s);
+            mgr2.append_rows(s, &rows(128, 2)).unwrap(); // generation 2
+        });
+        let got = mgr.read_rows(s, 0, 128).unwrap();
+        let gen2 = rows(128, 2);
+        for r in 0..128 {
+            for c in 0..D {
+                assert_eq!(got.get(r, c), f16_roundtrip(gen2.get(r, c)));
+            }
+        }
+    }
+
+    /// Assembles async-job deliveries like `read_rows` does, tracking
+    /// resets so generation restarts discard the dead rows.
+    struct AsyncAssemble {
+        n_rows: usize,
+        d_model: usize,
+        out: Tensor2,
+        resets: usize,
+    }
+
+    impl AsyncAssemble {
+        fn new(n_rows: usize, d_model: usize) -> Self {
+            Self {
+                n_rows,
+                d_model,
+                out: Tensor2::zeros(n_rows, d_model),
+                resets: 0,
+            }
+        }
+    }
+
+    impl RowSink for AsyncAssemble {
+        fn deliver(&mut self, chunk: DeliveredRows) -> bool {
+            for r in 0..chunk.rows.rows() {
+                self.out
+                    .row_mut(chunk.row_start + r)
+                    .copy_from_slice(chunk.rows.row(r));
+            }
+            true
+        }
+        fn reset(&mut self) {
+            self.out = Tensor2::zeros(self.n_rows, self.d_model);
+            self.resets += 1;
+        }
+    }
+
+    /// Drives one async job to its terminal outcome from the test thread
+    /// (pump, nap on Pending — the driver's run queue in miniature).
+    fn drive_job<S: ChunkStore>(
+        job: &Arc<ReactorReadJob<S>>,
+        sink: &mut AsyncAssemble,
+    ) -> Result<(), StorageError> {
+        loop {
+            match job.pump(sink) {
+                PumpOutcome::Done => return Ok(()),
+                PumpOutcome::Failed(e) => return Err(e),
+                PumpOutcome::Pending => std::thread::sleep(Duration::from_micros(100)),
+            }
+        }
+    }
+
+    #[test]
+    fn async_reactor_job_is_bit_identical_to_read_rows() {
+        let m = Arc::new(
+            StorageManager::new(Arc::new(MemStore::new(4)), D).with_reactor(Reactor::new(4, 2)),
+        );
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(300, 7)).unwrap(); // durable chunks + tail
+        for (a, b) in [(0u64, 300u64), (64, 256), (5, 20), (250, 300), (0, 0)] {
+            let job = m.begin_read_reactor(s, a, b, Arc::new(|| {}));
+            assert_eq!(job.stream(), s);
+            assert_eq!(job.range(), (a, b));
+            let mut sink = AsyncAssemble::new((b - a) as usize, D);
+            drive_job(&job, &mut sink).unwrap();
+            assert_eq!(sink.out, m.read_rows(s, a, b).unwrap(), "range {a}..{b}");
+            // Terminal outcomes are sticky.
+            assert!(matches!(job.pump(&mut sink), PumpOutcome::Done));
+        }
+    }
+
+    #[test]
+    fn async_reactor_job_out_of_range_is_terminal() {
+        let m = Arc::new(
+            StorageManager::new(Arc::new(MemStore::new(4)), D).with_reactor(Reactor::new(4, 2)),
+        );
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(10, 1)).unwrap();
+        let job = m.begin_read_reactor(s, 0, 100, Arc::new(|| {}));
+        let mut sink = AsyncAssemble::new(100, D);
+        let err = drive_job(&job, &mut sink).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::OutOfRange {
+                stream: s,
+                available: 10,
+                requested: 100
+            }
+        );
+        assert!(matches!(
+            job.pump(&mut sink),
+            PumpOutcome::Failed(StorageError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn async_reactor_job_failure_resolves_to_the_lowest_chunk_error() {
+        let store = Arc::new(MemStore::new(4));
+        let m =
+            Arc::new(StorageManager::new(Arc::clone(&store), D).with_reactor(Reactor::new(4, 4)));
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(256, 1)).unwrap();
+        store.delete_stream(s);
+        let job = m.begin_read_reactor(s, 0, 256, Arc::new(|| {}));
+        let mut sink = AsyncAssemble::new(256, D);
+        let err = drive_job(&job, &mut sink).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::MissingChunk {
+                stream: s,
+                chunk_idx: 0
+            }
+        );
+    }
+
+    #[test]
+    fn async_reactor_job_racing_delete_restarts_onto_the_successor() {
+        let store = Arc::new(FaultStore::new(Arc::new(MemStore::new(2))));
+        let m =
+            Arc::new(StorageManager::new(Arc::clone(&store), D).with_reactor(Reactor::new(2, 4)));
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(128, 1)).unwrap(); // generation 1
+        let m2 = Arc::clone(&m);
+        store.on_nth_read(0, move || {
+            m2.delete_stream(s);
+            m2.append_rows(s, &rows(128, 2)).unwrap(); // generation 2
+        });
+        let job = m.begin_read_reactor(s, 0, 128, Arc::new(|| {}));
+        let mut sink = AsyncAssemble::new(128, D);
+        drive_job(&job, &mut sink).unwrap();
+        assert!(sink.resets >= 1, "the dead generation must be discarded");
+        let gen2 = rows(128, 2);
+        for r in 0..128 {
+            for c in 0..D {
+                assert_eq!(sink.out.get(r, c), f16_roundtrip(gen2.get(r, c)));
+            }
+        }
     }
 }

@@ -6,8 +6,10 @@
 //! and resident-byte accounting exact (freed == tracked after restart).
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use hc_storage::journal::journal_path;
+use hc_storage::backend::FileStore;
+use hc_storage::journal::{journal_path, CompactionPolicy, Journal, JournalHeader};
 use hc_storage::manager::StorageManager;
 use hc_storage::{Precision, StreamId};
 use hc_tensor::f16::f16_roundtrip;
@@ -229,6 +231,134 @@ fn copy_dir(from: &Path, to: &Path) {
             std::fs::copy(entry.path(), &dst).unwrap();
         }
     }
+}
+
+/// A churn-heavy history with compaction enabled must reopen to exactly
+/// the state an uncompacted journal would have produced — same rows, same
+/// accounting — from a journal that stays O(live chunks).
+#[test]
+fn compacted_journal_reopens_equivalently_to_full_history() {
+    let root = tmp_root("compact-equiv");
+    let store = Arc::new(FileStore::new(&root, 2).unwrap());
+    let journal = Arc::new(
+        Journal::create(
+            &root,
+            JournalHeader {
+                d_model: D,
+                n_devices: 2,
+                precision: Precision::F16,
+            },
+            true,
+        )
+        .unwrap()
+        .with_compaction(CompactionPolicy {
+            min_records: 8,
+            max_dead_ratio: 0.3,
+        }),
+    );
+    let m = StorageManager::with_precision(store, D, Precision::F16).with_journal(journal);
+    let kept = stream(0);
+    let churn = stream(1);
+    // The kept stream survives many churn generations; each delete makes
+    // the churn history dead and eventually trips the rewrite.
+    let rows_kept = Tensor2::from_fn(100, D, |r, c| gen_row_val(0, 0, r, c));
+    m.append_rows(kept, &rows_kept).unwrap();
+    m.flush_stream(kept).unwrap();
+    let final_gen = 6;
+    for g in 0..=final_gen {
+        let t = Tensor2::from_fn(70 + g, D, |r, c| gen_row_val(1, g, r, c));
+        m.append_rows(churn, &t).unwrap();
+        m.flush_stream(churn).unwrap();
+        if g < final_gen {
+            m.delete_stream(churn);
+        }
+    }
+    let journal = m.journal().unwrap();
+    assert!(
+        journal.compactions() >= 1,
+        "six churn generations must trip a min_records=8, ratio-0.3 policy"
+    );
+    // The journal holds the live prefix, not the seven-generation
+    // history: well under two records per live chunk plus baselines.
+    assert!(
+        journal.records_total() <= 12,
+        "journal still holds {} records after compaction",
+        journal.records_total()
+    );
+    let resident = m.total_resident_bytes();
+    drop(m);
+
+    let (m2, report) = StorageManager::reopen(&root).unwrap();
+    assert_eq!(report.streams_recovered, 2);
+    assert_eq!(report.resident_bytes, resident);
+    assert_eq!(m2.n_tokens(kept), 100);
+    assert_eq!(m2.n_tokens(churn), 70 + final_gen as u64);
+    let got = m2.read_rows(kept, 0, 100).unwrap();
+    for r in 0..100 {
+        for c in 0..D {
+            assert_eq!(got.get(r, c), f16_roundtrip(gen_row_val(0, 0, r, c)));
+        }
+    }
+    let got = m2.read_rows(churn, 0, 70 + final_gen as u64).unwrap();
+    for r in 0..70 + final_gen {
+        for c in 0..D {
+            assert_eq!(
+                got.get(r, c),
+                f16_roundtrip(gen_row_val(1, final_gen, r, c)),
+                "row {r} col {c} must come from the final generation"
+            );
+        }
+    }
+    // Deletes after reopen free exactly what recovery reported.
+    let freed = m2.delete_stream(kept) + m2.delete_stream(churn);
+    assert_eq!(freed, report.resident_bytes);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// A frame that landed twice (a retried append the crash interleaved)
+/// must not fabricate state: every single-frame duplication reopens to
+/// the same recovered rows as the pristine journal.
+#[test]
+fn duplicated_journal_frames_recover_the_pristine_state() {
+    let master = tmp_root("dup-master");
+    let gens = {
+        let m = StorageManager::create_durable(&master, 2, D, Precision::F16).unwrap();
+        let s = stream(0);
+        let g0 = Tensor2::from_fn(80, D, |r, c| gen_row_val(0, 0, r, c));
+        m.append_rows(s, &g0).unwrap(); // chunk 0 + 16-row tail
+        m.flush_stream(s).unwrap();
+        m.delete_stream(s);
+        let g1 = Tensor2::from_fn(40, D, |r, c| gen_row_val(0, 1, r, c));
+        m.append_rows(s, &g1).unwrap();
+        m.flush_stream(s).unwrap();
+        vec![vec![80usize, 40], vec![0]]
+    };
+    let bytes = std::fs::read(journal_path(&master)).unwrap();
+    // Parse frame boundaries: [len u32][crc u32][payload].
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    let mut off = 0usize;
+    while off + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        frames.push((off, off + 8 + len));
+        off += 8 + len;
+    }
+    assert!(
+        frames.len() > 3,
+        "fixture journal should hold several frames"
+    );
+    for (idx, &(start, end)) in frames.iter().enumerate().skip(1) {
+        let case = tmp_root(&format!("dup-{idx}"));
+        copy_dir(&master, &case);
+        let mut dup = bytes[..end].to_vec();
+        dup.extend_from_slice(&bytes[start..end]);
+        dup.extend_from_slice(&bytes[end..]);
+        std::fs::write(journal_path(&case), &dup).unwrap();
+        if let Err(msg) = check_reopen(&case, &gens) {
+            panic!("duplicated frame {idx}: {msg}");
+        }
+        std::fs::remove_dir_all(&case).unwrap();
+    }
+    std::fs::remove_dir_all(&master).unwrap();
 }
 
 /// Crashing before anything was journaled beyond the header recovers an

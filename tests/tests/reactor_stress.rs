@@ -1,0 +1,158 @@
+//! Reactor stress: ten thousand concurrent restores through
+//! `RestoreScheduler` on a 4-thread host grant. What the event-driven IO
+//! plane must guarantee at this scale:
+//!
+//! * the batch completes with every healthy session's `KvCache` exactly
+//!   matching its saved state (`kv_max_error == 0` against the prefill
+//!   reference of its token pattern);
+//! * in-flight restores are bounded by the admission window, not by the
+//!   thread grant — the peak gauge lands far above 4 workers and at or
+//!   under `max_inflight`, which is the point of the reactor;
+//! * one failed session's blast radius is itself: an unknown session and
+//!   a session whose stored stream was deleted both fail typed, and the
+//!   other 9 999 restores succeed untouched;
+//! * the gauges close the books: in-flight drains to zero, admissions
+//!   equal completions.
+
+use std::sync::Arc;
+
+use hc_cachectl::scheduler::{RestoreJob, RestoreScheduler};
+use hc_cachectl::{CacheController, ControllerConfig};
+use hc_model::{KvCache, Model, ModelConfig};
+use hc_restore::engine::{kv_max_error, restore_session_with_methods, save_session_state};
+use hc_sched::partition::{LayerMethod, PartitionScheme};
+use hc_storage::backend::MemStore;
+use hc_storage::manager::StorageManager;
+use hc_storage::reactor::Reactor;
+use hc_storage::StreamId;
+use hc_tensor::ParallelConfig;
+
+const N_SESSIONS: u64 = 10_000;
+const N_PATTERNS: u64 = 16;
+/// Exactly one full chunk per stream: every restore's state is durable in
+/// the backend and must come back through the device queues, not from an
+/// in-memory tail.
+const N_TOKENS: usize = 64;
+const MAX_INFLIGHT: usize = 512;
+
+fn pattern_tokens(pattern: u64) -> Vec<u32> {
+    (0..N_TOKENS as u32)
+        .map(|i| (i * 37 + pattern as u32 * 11 + 3) % 256)
+        .collect()
+}
+
+#[test]
+fn ten_thousand_restores_on_a_four_thread_grant() {
+    // Two layers at width 32: small enough that 10k sessions of saved
+    // state fit comfortably, with the same code paths as the full model.
+    let cfg_m = ModelConfig {
+        n_layers: 2,
+        d_model: 32,
+        n_heads: 2,
+        d_ff: 64,
+        ..ModelConfig::tiny_llama()
+    };
+    let model = Model::new(&cfg_m, 17);
+    let reactor = Reactor::new(4, 4);
+    let mgr = Arc::new(
+        StorageManager::new(Arc::new(MemStore::new(4)), cfg_m.d_model)
+            .with_reactor(Arc::clone(&reactor)),
+    );
+    let ctl = CacheController::new(
+        Arc::clone(&mgr),
+        cfg_m.n_layers,
+        cfg_m.d_model,
+        ControllerConfig::unlimited(),
+    );
+    // Pure KV offload: restores are IO-bound state machines with no
+    // recompute prefix, the regime the reactor exists for.
+    let scheme = PartitionScheme {
+        l_h: 0,
+        l_o: cfg_m.n_layers,
+        complement: LayerMethod::KvOffload,
+    };
+
+    // One prefill per token pattern; every session of a pattern saves the
+    // same state under its own streams. The reference is the *sequential*
+    // restore of the pattern's first session — the bit-identity target.
+    let references: Vec<KvCache> = (0..N_PATTERNS)
+        .map(|p| {
+            let mut kv = KvCache::new(&cfg_m);
+            let out = model.prefill(&pattern_tokens(p), &mut kv, true);
+            let hidden = out.hidden_per_layer.unwrap();
+            let mut methods = Vec::new();
+            for s in (p..N_SESSIONS).step_by(N_PATTERNS as usize) {
+                methods = ctl.open_session(s, &scheme);
+                save_session_state(&model, &mgr, s, &hidden, &kv, &scheme).unwrap();
+                ctl.on_saved(s, N_TOKENS as u64).unwrap();
+            }
+            restore_session_with_methods(&model, &mgr, p, &pattern_tokens(p), N_TOKENS, &methods)
+                .unwrap()
+        })
+        .collect();
+
+    // Blast-radius probes: a session that was never opened, and one whose
+    // stored key stream vanished after the save.
+    let wounded = 4_567u64;
+    mgr.delete_stream(StreamId::key(wounded, 1));
+    let mut jobs: Vec<RestoreJob> = (0..N_SESSIONS)
+        .map(|s| RestoreJob {
+            session: s,
+            tokens: pattern_tokens(s % N_PATTERNS),
+        })
+        .collect();
+    jobs.push(RestoreJob {
+        session: N_SESSIONS, // never opened
+        tokens: pattern_tokens(0),
+    });
+
+    let sched = RestoreScheduler::new(4, ParallelConfig::new(4)).with_reactor(MAX_INFLIGHT);
+    let results = sched.run(&model, &ctl, &jobs);
+    assert_eq!(results.len(), jobs.len());
+
+    let mut ok = 0usize;
+    for (session, outcome) in results {
+        if session == wounded || session == N_SESSIONS {
+            assert!(
+                outcome.is_err(),
+                "session {session} lost its state and must fail typed"
+            );
+            continue;
+        }
+        let kv = outcome.unwrap_or_else(|e| panic!("session {session} failed: {e}"));
+        let reference = &references[(session % N_PATTERNS) as usize];
+        assert_eq!(
+            kv_max_error(&kv, reference),
+            0.0,
+            "session {session} diverged from its saved state"
+        );
+        ok += 1;
+    }
+    assert_eq!(ok as u64, N_SESSIONS - 1, "exactly the two probes may fail");
+
+    // The scale claim: thousands in flight from 4 threads, bounded by the
+    // admission window, with the books closed afterwards.
+    assert!(
+        reactor.peak_restores_in_flight() > sched.host_budget().threads() as u64,
+        "peak in-flight ({}) should dwarf the {}-thread grant",
+        reactor.peak_restores_in_flight(),
+        sched.host_budget().threads()
+    );
+    assert!(
+        reactor.peak_restores_in_flight() <= MAX_INFLIGHT as u64,
+        "admission window must bound in-flight restores"
+    );
+    assert_eq!(reactor.restores_in_flight(), 0, "gauge must drain");
+    assert_eq!(
+        reactor.restores_admitted_total(),
+        reactor.restores_completed_total(),
+        "every admitted restore must complete"
+    );
+    // The unknown session may be rejected at the controller before it is
+    // ever admitted; every session that got in is accounted for.
+    assert!(reactor.restores_admitted_total() >= N_SESSIONS);
+    assert!(
+        reactor.ios_submitted() > 0,
+        "IO must ride the device queues"
+    );
+}

@@ -22,6 +22,7 @@ use std::sync::Arc;
 
 use hc_storage::backend::MemStore;
 use hc_storage::manager::{DeliveredRows, RowSink, StorageManager};
+use hc_storage::reactor::Reactor;
 use hc_storage::StreamId;
 use hc_tensor::f16::f16_roundtrip;
 use hc_tensor::Tensor2;
@@ -354,6 +355,83 @@ fn streaming_reads_bit_identical_to_read_rows_at_widths_1_to_8_under_appenders()
     }
 }
 
+/// Reactor reads vs sequential `read_rows` at iodepths 1–8 while
+/// appenders actively extend the streams: every prefix observed through
+/// the per-device submission queues must be bit-identical to the
+/// deterministic content, and a final full read through a reactor manager
+/// must equal the same data read through an engine-less manager, bit for
+/// bit — the reactor is a scheduling change, never a data change.
+#[test]
+fn reactor_reads_bit_identical_to_sequential_at_iodepths_1_to_8_under_appenders() {
+    const BATCHES: u64 = 40;
+    const BATCH: usize = 10; // crosses chunk boundaries regularly
+    for iodepth in 1..=8usize {
+        let mgr = Arc::new(
+            StorageManager::new(Arc::new(MemStore::new(4)), D)
+                .with_reactor(Reactor::new(4, iodepth)),
+        );
+        let streams: Vec<StreamId> = (0..2)
+            .map(|l| StreamId::hidden(200 + iodepth as u64, l))
+            .collect();
+        std::thread::scope(|scope| {
+            for &s in &streams {
+                let mgr = Arc::clone(&mgr);
+                scope.spawn(move || {
+                    for b in 0..BATCHES {
+                        mgr.append_rows(s, &rows_for(s, b * BATCH as u64, BATCH))
+                            .unwrap();
+                        if b % 4 == 3 {
+                            mgr.flush_stream(s).unwrap();
+                        }
+                    }
+                });
+            }
+            // Plain and streaming readers chase the appenders through the
+            // reactor queues.
+            for &s in &streams {
+                let plain = Arc::clone(&mgr);
+                scope.spawn(move || loop {
+                    let n = plain.n_tokens(s);
+                    let got = plain.read_rows(s, 0, n).unwrap();
+                    assert_prefix_bit_identical(&got, s, 0);
+                    if n >= BATCHES * BATCH as u64 {
+                        break;
+                    }
+                });
+                let mgr = Arc::clone(&mgr);
+                scope.spawn(move || loop {
+                    let n = mgr.n_tokens(s);
+                    let mut sink = CollectSink::default();
+                    mgr.read_rows_streaming(s, 0, n, &mut sink).unwrap();
+                    let total: usize = sink.delivered.iter().map(|c| c.rows.rows()).sum();
+                    assert_eq!(total as u64, n, "rows must partition the range");
+                    assert_prefix_bit_identical(&sink.assembled(n as usize), s, 0);
+                    if n >= BATCHES * BATCH as u64 {
+                        break;
+                    }
+                });
+            }
+        });
+        // Cross-check against an engine-less sequential manager holding
+        // the same deterministic content.
+        let seq = StorageManager::new(Arc::new(MemStore::new(4)), D);
+        for &s in &streams {
+            let total = BATCHES * BATCH as u64;
+            seq.append_rows(s, &rows_for(s, 0, total as usize)).unwrap();
+            assert_eq!(
+                mgr.read_rows(s, 0, total).unwrap(),
+                seq.read_rows(s, 0, total).unwrap(),
+                "iodepth {iodepth} diverged from the sequential read of {s:?}"
+            );
+        }
+        let reactor = mgr.reactor().unwrap();
+        assert!(
+            reactor.ios_submitted() > 0,
+            "iodepth {iodepth}: multi-chunk reads must route through the reactor"
+        );
+    }
+}
+
 /// Deterministic per-generation content: generations are told apart by
 /// their distinct value at (token 0, col 0), and every other cell must
 /// then belong to the *same* generation.
@@ -508,6 +586,89 @@ fn delete_reappend_mid_stream_resets_sink_and_never_mixes_generations() {
     let mut sink = CollectSink::default();
     mgr.read_rows_streaming(s, 0, N, &mut sink).unwrap();
     let got = sink.assembled(N as usize);
+    for r in 0..N as usize {
+        for c in 0..D {
+            assert_eq!(
+                got.get(r, c),
+                f16_roundtrip(gen_cell(GENERATIONS - 1, r as u64, c))
+            );
+        }
+    }
+    assert_eq!(mgr.delete_stream(s), N * D as u64 * 2);
+    assert_eq!(mgr.total_resident_bytes(), 0);
+}
+
+/// The delete→re-append generation race through the **reactor** engine:
+/// chunk fetches are in flight on several device queues when the
+/// generation swaps underneath them, so only the post-IO tombstone
+/// revalidation (restart onto the successor, sink reset) keeps a read
+/// from mixing rows of two generations. Identical sizes per generation
+/// keep every length/OutOfRange check blind to the swap.
+#[test]
+fn delete_reappend_under_reactor_never_mixes_generations() {
+    const N: u64 = 256; // exactly 4 full chunks: one per device queue
+    const GENERATIONS: u64 = 40;
+    let mgr = Arc::new(
+        StorageManager::new(Arc::new(MemStore::new(4)), D).with_reactor(Reactor::new(4, 2)),
+    );
+    let s = StreamId::hidden(79, 0);
+    let gen_rows = |g: u64| Tensor2::from_fn(N as usize, D, |r, c| gen_cell(g, r as u64, c));
+    mgr.append_rows(s, &gen_rows(0)).unwrap();
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        {
+            let mgr = Arc::clone(&mgr);
+            let done = &done;
+            scope.spawn(move || {
+                for g in 1..GENERATIONS {
+                    mgr.delete_stream(s);
+                    mgr.append_rows(s, &gen_rows(g)).unwrap();
+                }
+                done.store(true, Ordering::Relaxed);
+            });
+        }
+        // One plain reader and one streaming reader race the churn.
+        for streaming in [false, true] {
+            let mgr = Arc::clone(&mgr);
+            let done = &done;
+            scope.spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    let read = if streaming {
+                        let mut sink = CollectSink::default();
+                        mgr.read_rows_streaming(s, 0, N, &mut sink)
+                            .map(|()| sink.assembled(N as usize))
+                    } else {
+                        mgr.read_rows(s, 0, N)
+                    };
+                    match read {
+                        Ok(got) => {
+                            let probe = got.get(0, 0);
+                            let generation = (0..GENERATIONS)
+                                .find(|&g| probe == f16_roundtrip(gen_cell(g, 0, 0)))
+                                .unwrap_or_else(|| panic!("row 0 matches no generation: {probe}"));
+                            for r in 0..N as usize {
+                                for c in 0..D {
+                                    assert_eq!(
+                                        got.get(r, c),
+                                        f16_roundtrip(gen_cell(generation, r as u64, c)),
+                                        "token {r} col {c} mixed into generation {generation}"
+                                    );
+                                }
+                            }
+                        }
+                        // A read can land in the instant between the wipe
+                        // and the restart (stream momentarily empty).
+                        Err(hc_storage::StorageError::OutOfRange { .. }) => {}
+                        Err(e) => panic!("only OutOfRange may escape: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    // The final generation survived intact.
+    let got = mgr.read_rows(s, 0, N).unwrap();
     for r in 0..N as usize {
         for c in 0..D {
             assert_eq!(
