@@ -10,21 +10,33 @@
 //!   `hc-storage`'s byte-accounting hooks) against a configurable
 //!   [`quota`], makes cost-model-driven placement decisions at admission
 //!   ([`placement::choose_placement`], fed by `hc_restore::cost`), and
-//!   under pressure **demotes** victims chosen by a pluggable
-//!   [`policy`] — LRU or benefit-per-byte — one layer at a time down the
+//!   under pressure **demotes** victims one layer at a time down the
 //!   ladder *hidden → KV → recompute*. Demotion deletes streams and edits
 //!   the session's `LayerMethod` mix; it never corrupts saved state, so a
 //!   restore after any eviction sequence is still bit-identical to a
 //!   sequential restore of the surviving mix (and recomputed layers are
 //!   bit-exact against a fresh forward pass). Stream deletion rides the
 //!   sharded manager's tombstone protocol, so the bytes `delete_stream`
-//!   reports stay exactly the bytes the quota released even while restores
-//!   and the save daemon run concurrently; the quota's aggregate check
-//!   reads the manager's atomic `total_resident_bytes` without taking any
-//!   stream lock.
+//!   reports stay exactly the bytes the ledger credited even while
+//!   restores and the save daemon run concurrently.
 //! * [`scheduler::RestoreScheduler`] — admits N concurrent pipelined
 //!   restores from an arrival trace, splitting one host `ParallelConfig`
 //!   budget across in-flight sessions.
+//!
+//! Session bookkeeping lives in [`table::SessionTable`], a
+//! structure-of-arrays store sized for millions of concurrent sessions:
+//! dense columns instead of per-session heap cells, byte accounting that
+//! debug-asserts column-sum == atomic-total after every mutation, and an
+//! epoch-bucketed **O(1) exact LRU** so victim selection no longer scans
+//! the session population. The [`policy`] module's scan-based
+//! `LruPolicy`/`CostAwarePolicy` remain as the reference implementations
+//! (and `hc-serving`'s virtual-time simulator still drives them); the
+//! controller's LRU victims are equivalence-tested against the scan.
+//! Sessions carry a tenant id ([`CacheController::open_session_in`]):
+//! per-tenant caps demote within the offending tenant, and pool pressure
+//! never victimizes a tenant at or below its configured reservation
+//! ([`quota::TenantQuota`]), with per-tenant eviction counters reported
+//! separately ([`CacheController::tenant_stats`]).
 //!
 //! `hcache::HCacheSystem` routes session open/save/restore/close through
 //! the controller when one is attached; `hc-serving` mirrors the same
@@ -36,8 +48,8 @@ pub mod placement;
 pub mod policy;
 pub mod quota;
 pub mod scheduler;
+pub mod table;
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use hc_model::{KvCache, Model};
@@ -50,10 +62,11 @@ use hc_storage::{StorageError, StreamId};
 use hc_tensor::ParallelConfig;
 use parking_lot::Mutex;
 
-use metrics::{CtlMetrics, MetricsSnapshot};
-use placement::{choose_placement, Placement};
-use policy::{make_policy, EvictionPolicy, PolicyKind, SessionMeta};
-use quota::QuotaTracker;
+use metrics::{CtlMetrics, MetricsSnapshot, TenantStats};
+use placement::{choose_placement, restore_secs_of, Placement};
+use policy::PolicyKind;
+use quota::{QuotaTracker, TenantQuota};
+use table::SessionTable;
 
 /// Errors from the cache controller.
 #[derive(Debug)]
@@ -118,6 +131,9 @@ pub struct ControllerConfig {
     /// History length assumed for admission-time placement when a session
     /// has no better hint yet.
     pub expected_tokens: u64,
+    /// Per-tenant reservation/cap pairs applied at construction
+    /// (tenants not listed share the pool best-effort).
+    pub tenant_quotas: Vec<(u32, TenantQuota)>,
 }
 
 impl ControllerConfig {
@@ -131,6 +147,7 @@ impl ControllerConfig {
             flops: 312e12,
             elem_bytes: 2,
             expected_tokens: 256,
+            tenant_quotas: Vec::new(),
         }
     }
 
@@ -150,19 +167,27 @@ impl ControllerConfig {
         self.expected_tokens = expected_tokens;
         self
     }
+
+    /// Same config with one tenant's reservation/cap limits set.
+    pub fn with_tenant_quota(mut self, tenant: u32, limits: TenantQuota) -> Self {
+        self.tenant_quotas.push((tenant, limits));
+        self
+    }
 }
 
-struct SessionEntry {
-    placement: Placement,
-    n_tokens: u64,
-    last_access: u64,
+/// Per-tenant demotion counters (under the state lock; see
+/// [`CacheController::tenant_stats`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct TenantEvict {
+    demotions: u64,
+    bytes_evicted: u64,
+    sessions_dropped: u64,
 }
 
 struct CtlState {
-    sessions: HashMap<u64, SessionEntry>,
+    table: SessionTable,
     quota: QuotaTracker,
-    policy: Box<dyn EvictionPolicy>,
-    clock: u64,
+    tenant_evictions: Vec<TenantEvict>,
 }
 
 /// The capacity-governed cache controller. All methods take `&self`; the
@@ -187,18 +212,19 @@ impl<S: ChunkStore + 'static> CacheController<S> {
         cfg: ControllerConfig,
     ) -> Self {
         assert!(n_layers > 0 && d_model > 0, "model dims must be positive");
-        let quota = QuotaTracker::new(cfg.quota_bytes);
-        let policy = make_policy(cfg.policy);
+        let mut quota = QuotaTracker::new(cfg.quota_bytes);
+        for (tenant, limits) in &cfg.tenant_quotas {
+            quota.set_tenant(*tenant, *limits);
+        }
         Self {
             mgr,
             n_layers,
             d_model,
             cfg,
             state: Mutex::new(CtlState {
-                sessions: HashMap::new(),
+                table: SessionTable::new(),
                 quota,
-                policy,
-                clock: 0,
+                tenant_evictions: Vec::new(),
             }),
             metrics: CtlMetrics::default(),
         }
@@ -214,14 +240,40 @@ impl<S: ChunkStore + 'static> CacheController<S> {
         self.cfg.quota_bytes
     }
 
-    /// Bytes currently charged across sessions.
+    /// Bytes currently charged across sessions (the session table's
+    /// atomic grand total, which debug builds verify against the byte
+    /// column after every mutation).
     pub fn used_bytes(&self) -> u64 {
-        self.state.lock().quota.used()
+        self.state.lock().table.total_bytes()
     }
 
     /// Counter snapshot.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// One tenant's usage and eviction counters.
+    pub fn tenant_stats(&self, tenant: u32) -> TenantStats {
+        let st = self.state.lock();
+        let usage = st.table.tenant_usage(tenant);
+        let ev = st
+            .tenant_evictions
+            .get(tenant as usize)
+            .copied()
+            .unwrap_or_default();
+        TenantStats {
+            used_bytes: usage.bytes,
+            sessions: usage.sessions,
+            demotions: ev.demotions,
+            bytes_evicted: ev.bytes_evicted,
+            sessions_dropped: ev.sessions_dropped,
+        }
+    }
+
+    /// Updates one tenant's reservation/cap limits at runtime. Takes
+    /// effect at the next reconciliation ([`CacheController::on_saved`]).
+    pub fn set_tenant_quota(&self, tenant: u32, limits: TenantQuota) {
+        self.state.lock().quota.set_tenant(tenant, limits);
     }
 
     /// The policy in force.
@@ -231,16 +283,12 @@ impl<S: ChunkStore + 'static> CacheController<S> {
 
     /// A session's current per-layer method mix (`None` if unknown).
     pub fn session_methods(&self, session: u64) -> Option<Vec<LayerMethod>> {
-        self.state
-            .lock()
-            .sessions
-            .get(&session)
-            .map(|e| e.placement.methods().to_vec())
+        self.state.lock().table.methods_of(session)
     }
 
     /// A session's tracked history length.
     pub fn session_tokens(&self, session: u64) -> Option<u64> {
-        self.state.lock().sessions.get(&session).map(|e| e.n_tokens)
+        self.state.lock().table.n_tokens_of(session)
     }
 
     fn cost_inputs(&self, n_tokens: u64) -> CostInputs {
@@ -253,15 +301,24 @@ impl<S: ChunkStore + 'static> CacheController<S> {
         }
     }
 
-    /// Registers a session and decides its placement. The caller's desired
-    /// scheme is honored when its projected footprint can ever fit the
-    /// quota; otherwise the cost model picks the fastest feasible pure
-    /// method (KV, or drop-to-recompute for sessions larger than the pool).
-    /// Returns the methods the session's state must be saved under.
+    /// Registers a session for tenant 0 and decides its placement —
+    /// [`CacheController::open_session_in`] for single-tenant callers.
     pub fn open_session(&self, session: u64, desired: &PartitionScheme) -> Vec<LayerMethod> {
-        let mut st = self.state.lock();
-        st.clock += 1;
-        let clock = st.clock;
+        self.open_session_in(session, 0, desired)
+    }
+
+    /// Registers a session under a tenant and decides its placement. The
+    /// caller's desired scheme is honored when its projected footprint can
+    /// ever fit the quota; otherwise the cost model picks the fastest
+    /// feasible pure method (KV, or drop-to-recompute for sessions larger
+    /// than the pool). Returns the methods the session's state must be
+    /// saved under.
+    pub fn open_session_in(
+        &self,
+        session: u64,
+        tenant: u32,
+        desired: &PartitionScheme,
+    ) -> Vec<LayerMethod> {
         let expected = self.cfg.expected_tokens.max(1);
         let desired_p = Placement::from_scheme(desired, self.n_layers);
         let projected =
@@ -282,85 +339,157 @@ impl<S: ChunkStore + 'static> CacheController<S> {
         };
         CtlMetrics::bump(counter, 1);
         let methods = placement.methods().to_vec();
-        st.sessions.insert(
-            session,
-            SessionEntry {
-                placement,
-                n_tokens: 0,
-                last_access: clock,
-            },
-        );
+        let mut st = self.state.lock();
+        let mix = st.table.mixes_mut().intern(&methods);
+        st.table.open(session, tenant, mix);
         methods
     }
 
     /// Reconciles a session's charge after its state was saved and flushed
     /// (`n_tokens` = new total history length), then runs the eviction
-    /// ladder until the pool is back under quota.
+    /// ladder until the pool and every tenant are back under their limits.
     pub fn on_saved(&self, session: u64, n_tokens: u64) -> Result<(), CtlError> {
         let mut st = self.state.lock();
-        st.clock += 1;
-        let clock = st.clock;
-        let entry = st
-            .sessions
-            .get_mut(&session)
-            .ok_or(CtlError::UnknownSession(session))?;
-        entry.n_tokens = n_tokens;
-        entry.last_access = clock;
+        if !st.table.contains(session) {
+            return Err(CtlError::UnknownSession(session));
+        }
+        st.table.set_n_tokens(session, n_tokens);
         let bytes = self.mgr.session_bytes(session);
-        st.quota.set_session(session, bytes);
+        st.table.set_bytes(session, bytes);
         self.enforce_quota(&mut st);
         Ok(())
     }
 
-    /// Demotes policy-chosen victims one layer at a time until usage fits
-    /// the quota (or nothing demotable remains).
-    fn enforce_quota(&self, st: &mut CtlState) {
-        while st.quota.over_quota() {
-            let candidates: Vec<SessionMeta> = st
-                .sessions
-                .iter()
-                .filter(|(id, e)| {
-                    e.placement.next_demotable().is_some() && st.quota.session(**id) > 0
-                })
-                .map(|(id, e)| {
-                    let c = self.cost_inputs(e.n_tokens);
-                    SessionMeta {
-                        session: *id,
-                        resident_bytes: st.quota.session(*id),
-                        last_access: e.last_access,
-                        n_tokens: e.n_tokens,
-                        restore_secs_current: e.placement.restore_secs(&c),
-                        restore_secs_dropped: Placement::dropped(self.n_layers).restore_secs(&c),
+    /// Picks the next demotion victim among evictable sessions whose
+    /// tenant index maps to `true` in `allowed` (empty = everyone).
+    /// LRU is the table's O(1) coldest-bucket pop; cost-aware streams the
+    /// columns once with the exact comparator of
+    /// [`policy::CostAwarePolicy`] (min benefit-per-byte, then recency,
+    /// then session id).
+    fn pick_victim(&self, st: &mut CtlState, allowed: &[bool]) -> Option<u64> {
+        match self.cfg.policy {
+            PolicyKind::Lru => st.table.coldest_evictable(allowed).map(|(id, _)| id),
+            PolicyKind::CostAware => {
+                let table = &st.table;
+                let mut best: Option<(f64, u64, u64)> = None;
+                for slot in 0..table.len() as u32 {
+                    let bytes = table.bytes_at(slot);
+                    if bytes == 0 {
+                        continue;
                     }
+                    let mix = table.mix_at(slot);
+                    if table.mixes().is_fully_dropped(mix) {
+                        continue;
+                    }
+                    let tenant = table.tenant_at(slot) as usize;
+                    if !allowed.is_empty() && !allowed.get(tenant).copied().unwrap_or(true) {
+                        continue;
+                    }
+                    let c = self.cost_inputs(table.n_tokens_at(slot));
+                    let current = restore_secs_of(table.mixes().methods(mix), &c);
+                    let dropped = Placement::dropped(self.n_layers).restore_secs(&c);
+                    let benefit = (dropped - current).max(0.0) / bytes as f64;
+                    let key = (benefit, table.last_touch_at(slot), table.id_at(slot));
+                    let better = best.is_none_or(|b| {
+                        key.0
+                            .total_cmp(&b.0)
+                            .then_with(|| key.1.cmp(&b.1))
+                            .then_with(|| key.2.cmp(&b.2))
+                            .is_lt()
+                    });
+                    if better {
+                        best = Some(key);
+                    }
+                }
+                best.map(|(_, _, id)| id)
+            }
+        }
+    }
+
+    /// Demotes one session one rung: deletes the dropped layer's streams,
+    /// credits the freed bytes back, and bumps global + per-tenant
+    /// counters. False when the session is gone or already at the floor.
+    fn demote_victim(&self, st: &mut CtlState, victim: u64) -> bool {
+        let Some(tenant) = st.table.tenant_of(victim) else {
+            return false;
+        };
+        let Some((layer, old)) = st.table.demote(victim) else {
+            return false;
+        };
+        let freed = match old {
+            LayerMethod::Hidden => self
+                .mgr
+                .delete_stream(StreamId::hidden(victim, layer as u32)),
+            LayerMethod::KvOffload => {
+                self.mgr.delete_stream(StreamId::key(victim, layer as u32))
+                    + self
+                        .mgr
+                        .delete_stream(StreamId::value(victim, layer as u32))
+            }
+            LayerMethod::Recompute => unreachable!("demotion never returns Recompute"),
+        };
+        let now_dropped = st
+            .table
+            .mix_of(victim)
+            .is_some_and(|h| st.table.mixes().is_fully_dropped(h));
+        st.table.credit(victim, freed);
+        CtlMetrics::bump(&self.metrics.demotions, 1);
+        CtlMetrics::bump(&self.metrics.bytes_evicted, freed);
+        if now_dropped {
+            CtlMetrics::bump(&self.metrics.sessions_dropped, 1);
+        }
+        let t = tenant as usize;
+        if st.tenant_evictions.len() <= t {
+            st.tenant_evictions.resize(t + 1, TenantEvict::default());
+        }
+        let ev = &mut st.tenant_evictions[t];
+        ev.demotions += 1;
+        ev.bytes_evicted += freed;
+        if now_dropped {
+            ev.sessions_dropped += 1;
+        }
+        true
+    }
+
+    /// Demotes policy-chosen victims one layer at a time until usage fits
+    /// every limit (or nothing demotable remains). Two phases:
+    ///
+    /// 1. **Tenant caps** — a tenant over its hard cap only ever demotes
+    ///    its own sessions, even when the pool has headroom.
+    /// 2. **Pool quota** — victims come only from tenants above their
+    ///    reservation, so one tenant's burst cannot push another below its
+    ///    guaranteed floor. If every over-reservation tenant is out of
+    ///    demotable state the loop stops rather than break the guarantee.
+    fn enforce_quota(&self, st: &mut CtlState) {
+        let n_tenants = st.table.n_tenants().max(st.quota.n_tenants());
+        for tenant in 0..n_tenants as u32 {
+            while st
+                .quota
+                .over_cap(tenant, st.table.tenant_usage(tenant).bytes)
+            {
+                let mut allowed = vec![false; n_tenants];
+                allowed[tenant as usize] = true;
+                let Some(victim) = self.pick_victim(st, &allowed) else {
+                    break;
+                };
+                if !self.demote_victim(st, victim) {
+                    break;
+                }
+            }
+        }
+        while st.quota.over_quota(st.table.total_bytes()) {
+            let n_tenants = st.table.n_tenants();
+            let allowed: Vec<bool> = (0..n_tenants as u32)
+                .map(|t| {
+                    st.quota
+                        .above_reservation(t, st.table.tenant_usage(t).bytes)
                 })
                 .collect();
-            if candidates.is_empty() {
-                break; // nothing left to free; usage is all untracked state
-            }
-            let victim = st.policy.pick_victim(&candidates);
-            let entry = st.sessions.get_mut(&victim).expect("candidate exists");
-            let (layer, old) = entry
-                .placement
-                .demote_first()
-                .expect("candidate had a demotable layer");
-            let freed = match old {
-                LayerMethod::Hidden => self
-                    .mgr
-                    .delete_stream(StreamId::hidden(victim, layer as u32)),
-                LayerMethod::KvOffload => {
-                    self.mgr.delete_stream(StreamId::key(victim, layer as u32))
-                        + self
-                            .mgr
-                            .delete_stream(StreamId::value(victim, layer as u32))
-                }
-                LayerMethod::Recompute => unreachable!("demotion never returns Recompute"),
+            let Some(victim) = self.pick_victim(st, &allowed) else {
+                break; // nothing left to free; usage is all untracked or reserved
             };
-            let now_dropped = entry.placement.is_fully_dropped();
-            st.quota.release(victim, freed);
-            CtlMetrics::bump(&self.metrics.demotions, 1);
-            CtlMetrics::bump(&self.metrics.bytes_evicted, freed);
-            if now_dropped {
-                CtlMetrics::bump(&self.metrics.sessions_dropped, 1);
+            if !self.demote_victim(st, victim) {
+                break;
             }
         }
     }
@@ -404,23 +533,23 @@ impl<S: ChunkStore + 'static> CacheController<S> {
         loop {
             let (methods, n_tokens) = {
                 let mut st = self.state.lock();
-                st.clock += 1;
-                let clock = st.clock;
-                let entry = st
-                    .sessions
-                    .get_mut(&session)
-                    .ok_or(CtlError::UnknownSession(session))?;
-                entry.last_access = clock;
+                if !st.table.touch(session) {
+                    return Err(CtlError::UnknownSession(session));
+                }
+                let mix = st.table.mix_of(session).expect("session just touched");
                 if last_methods.is_none() {
                     // Count the attempt once, by the mix first seen.
-                    let counter = if entry.placement.is_fully_dropped() {
+                    let counter = if st.table.mixes().is_fully_dropped(mix) {
                         &self.metrics.restore_fallbacks
                     } else {
                         &self.metrics.restore_hits
                     };
                     CtlMetrics::bump(counter, 1);
                 }
-                (entry.placement.methods().to_vec(), entry.n_tokens as usize)
+                (
+                    st.table.mixes().methods(mix).to_vec(),
+                    st.table.n_tokens_of(session).expect("session exists") as usize,
+                )
             };
             let stale = last_methods.as_deref() == Some(&methods);
             match restore_session_pipelined_with_methods(
@@ -472,27 +601,24 @@ impl<S: ChunkStore + 'static> CacheController<S> {
         {
             let mut st = self.state.lock();
             for job in jobs {
-                st.clock += 1;
-                let clock = st.clock;
-                match st.sessions.get_mut(&job.session) {
-                    None => slots.push(Slot::Unknown(job.session)),
-                    Some(entry) => {
-                        entry.last_access = clock;
-                        let counter = if entry.placement.is_fully_dropped() {
-                            &self.metrics.restore_fallbacks
-                        } else {
-                            &self.metrics.restore_hits
-                        };
-                        CtlMetrics::bump(counter, 1);
-                        slots.push(Slot::Req(requests.len()));
-                        requests.push(hc_restore::engine::RestoreRequest {
-                            session: job.session,
-                            tokens: job.tokens.clone(),
-                            n_tokens: entry.n_tokens as usize,
-                            methods: entry.placement.methods().to_vec(),
-                        });
-                    }
+                if !st.table.touch(job.session) {
+                    slots.push(Slot::Unknown(job.session));
+                    continue;
                 }
+                let mix = st.table.mix_of(job.session).expect("session just touched");
+                let counter = if st.table.mixes().is_fully_dropped(mix) {
+                    &self.metrics.restore_fallbacks
+                } else {
+                    &self.metrics.restore_hits
+                };
+                CtlMetrics::bump(counter, 1);
+                slots.push(Slot::Req(requests.len()));
+                requests.push(hc_restore::engine::RestoreRequest {
+                    session: job.session,
+                    tokens: job.tokens.clone(),
+                    n_tokens: st.table.n_tokens_of(job.session).expect("session exists") as usize,
+                    methods: st.table.mixes().methods(mix).to_vec(),
+                });
             }
         }
         let outcomes = hc_restore::reactor::restore_sessions_reactor(
@@ -542,11 +668,10 @@ impl<S: ChunkStore + 'static> CacheController<S> {
     /// Returns bytes freed.
     pub fn close_session(&self, session: u64) -> Result<u64, CtlError> {
         let mut st = self.state.lock();
-        st.sessions
-            .remove(&session)
+        st.table
+            .remove(session)
             .ok_or(CtlError::UnknownSession(session))?;
         let freed = self.mgr.delete_session(session);
-        st.quota.forget(session);
         Ok(freed)
     }
 }
@@ -558,6 +683,7 @@ mod tests {
     use hc_restore::engine::{kv_max_error, restore_session_with_methods, save_session_state};
     use hc_storage::backend::MemStore;
     use hc_tensor::Tensor2;
+    use std::collections::HashMap;
 
     fn mgr() -> Arc<StorageManager<MemStore>> {
         Arc::new(StorageManager::new(Arc::new(MemStore::new(2)), 8))
@@ -675,6 +801,46 @@ mod tests {
             "short session has the lowest benefit per byte"
         );
         assert_eq!(ctl.session_methods(2).unwrap(), vec![LayerMethod::Hidden]);
+    }
+
+    #[test]
+    fn tenant_cap_demotes_within_the_tenant_even_with_pool_headroom() {
+        // Pool is unlimited; tenant 1 is capped at 2 chunks.
+        let cap = 2 * 64 * 8 * 2;
+        let cfg = ControllerConfig::unlimited()
+            .with_expected_tokens(64)
+            .with_tenant_quota(
+                1,
+                TenantQuota {
+                    reservation_bytes: 0,
+                    cap_bytes: cap,
+                },
+            );
+        let ctl = CacheController::new(mgr(), 2, 8, cfg);
+        let scheme = PartitionScheme::pure_hidden(2);
+        let m0 = ctl.open_session_in(10, 0, &scheme);
+        let m1a = ctl.open_session_in(11, 1, &scheme);
+        let m1b = ctl.open_session_in(12, 1, &scheme);
+        save_rows(&ctl, 10, &m0, 64, 0); // tenant 0: 2 chunks, untouched
+        save_rows(&ctl, 11, &m1a, 64, 0); // tenant 1: 2 chunks (at cap)
+        save_rows(&ctl, 12, &m1b, 64, 0); // tenant 1: 4 chunks > cap
+        let t1 = ctl.tenant_stats(1);
+        assert!(
+            t1.used_bytes <= cap,
+            "cap enforced: {} > {cap}",
+            t1.used_bytes
+        );
+        assert!(t1.demotions >= 1);
+        // Tenant 0 was never touched despite owning the coldest session.
+        let t0 = ctl.tenant_stats(0);
+        assert_eq!(t0.demotions, 0);
+        assert_eq!(t0.used_bytes, 2 * 64 * 8 * 2);
+        assert_eq!(
+            ctl.session_methods(10).unwrap(),
+            vec![LayerMethod::Hidden; 2]
+        );
+        // The cap victim was tenant 1's coldest (session 11).
+        assert_eq!(ctl.session_methods(11).unwrap()[0], LayerMethod::Recompute);
     }
 
     #[test]

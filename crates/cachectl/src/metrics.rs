@@ -78,6 +78,24 @@ impl MetricsSnapshot {
     }
 }
 
+/// Per-tenant usage and eviction counters, reported separately so a
+/// noisy tenant's demotions are attributable (`CacheController::
+/// tenant_stats`). Plain data: the counters live under the controller's
+/// state lock next to the session table, not in atomics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Bytes currently charged to the tenant's sessions.
+    pub used_bytes: u64,
+    /// Live sessions owned by the tenant.
+    pub sessions: u64,
+    /// Layer demotions that victimized this tenant's sessions.
+    pub demotions: u64,
+    /// Bytes those demotions released.
+    pub bytes_evicted: u64,
+    /// Tenant sessions demoted all the way to token-only.
+    pub sessions_dropped: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -105,15 +105,22 @@ impl Placement {
     /// layers charge their pipelined per-layer terms; recompute layers the
     /// per-layer prefill term.
     pub fn restore_secs(&self, c: &CostInputs) -> f64 {
-        self.methods
-            .iter()
-            .map(|m| match m {
-                LayerMethod::Hidden => t_hidden(c),
-                LayerMethod::KvOffload => t_kv(c),
-                LayerMethod::Recompute => t_recompute(c),
-            })
-            .sum()
+        restore_secs_of(&self.methods, c)
     }
+}
+
+/// [`Placement::restore_secs`] over a bare method slice — the same
+/// numerics without constructing a `Placement`, so the controller's
+/// structure-of-arrays eviction scan can cost interned mixes in place.
+pub fn restore_secs_of(methods: &[LayerMethod], c: &CostInputs) -> f64 {
+    methods
+        .iter()
+        .map(|m| match m {
+            LayerMethod::Hidden => t_hidden(c),
+            LayerMethod::KvOffload => t_kv(c),
+            LayerMethod::Recompute => t_recompute(c),
+        })
+        .sum()
 }
 
 /// The admission-time placement decision for a whole session.

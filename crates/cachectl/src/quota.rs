@@ -1,102 +1,109 @@
-//! Per-session resident-byte accounting against a fixed storage quota.
+//! Quota *limits* for the storage pool and its tenants.
 //!
-//! The tracker is deliberately dumb: it holds numbers, not policy. The
-//! controller charges it with the figures `hc-storage`'s byte-accounting
-//! APIs report (`StorageManager::session_bytes`, the return values of
-//! `delete_stream`/`delete_session`), asks whether the pool is over quota,
-//! and runs the eviction ladder until it no longer is.
+//! Historically this module owned a `HashMap<u64, u64>` per-session byte
+//! ledger — a second copy of truth the controller had to keep in sync
+//! with storage, and the accounting-drift surface ISSUE 8 closes. The
+//! ledger now lives in the structure-of-arrays session store
+//! ([`crate::table::SessionTable`]): the `bytes` column, its atomic grand
+//! total, and the per-tenant totals move together under a debug
+//! assertion after every mutation. What remains here is pure *policy
+//! configuration*: the pool quota and each tenant's
+//! reservation/cap pair, plus the comparisons the eviction ladder asks
+//! about. The tracker holds limits, never usage.
 
-use std::collections::HashMap;
+/// Byte limits for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Bytes the tenant is guaranteed: pool-pressure demotion never
+    /// victimizes a tenant whose usage is at or below this floor, so one
+    /// tenant's burst cannot evict another below its reservation.
+    pub reservation_bytes: u64,
+    /// Hard ceiling on the tenant's usage: exceeding it demotes within
+    /// the tenant even while the pool itself has headroom.
+    pub cap_bytes: u64,
+}
 
-/// Resident-byte ledger for one storage pool.
+impl Default for TenantQuota {
+    /// No reservation, no cap — the tenant shares the pool best-effort.
+    fn default() -> Self {
+        Self {
+            reservation_bytes: 0,
+            cap_bytes: u64::MAX,
+        }
+    }
+}
+
+/// Quota limits for one storage pool: the aggregate byte budget and any
+/// per-tenant reservations/caps. Deliberately dumb — it answers
+/// threshold questions about usage figures the caller supplies (read
+/// from the session table's atomic totals) and stores nothing else.
 #[derive(Debug, Clone)]
 pub struct QuotaTracker {
     quota: u64,
-    used: u64,
-    per_session: HashMap<u64, u64>,
+    tenants: Vec<TenantQuota>,
 }
 
 impl QuotaTracker {
-    /// A tracker governing `quota_bytes` of host cache storage.
+    /// A tracker governing `quota_bytes` of host cache storage, every
+    /// tenant best-effort.
     pub fn new(quota_bytes: u64) -> Self {
         Self {
             quota: quota_bytes,
-            used: 0,
-            per_session: HashMap::new(),
+            tenants: Vec::new(),
         }
     }
 
-    /// The configured quota.
+    /// The configured pool quota.
     pub fn quota(&self) -> u64 {
         self.quota
     }
 
-    /// Bytes currently charged across all sessions.
-    pub fn used(&self) -> u64 {
-        self.used
+    /// Sets one tenant's limits (growing the tenant vector as needed).
+    pub fn set_tenant(&mut self, tenant: u32, limits: TenantQuota) {
+        if self.tenants.len() <= tenant as usize {
+            self.tenants
+                .resize(tenant as usize + 1, TenantQuota::default());
+        }
+        self.tenants[tenant as usize] = limits;
     }
 
-    /// Quota headroom (0 when over quota).
-    pub fn free(&self) -> u64 {
-        self.quota.saturating_sub(self.used)
+    /// One tenant's limits (default — best-effort — when never set).
+    pub fn tenant(&self, tenant: u32) -> TenantQuota {
+        self.tenants
+            .get(tenant as usize)
+            .copied()
+            .unwrap_or_default()
     }
 
-    /// Bytes charged to one session.
-    pub fn session(&self, session: u64) -> u64 {
-        self.per_session.get(&session).copied().unwrap_or(0)
+    /// Highest tenant id configured + 1.
+    pub fn n_tenants(&self) -> usize {
+        self.tenants.len()
     }
 
-    /// True when usage exceeds the quota (eviction must run).
-    pub fn over_quota(&self) -> bool {
-        self.used > self.quota
+    /// True when pool usage exceeds the quota (eviction must run).
+    pub fn over_quota(&self, used: u64) -> bool {
+        used > self.quota
     }
 
-    /// Bytes that must be freed to get back under quota.
-    pub fn excess(&self) -> u64 {
-        self.used.saturating_sub(self.quota)
+    /// Bytes that must be freed to get the pool back under quota.
+    pub fn excess(&self, used: u64) -> u64 {
+        used.saturating_sub(self.quota)
     }
 
-    /// Sessions with a non-zero charge.
-    pub fn sessions(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self
-            .per_session
-            .iter()
-            .filter(|(_, b)| **b > 0)
-            .map(|(s, _)| *s)
-            .collect();
-        v.sort_unstable();
-        v
+    /// Pool headroom (0 when over quota).
+    pub fn free(&self, used: u64) -> u64 {
+        self.quota.saturating_sub(used)
     }
 
-    /// Adds `bytes` to a session's charge.
-    pub fn charge(&mut self, session: u64, bytes: u64) {
-        *self.per_session.entry(session).or_insert(0) += bytes;
-        self.used += bytes;
+    /// True when a tenant's usage exceeds its hard cap.
+    pub fn over_cap(&self, tenant: u32, used: u64) -> bool {
+        used > self.tenant(tenant).cap_bytes
     }
 
-    /// Subtracts `bytes` from a session's charge (saturating — releasing
-    /// more than was charged clamps to zero, keeping the ledger sane even
-    /// if a caller double-releases).
-    pub fn release(&mut self, session: u64, bytes: u64) {
-        let entry = self.per_session.entry(session).or_insert(0);
-        let take = bytes.min(*entry);
-        *entry -= take;
-        self.used -= take;
-    }
-
-    /// Reconciles a session's charge to an observed figure (what the
-    /// storage layer reports as resident right now).
-    pub fn set_session(&mut self, session: u64, bytes: u64) {
-        let entry = self.per_session.entry(session).or_insert(0);
-        self.used = self.used - *entry + bytes;
-        *entry = bytes;
-    }
-
-    /// Drops a session from the ledger; returns the bytes it was charged.
-    pub fn forget(&mut self, session: u64) -> u64 {
-        let bytes = self.per_session.remove(&session).unwrap_or(0);
-        self.used -= bytes;
-        bytes
+    /// True when a tenant's usage exceeds its reservation — i.e. the
+    /// tenant is fair game for pool-pressure demotion.
+    pub fn above_reservation(&self, tenant: u32, used: u64) -> bool {
+        used > self.tenant(tenant).reservation_bytes
     }
 }
 
@@ -105,47 +112,44 @@ mod tests {
     use super::*;
 
     #[test]
-    fn charge_release_roundtrip() {
-        let mut q = QuotaTracker::new(100);
-        q.charge(1, 60);
-        q.charge(2, 30);
-        assert_eq!(q.used(), 90);
-        assert_eq!(q.free(), 10);
-        assert!(!q.over_quota());
-        q.charge(1, 20);
-        assert!(q.over_quota());
-        assert_eq!(q.excess(), 10);
-        q.release(1, 40);
-        assert_eq!(q.session(1), 40);
-        assert_eq!(q.used(), 70);
-        assert_eq!(q.sessions(), vec![1, 2]);
+    fn pool_thresholds() {
+        let q = QuotaTracker::new(100);
+        assert_eq!(q.quota(), 100);
+        assert!(!q.over_quota(100));
+        assert!(q.over_quota(101));
+        assert_eq!(q.excess(130), 30);
+        assert_eq!(q.excess(70), 0);
+        assert_eq!(q.free(70), 30);
+        assert_eq!(q.free(130), 0);
     }
 
     #[test]
-    fn release_saturates_instead_of_underflowing() {
-        let mut q = QuotaTracker::new(10);
-        q.charge(1, 5);
-        q.release(1, 50);
-        assert_eq!(q.session(1), 0);
-        assert_eq!(q.used(), 0);
+    fn unset_tenants_are_best_effort() {
+        let q = QuotaTracker::new(100);
+        assert_eq!(q.tenant(7), TenantQuota::default());
+        assert!(!q.over_cap(7, u64::MAX - 1));
+        assert!(
+            q.above_reservation(7, 1),
+            "no reservation → any use is fair game"
+        );
+        assert!(!q.above_reservation(7, 0));
     }
 
     #[test]
-    fn set_session_reconciles() {
+    fn tenant_limits_round_trip() {
         let mut q = QuotaTracker::new(100);
-        q.charge(1, 10);
-        q.set_session(1, 45);
-        assert_eq!(q.used(), 45);
-        q.set_session(1, 5);
-        assert_eq!(q.used(), 5);
-    }
-
-    #[test]
-    fn forget_returns_charge() {
-        let mut q = QuotaTracker::new(100);
-        q.charge(3, 33);
-        assert_eq!(q.forget(3), 33);
-        assert_eq!(q.used(), 0);
-        assert_eq!(q.forget(3), 0);
+        q.set_tenant(
+            2,
+            TenantQuota {
+                reservation_bytes: 20,
+                cap_bytes: 60,
+            },
+        );
+        assert_eq!(q.n_tenants(), 3);
+        assert_eq!(q.tenant(1), TenantQuota::default());
+        assert!(!q.over_cap(2, 60));
+        assert!(q.over_cap(2, 61));
+        assert!(!q.above_reservation(2, 20), "at the floor → immune");
+        assert!(q.above_reservation(2, 21));
     }
 }

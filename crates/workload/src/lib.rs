@@ -21,6 +21,7 @@ pub mod leval;
 pub mod rng;
 pub mod sharegpt;
 pub mod stats;
+pub mod tenant;
 pub mod zipf;
 
 /// A single inference request as the serving engine consumes it.
