@@ -47,9 +47,11 @@ fn bench_two_stage(c: &mut Criterion) {
         let saver = StateSaver::new(Arc::clone(&mgr), SaveMode::TwoStage);
         let row = vec![0.5f32; 16 * D]; // 16 sequences
         b.iter(|| {
-            saver.save_batch(black_box(&[(StreamId::hidden(1, 0), row.as_slice())]));
+            saver
+                .save_batch(black_box(&[(StreamId::hidden(1, 0), row.as_slice())]))
+                .unwrap();
         });
-        saver.barrier_and_flush(1);
+        saver.barrier_and_flush(1).unwrap();
     });
 
     group.bench_function("direct_io_batch16", |b| {
@@ -57,7 +59,9 @@ fn bench_two_stage(c: &mut Criterion) {
         let saver = StateSaver::new(Arc::clone(&mgr), SaveMode::DirectIo);
         let row = vec![0.5f32; 16 * D];
         b.iter(|| {
-            saver.save_batch(black_box(&[(StreamId::hidden(1, 0), row.as_slice())]));
+            saver
+                .save_batch(black_box(&[(StreamId::hidden(1, 0), row.as_slice())]))
+                .unwrap();
         });
     });
     group.finish();

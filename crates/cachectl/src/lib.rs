@@ -111,6 +111,9 @@ impl From<hc_restore::engine::RestoreError> for CtlError {
             hc_restore::engine::RestoreError::PrefetchFailed { layer } => {
                 CtlError::Prefetch { layer }
             }
+            hc_restore::engine::RestoreError::WorkerLost => CtlError::Storage(
+                hc_storage::StorageError::Io("restore worker pool disconnected".to_string()),
+            ),
         }
     }
 }
@@ -536,6 +539,7 @@ impl<S: ChunkStore + 'static> CacheController<S> {
                 if !st.table.touch(session) {
                     return Err(CtlError::UnknownSession(session));
                 }
+                // hc-analyze: allow(panic) touch() returned true above, so the session row exists under this same lock hold
                 let mix = st.table.mix_of(session).expect("session just touched");
                 if last_methods.is_none() {
                     // Count the attempt once, by the mix first seen.
@@ -548,6 +552,7 @@ impl<S: ChunkStore + 'static> CacheController<S> {
                 }
                 (
                     st.table.mixes().methods(mix).to_vec(),
+                    // hc-analyze: allow(panic) touch() returned true above, so the session row exists under this same lock hold
                     st.table.n_tokens_of(session).expect("session exists") as usize,
                 )
             };
@@ -605,6 +610,7 @@ impl<S: ChunkStore + 'static> CacheController<S> {
                     slots.push(Slot::Unknown(job.session));
                     continue;
                 }
+                // hc-analyze: allow(panic) touch() returned true above, so the session row exists under this same lock hold
                 let mix = st.table.mix_of(job.session).expect("session just touched");
                 let counter = if st.table.mixes().is_fully_dropped(mix) {
                     &self.metrics.restore_fallbacks
@@ -616,6 +622,7 @@ impl<S: ChunkStore + 'static> CacheController<S> {
                 requests.push(hc_restore::engine::RestoreRequest {
                     session: job.session,
                     tokens: job.tokens.clone(),
+                    // hc-analyze: allow(panic) touch() returned true above, so the session row exists under this same lock hold
                     n_tokens: st.table.n_tokens_of(job.session).expect("session exists") as usize,
                     methods: st.table.mixes().methods(mix).to_vec(),
                 });
@@ -657,6 +664,7 @@ impl<S: ChunkStore + 'static> CacheController<S> {
             .map(|(slot, job)| match slot {
                 Slot::Req(i) => (
                     job.session,
+                    // hc-analyze: allow(panic) slot indices are distinct by construction, so each result is taken exactly once
                     results[i].take().expect("each request consumed once"),
                 ),
                 Slot::Unknown(s) => (s, Err(CtlError::UnknownSession(s))),

@@ -41,6 +41,7 @@ impl CtlMetrics {
 
     /// Adds `n` to a counter (convenience for the controller internals).
     pub fn bump(counter: &AtomicU64, n: u64) {
+        // hc-analyze: allow(relaxed) monotonic metrics counter; snapshots tolerate torn cross-counter reads by design
         counter.fetch_add(n, Ordering::Relaxed);
     }
 }

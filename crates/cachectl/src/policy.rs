@@ -93,6 +93,7 @@ impl EvictionPolicy for LruPolicy {
         candidates
             .iter()
             .min_by_key(|m| (m.last_access, m.session))
+            // hc-analyze: allow(panic) documented pick_victim precondition: the controller only calls with a non-empty candidate set
             .expect("candidates must be non-empty")
             .session
     }
@@ -116,6 +117,7 @@ impl EvictionPolicy for CostAwarePolicy {
                     .then_with(|| a.last_access.cmp(&b.last_access))
                     .then_with(|| a.session.cmp(&b.session))
             })
+            // hc-analyze: allow(panic) documented pick_victim precondition: the controller only calls with a non-empty candidate set
             .expect("candidates must be non-empty")
             .session
     }

@@ -252,6 +252,7 @@ impl RestoreScheduler {
         slots
             .into_iter()
             .map(|slot| match slot {
+                // hc-analyze: allow(panic) slot indices are distinct by construction, so each result is taken exactly once
                 Slot::Job(i) => results[i].take().expect("each job consumed once"),
                 Slot::Unknown(s) => (s, Err(CtlError::UnknownSession(s))),
             })

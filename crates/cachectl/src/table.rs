@@ -56,6 +56,12 @@
 //! equals the atomic total, so accounting drift is caught at the exact
 //! mutation that introduced it instead of surfacing as a slow quota leak.
 
+// Lock discipline: the table itself takes no locks — every mutator runs
+// under the controller's single `state` mutex (see lib.rs), and the only
+// concurrent surface is the `total_bytes` atomic, published with Release
+// so lock-free quota polls pair with it via Acquire.
+// hc-analyze: lock-order st=state
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -274,7 +280,10 @@ impl SessionTable {
     /// Resident bytes across all sessions (the atomic grand total the
     /// byte column mirrors).
     pub fn total_bytes(&self) -> u64 {
-        self.total_bytes.load(Ordering::Relaxed)
+        // Acquire pairs with the Release writes under the table lock so a
+        // lock-free quota poll never reads a total older than the column
+        // mutation it raced with.
+        self.total_bytes.load(Ordering::Acquire)
     }
 
     /// Recomputed sum of the byte column. Always equals
@@ -486,9 +495,9 @@ impl SessionTable {
         let t = self.tenant[s] as usize;
         self.per_tenant[t].bytes = self.per_tenant[t].bytes - old + bytes;
         if bytes >= old {
-            self.total_bytes.fetch_add(bytes - old, Ordering::Relaxed);
+            self.total_bytes.fetch_add(bytes - old, Ordering::Release);
         } else {
-            self.total_bytes.fetch_sub(old - bytes, Ordering::Relaxed);
+            self.total_bytes.fetch_sub(old - bytes, Ordering::Release);
         }
         if bytes > 0 && !self.mixes.is_fully_dropped(self.mix[s]) {
             self.link(slot);
@@ -511,7 +520,7 @@ impl SessionTable {
         self.bytes[s] -= take;
         let t = self.tenant[s] as usize;
         self.per_tenant[t].bytes -= take;
-        self.total_bytes.fetch_sub(take, Ordering::Relaxed);
+        self.total_bytes.fetch_sub(take, Ordering::Release);
         if self.bytes[s] == 0 && self.linked[s] {
             self.unlink(slot);
         }
@@ -551,7 +560,7 @@ impl SessionTable {
         let t = tenant as usize;
         self.per_tenant[t].bytes -= bytes;
         self.per_tenant[t].sessions -= 1;
-        self.total_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        self.total_bytes.fetch_sub(bytes, Ordering::Release);
         self.slot_of.remove(&id);
 
         let last = self.ids.len() - 1;
@@ -738,7 +747,7 @@ impl SessionTable {
             let sum = self.column_bytes_sum();
             assert_eq!(
                 sum,
-                self.total_bytes.load(Ordering::Relaxed),
+                self.total_bytes.load(Ordering::Acquire),
                 "byte column / atomic total drift"
             );
             let tenant_sum: u64 = self.per_tenant.iter().map(|t| t.bytes).sum();

@@ -63,6 +63,9 @@ impl From<hc_restore::engine::RestoreError> for SystemError {
             hc_restore::engine::RestoreError::PrefetchFailed { layer } => {
                 SystemError::Prefetch { layer }
             }
+            hc_restore::engine::RestoreError::WorkerLost => SystemError::Storage(StorageError::Io(
+                "restore worker pool disconnected".to_string(),
+            )),
         }
     }
 }
@@ -351,7 +354,7 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
             .model
             .prefill_par(prompt, &mut kv, true, &self.parallel);
         let hidden = out.hidden_per_layer.expect("capture enabled");
-        self.save_new_rows(session, &methods, &hidden, &kv, history_len + prompt.len());
+        self.save_new_rows(session, &methods, &hidden, &kv, history_len + prompt.len())?;
 
         // 3. Greedy generation; every decoded token's hidden states go
         //    through the two-stage saver (§4.2.2).
@@ -367,16 +370,16 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
                 .filter(|(_, m)| **m == LayerMethod::Hidden)
                 .map(|(l, _)| (StreamId::hidden(session, l as u32), per_layer[l].as_slice()))
                 .collect();
-            self.saver.save_batch(&items);
+            self.saver.save_batch(&items)?;
             generated.push(next);
             last_row = row;
         }
         // KV-offload layers persist their decode-time K/V rows in one batch.
         let total = kv.n_tokens();
-        self.save_kv_rows(session, &methods, &kv, history_len + prompt.len(), total);
+        self.save_kv_rows(session, &methods, &kv, history_len + prompt.len(), total)?;
 
         // 4. Make everything durable, then evict (drop) the KV cache.
-        self.saver.barrier_and_flush(session);
+        self.saver.barrier_and_flush(session)?;
 
         let state = self.sessions.get_mut(&session).expect("checked above");
         state.tokens.extend_from_slice(prompt);
@@ -407,16 +410,16 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
         hidden: &[hc_tensor::Tensor2],
         kv: &KvCache,
         upto: usize,
-    ) {
+    ) -> Result<(), StorageError> {
         let items: Vec<(StreamId, &[f32])> = methods
             .iter()
             .enumerate()
             .filter(|(_, m)| **m == LayerMethod::Hidden)
             .map(|(l, _)| (StreamId::hidden(session, l as u32), hidden[l].as_slice()))
             .collect();
-        self.saver.save_batch(&items);
+        self.saver.save_batch(&items)?;
         let start = upto - hidden[0].rows();
-        self.save_kv_rows(session, methods, kv, start, upto);
+        self.save_kv_rows(session, methods, kv, start, upto)
     }
 
     /// Appends K/V rows `[start, end)` for KV-offload layers.
@@ -427,22 +430,20 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
         kv: &KvCache,
         start: usize,
         end: usize,
-    ) {
+    ) -> Result<(), StorageError> {
         if start >= end {
-            return;
+            return Ok(());
         }
         for (l, m) in methods.iter().enumerate() {
             if *m == LayerMethod::KvOffload {
                 let k = kv.keys(l).slice_rows(start, end);
                 let v = kv.values(l).slice_rows(start, end);
+                self.mgr.append_rows(StreamId::key(session, l as u32), &k)?;
                 self.mgr
-                    .append_rows(StreamId::key(session, l as u32), &k)
-                    .expect("kv append");
-                self.mgr
-                    .append_rows(StreamId::value(session, l as u32), &v)
-                    .expect("kv append");
+                    .append_rows(StreamId::value(session, l as u32), &v)?;
             }
         }
+        Ok(())
     }
 }
 

@@ -98,6 +98,11 @@ pub enum RestoreError {
         /// Layer whose fetch was in flight when the stage died.
         layer: usize,
     },
+    /// The reactor-restore worker pool disconnected before this session
+    /// reached a terminal state — every compute worker died, so the
+    /// machine could never advance again. Typed so the surviving
+    /// sessions' results are still returned.
+    WorkerLost,
 }
 
 impl From<StorageError> for RestoreError {
@@ -113,6 +118,9 @@ impl std::fmt::Display for RestoreError {
             RestoreError::PrefetchFailed { layer } => {
                 write!(f, "prefetch stage failed while fetching layer {layer}")
             }
+            RestoreError::WorkerLost => {
+                write!(f, "restore worker pool disconnected before completion")
+            }
         }
     }
 }
@@ -121,7 +129,7 @@ impl std::error::Error for RestoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RestoreError::Storage(e) => Some(e),
-            RestoreError::PrefetchFailed { .. } => None,
+            RestoreError::PrefetchFailed { .. } | RestoreError::WorkerLost => None,
         }
     }
 }
@@ -892,6 +900,7 @@ pub fn map_concurrent<T: Sync, R: Send>(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // hc-analyze: allow(relaxed) work-stealing index: fetch_add uniqueness is all that matters; slot data is published by the Mutex
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
                 *slots[i].lock() = Some(f(item));
@@ -900,6 +909,7 @@ pub fn map_concurrent<T: Sync, R: Send>(
     });
     slots
         .into_iter()
+        // hc-analyze: allow(panic) scope-join invariant: every index below items.len() was claimed and filled before scope exit
         .map(|s| s.into_inner().expect("worker filled every slot"))
         .collect()
 }

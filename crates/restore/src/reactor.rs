@@ -171,6 +171,7 @@ pub fn restore_sessions_reactor<S: ChunkStore>(
 ) -> Vec<SessionRestore> {
     let reactor = Arc::clone(
         mgr.reactor()
+            // hc-analyze: allow(panic) documented API contract: callers must configure the manager with_reactor first
             .expect("restore_sessions_reactor requires a manager with_reactor"),
     );
     let cfg = &model.cfg;
@@ -226,9 +227,15 @@ pub fn restore_sessions_reactor<S: ChunkStore>(
                         continue; // late wakeup after completion
                     }
                     advance(m, &requests[i], model, mgr, per_machine);
-                    if m.result.is_some() {
+                    let finished = m.result.is_some();
+                    if finished {
                         m.finished = Some(Instant::now());
                         m.active.clear(); // drop any surviving jobs
+                    }
+                    // The completion gauge and channel don't need the
+                    // machine lock — release it before touching them.
+                    drop(slot);
+                    if finished {
                         reactor.restore_completed();
                         let _ = done_tx.send(i);
                     }
@@ -274,7 +281,12 @@ pub fn restore_sessions_reactor<S: ChunkStore>(
         }
         let mut completed = 0usize;
         while completed < requests.len() {
-            let _ = done_rx.recv().expect("a worker outlives every machine");
+            // A disconnect means every compute worker died: no surviving
+            // machine can ever advance, so stop admitting and let the
+            // collection below type the unfinished slots as `WorkerLost`.
+            if done_rx.recv().is_err() {
+                break;
+            }
             completed += 1;
             if next_admit < requests.len() {
                 admit(next_admit);
@@ -286,12 +298,19 @@ pub fn restore_sessions_reactor<S: ChunkStore>(
 
     machines
         .into_iter()
-        .map(|slot| {
-            let m = slot.into_inner().expect("every request was admitted");
-            SessionRestore {
-                result: m.result.expect("every machine reached a terminal state"),
-                latency: m.finished.expect("finished stamped at completion") - m.admitted,
-            }
+        .map(|slot| match slot.into_inner() {
+            Some(m) => SessionRestore {
+                result: m.result.unwrap_or(Err(RestoreError::WorkerLost)),
+                latency: m
+                    .finished
+                    .map(|f| f - m.admitted)
+                    .unwrap_or_else(|| m.admitted.elapsed()),
+            },
+            // Never admitted: the pool died before this request's turn.
+            None => SessionRestore {
+                result: Err(RestoreError::WorkerLost),
+                latency: Duration::ZERO,
+            },
         })
         .collect()
 }

@@ -139,9 +139,13 @@ impl Counters {
 
     fn snapshot(&self) -> DeviceStats {
         DeviceStats {
+            // hc-analyze: allow(relaxed) per-device IO metrics; a snapshot is advisory and needs no cross-counter consistency
             writes: self.writes.load(Ordering::Relaxed),
+            // hc-analyze: allow(relaxed) per-device IO metrics; a snapshot is advisory and needs no cross-counter consistency
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            // hc-analyze: allow(relaxed) per-device IO metrics; a snapshot is advisory and needs no cross-counter consistency
             reads: self.reads.load(Ordering::Relaxed),
+            // hc-analyze: allow(relaxed) per-device IO metrics; a snapshot is advisory and needs no cross-counter consistency
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
         }
     }
@@ -167,9 +171,11 @@ impl MemStore {
 impl ChunkStore for MemStore {
     fn write_chunk(&self, key: ChunkKey, data: &[u8]) -> Result<(), StorageError> {
         let dev = device_for(&key, self.counters.len());
+        // hc-analyze: allow(relaxed) monotonic per-device IO metric; no reader pairs it with other state
         self.counters[dev].writes.fetch_add(1, Ordering::Relaxed);
         self.counters[dev]
             .bytes_written
+            // hc-analyze: allow(relaxed) monotonic per-device IO metric; no reader pairs it with other state
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.chunks.lock().insert(key, data.to_vec());
         Ok(())
@@ -186,9 +192,11 @@ impl ChunkStore for MemStore {
                 stream: key.stream,
                 chunk_idx: key.chunk_idx,
             })?;
+        // hc-analyze: allow(relaxed) monotonic per-device IO metric; no reader pairs it with other state
         self.counters[dev].reads.fetch_add(1, Ordering::Relaxed);
         self.counters[dev]
             .bytes_read
+            // hc-analyze: allow(relaxed) monotonic per-device IO metric; no reader pairs it with other state
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         Ok(data)
     }
@@ -386,9 +394,11 @@ impl ChunkStore for FileStore {
                 }
             }
         }
+        // hc-analyze: allow(relaxed) monotonic per-device IO metric; no reader pairs it with other state
         self.counters[dev].writes.fetch_add(1, Ordering::Relaxed);
         self.counters[dev]
             .bytes_written
+            // hc-analyze: allow(relaxed) monotonic per-device IO metric; no reader pairs it with other state
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.index.lock().insert(key, data.len() as u64);
         Ok(())
@@ -408,9 +418,11 @@ impl ChunkStore for FileStore {
             transient: false,
             msg: e.to_string(),
         })?;
+        // hc-analyze: allow(relaxed) monotonic per-device IO metric; no reader pairs it with other state
         self.counters[dev].reads.fetch_add(1, Ordering::Relaxed);
         self.counters[dev]
             .bytes_read
+            // hc-analyze: allow(relaxed) monotonic per-device IO metric; no reader pairs it with other state
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         Ok(data)
     }

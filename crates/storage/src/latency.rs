@@ -31,6 +31,11 @@
 //! `bench_storage_concurrency` and `bench_multi_session` drive managers
 //! over this wrapper to measure read-side scaling.
 
+// Lock discipline: `clock` guards are per-device reservation windows and
+// are never nested — reserve, bump `next_free`, release, then wait with
+// no lock held (the whole point of the deadline model above).
+// hc-analyze: lock-order clock=clocks
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

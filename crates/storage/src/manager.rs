@@ -158,6 +158,11 @@
 //! | Torn journal tail (crash) | Detected at reopen by frame CRC; journal truncated to last consistent record | The unjournaled suffix of affected streams |
 //! | Mid-restore delete/eviction | [`RowSink::reset`] + retry on the successor generation, or `MissingChunk`/`OutOfRange` — never mixed-generation rows | The deleted stream only |
 
+// hc-analyze: lock-order map=streams < stream=cell=c=stream_handle < job=core
+// (The documented sharded discipline, machine-checked: the `streams`
+// map lock strictly before any per-stream `cell` lock, and a reactor
+// read job's `core` lock only innermost. Aliases name the receiver
+// idents each class is acquired through.)
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -592,12 +597,13 @@ impl<S: ChunkStore> StorageManager<S> {
                 // occupied, replacing those bytes rather than adding to them.
                 let delta = bytes.len() as u64 - state.tail_bytes;
                 state.resident_bytes += delta;
-                self.total_resident.fetch_add(delta, Ordering::Relaxed);
+                self.total_resident.fetch_add(delta, Ordering::AcqRel);
                 state.tail_bytes = 0;
                 state.n_durable += CHUNK_TOKENS;
             }
             Ok(())
         })
+        // hc-analyze: allow(panic) invariant: with_stream_mut(create=true) always yields a state
         .expect("create=true always yields a state")
     }
 
@@ -629,7 +635,7 @@ impl<S: ChunkStore> StorageManager<S> {
             // Re-flushing replaces the previous tail image in place.
             let delta = bytes.len() as u64 - state.tail_bytes;
             state.resident_bytes += delta;
-            self.total_resident.fetch_add(delta, Ordering::Relaxed);
+            self.total_resident.fetch_add(delta, Ordering::AcqRel);
             state.tail_bytes = bytes.len() as u64;
             Ok(())
         })
@@ -989,6 +995,7 @@ impl<S: ChunkStore> StorageManager<S> {
                 // Tail chunk: buffer rows start at token n_durable ==
                 // chunk_start_token for the tail.
                 debug_assert_eq!(slice.chunk_idx as u64 * CHUNK_TOKENS, plan.durable);
+                // hc-analyze: allow(panic) planner invariant: a slice past the durable cursor always snapshots a tail
                 self.decode_tail(plan.tail.expect("range past durable implies tail"))
             };
             match self.deliver_slice(plan, cell, sink, i, rows) {
@@ -1069,7 +1076,14 @@ impl<S: ChunkStore> StorageManager<S> {
         // cancellation also drains (cheaply, without decoding) so the
         // lanes finish cleanly instead of aborting mid-stream.
         for _ in 0..submitted {
-            let (i, res) = rx.recv().expect("fanout lane dropped a completion");
+            // A dropped completion means a fanout worker died mid-job
+            // (its catch_unwind can only lose the sender on an unwind
+            // outside the job): surface a typed error, not an abort.
+            let Ok((i, res)) = rx.recv() else {
+                return Err(StorageError::Io(
+                    "fanout lane dropped a completion (worker lost)".to_string(),
+                ));
+            };
             if ended.is_some() {
                 continue;
             }
@@ -1102,7 +1116,8 @@ impl<S: ChunkStore> StorageManager<S> {
             .filter(|s| !Self::slice_is_durable(s, plan.durable))
         {
             debug_assert_eq!(slice.chunk_idx as u64 * CHUNK_TOKENS, plan.durable);
-            let rows = self.decode_tail(plan.tail.expect("range past durable implies tail"));
+            let rows = // hc-analyze: allow(panic) planner invariant: a slice past the durable cursor always snapshots a tail
+                self.decode_tail(plan.tail.expect("range past durable implies tail"));
             let i = slices.len() - 1;
             match self.deliver_slice(plan, cell, sink, i, rows) {
                 StreamPhase::Done => {}
@@ -1186,6 +1201,7 @@ impl<S: ChunkStore> StorageManager<S> {
         cell: &Option<Arc<RwLock<StreamState>>>,
         sink: &mut dyn RowSink,
     ) -> Result<StreamPhase, StorageError> {
+        // hc-analyze: allow(panic) invariant: a ReactorPlan is only built when the manager has a reactor
         let reactor = self.reactor.as_ref().expect("plan implies reactor");
         let slices = plan.slices;
         let total = rp.device_chunks.len();
@@ -1241,7 +1257,13 @@ impl<S: ChunkStore> StorageManager<S> {
         // healthy. On error/restart/cancel, submission stops and the
         // remaining in-flight chunks drain cheaply.
         while in_flight > 0 {
-            let (i, res) = rx.recv().expect("reactor dropped a completion");
+            // A dropped completion means a reactor IO thread died: surface
+            // a typed error instead of aborting the read path.
+            let Ok((i, res)) = rx.recv() else {
+                return Err(StorageError::Io(
+                    "reactor dropped a completion (IO thread lost)".to_string(),
+                ));
+            };
             in_flight -= 1;
             if ended.is_none() && first_err.is_none() && next < total {
                 submit_next(&mut next, &mut in_flight);
@@ -1277,7 +1299,8 @@ impl<S: ChunkStore> StorageManager<S> {
             .filter(|s| !Self::slice_is_durable(s, plan.durable))
         {
             debug_assert_eq!(slice.chunk_idx as u64 * CHUNK_TOKENS, plan.durable);
-            let rows = self.decode_tail(plan.tail.expect("range past durable implies tail"));
+            let rows = // hc-analyze: allow(panic) planner invariant: a slice past the durable cursor always snapshots a tail
+                self.decode_tail(plan.tail.expect("range past durable implies tail"));
             let i = slices.len() - 1;
             match self.deliver_slice(plan, cell, sink, i, rows) {
                 StreamPhase::Done => {}
@@ -1374,7 +1397,7 @@ impl<S: ChunkStore> StorageManager<S> {
     /// atomic — no lock taken, so capacity control planes (hc-cachectl's
     /// `QuotaTracker`) can poll it without stalling stream IO.
     pub fn total_resident_bytes(&self) -> u64 {
-        self.total_resident.load(Ordering::Relaxed)
+        self.total_resident.load(Ordering::Acquire)
     }
 
     /// Distinct sessions with any tracked stream state, ascending.
@@ -1414,7 +1437,7 @@ impl<S: ChunkStore> StorageManager<S> {
                 state.partial = Vec::new();
                 state.n_tokens = 0;
                 state.n_durable = 0;
-                self.total_resident.fetch_sub(tracked, Ordering::Relaxed);
+                self.total_resident.fetch_sub(tracked, Ordering::AcqRel);
                 // Log, then wipe: a crash between the two leaves orphan
                 // chunks of a dead generation (swept at recovery), never a
                 // resurrected stream. The append is best-effort — this
@@ -1639,7 +1662,7 @@ impl<S: ChunkStore> StorageManager<S> {
                 report.orphan_chunks_removed += 1;
             }
         }
-        mgr.total_resident.store(total, Ordering::Relaxed);
+        mgr.total_resident.store(total, Ordering::Release);
         report.resident_bytes = total;
         Ok((mgr, report))
     }
@@ -1834,6 +1857,7 @@ impl<S: ChunkStore> ReactorReadJob<S> {
             });
         }
         let slices = chunks_for_range(self.start, self.end);
+        // hc-analyze: allow(panic) invariant: begin_read_reactor requires a manager with a reactor
         let iodepth = mgr.reactor.as_ref().expect("job implies reactor").iodepth();
         let (device_chunks, fast, window) = {
             let plan = ReadPlan {
@@ -1882,6 +1906,7 @@ impl<S: ChunkStore> ReactorReadJob<S> {
         self.mgr
             .reactor
             .as_ref()
+            // hc-analyze: allow(panic) invariant: begin_read_reactor requires a manager with a reactor
             .expect("job implies reactor")
             .submit_io(device, move || {
                 // A panicking store must not strand the machine on a
@@ -1975,6 +2000,7 @@ impl<S: ChunkStore> ReactorReadJob<S> {
                         }
                     }
                 } else if !core.staged.is_empty() || !core.fast_done {
+                    // hc-analyze: allow(panic) invariant: this branch is only reached with a live pass (checked above)
                     let pass = Arc::clone(core.pass.as_ref().expect("checked above"));
                     let batch: Vec<_> = core.staged.drain(..).collect();
                     let fast_todo = !core.fast_done;
@@ -1987,6 +2013,7 @@ impl<S: ChunkStore> ReactorReadJob<S> {
                     }
                 } else if core.halted {
                     if core.in_flight == 0 {
+                        // hc-analyze: allow(panic) invariant: halted is only set together with first_err
                         let (_, e) = core.first_err.take().expect("halted implies an error");
                         core.terminal = Some(Err(e.clone()));
                         PumpStep::Failed(e)
@@ -1994,6 +2021,7 @@ impl<S: ChunkStore> ReactorReadJob<S> {
                         PumpStep::Pending
                     }
                 } else {
+                    // hc-analyze: allow(panic) invariant: this branch is only reached with a live pass (checked above)
                     let pass = Arc::clone(core.pass.as_ref().expect("checked above"));
                     if core.delivered == pass.device_chunks.len() && core.in_flight == 0 {
                         let has_tail = pass.slices.last().is_some_and(|s| {
@@ -2027,6 +2055,7 @@ impl<S: ChunkStore> ReactorReadJob<S> {
                     };
                     let rows = self
                         .mgr
+                        // hc-analyze: allow(panic) planner invariant: a tail slice always snapshots the partial buffer
                         .decode_tail(plan.tail.expect("tail slice implies snapshotted tail"));
                     let i = pass.slices.len() - 1;
                     match self.mgr.deliver_slice(&plan, &pass.cell, sink, i, rows) {

@@ -30,11 +30,16 @@
 //! reactor-driven reads are bit-identical to the sequential walk at every
 //! `iodepth`/worker combination (see `tests/storage_concurrency.rs`).
 
+// hc-analyze: lock-order rx < state
+// (`rx`: a device queue's shared receiver; `state`: the compute run
+// queue. The two planes never nest today — the declaration pins the
+// only legal direction if they ever do.)
+
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::sync::{Condvar, Mutex as StdMutex};
+use std::sync::{Condvar, Mutex as StdMutex, PoisonError};
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
@@ -63,6 +68,7 @@ impl DeviceQueue {
                 std::thread::Builder::new()
                     .name(format!("hc-reactor-d{device}q{slot}"))
                     .spawn(move || loop {
+                        // hc-analyze: allow(blocking_under_lock) the rx guard IS the handoff: iodepth threads take turns receiving, and the guard drops before the job runs
                         let job = rx.lock().recv();
                         match job {
                             // Panic isolation, same contract as FanoutPool:
@@ -74,6 +80,7 @@ impl DeviceQueue {
                             Err(_) => return,
                         }
                     })
+                    // hc-analyze: allow(panic) thread-spawn failure at construction is a host misconfiguration; no caller handles a reactor without its IO plane
                     .expect("spawn reactor IO thread")
             })
             .collect();
@@ -153,46 +160,53 @@ impl Reactor {
     /// reporting is the caller's business (through state captured by the
     /// closure). Submission never blocks.
     pub fn submit_io(&self, device: usize, job: impl FnOnce() + Send + 'static) {
+        // hc-analyze: allow(relaxed) monotonic observability counter; no reader pairs it with other state
         self.ios_submitted.fetch_add(1, Ordering::Relaxed);
         self.devices[device % self.devices.len()]
             .tx
             .as_ref()
+            // hc-analyze: allow(panic) tx is Some for the reactor's whole life; only Drop clears it, and Drop requires exclusive ownership
             .expect("reactor is live outside drop")
             .send(Box::new(job))
+            // hc-analyze: allow(panic) device IO threads hold rx until tx drops, so an unbounded send cannot fail
             .expect("reactor IO threads outlive submissions");
     }
 
     /// Chunk IOs ever submitted through this reactor.
     pub fn ios_submitted(&self) -> u64 {
+        // hc-analyze: allow(relaxed) monotonic observability counter; no reader pairs it with other state
         self.ios_submitted.load(Ordering::Relaxed)
     }
 
-    /// Marks one restore admitted (gauge up, peak tracked).
+    /// Marks one restore admitted (gauge up, peak tracked). The gauge and
+    /// totals use Release on the write side / Acquire on the read side:
+    /// drivers close the books across threads (admitted == completed after
+    /// a drained batch) and gate admission windows on these values.
     pub fn restore_admitted(&self) {
-        self.admitted_total.fetch_add(1, Ordering::Relaxed);
-        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
-        self.peak_in_flight.fetch_max(now, Ordering::Relaxed);
+        self.admitted_total.fetch_add(1, Ordering::AcqRel);
+        let now = self.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        self.peak_in_flight.fetch_max(now, Ordering::AcqRel);
     }
 
     /// Marks one restore completed (gauge down).
     pub fn restore_completed(&self) {
-        self.completed_total.fetch_add(1, Ordering::Relaxed);
-        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.completed_total.fetch_add(1, Ordering::AcqRel);
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// Restores ever admitted through this reactor.
     pub fn restores_admitted_total(&self) -> u64 {
-        self.admitted_total.load(Ordering::Relaxed)
+        self.admitted_total.load(Ordering::Acquire)
     }
 
     /// Restores ever completed through this reactor.
     pub fn restores_completed_total(&self) -> u64 {
-        self.completed_total.load(Ordering::Relaxed)
+        self.completed_total.load(Ordering::Acquire)
     }
 
     /// Restores currently admitted and not completed.
     pub fn restores_in_flight(&self) -> u64 {
-        self.in_flight.load(Ordering::Relaxed)
+        self.in_flight.load(Ordering::Acquire)
     }
 
     /// High-water mark of [`Self::restores_in_flight`]. This is the
@@ -200,7 +214,7 @@ impl Reactor {
     /// thread-per-lane scheduler it can never exceed the thread budget,
     /// with the reactor it is bounded by admission (memory), not threads.
     pub fn peak_restores_in_flight(&self) -> u64 {
-        self.peak_in_flight.load(Ordering::Relaxed)
+        self.peak_in_flight.load(Ordering::Acquire)
     }
 }
 
@@ -244,8 +258,13 @@ impl WorkQueue {
     }
 
     /// Enqueues a work token and wakes one worker. No-op after `close`.
+    ///
+    /// Poisoning is recovered rather than propagated throughout: the state
+    /// is a `VecDeque` plus a flag, both valid at every unlock point, so a
+    /// panicking worker elsewhere must not take the whole run queue (and
+    /// every sibling restore) down with it.
     pub fn push(&self, token: usize) {
-        let mut st = self.state.lock().expect("work queue poisoned");
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if st.closed {
             return;
         }
@@ -257,7 +276,7 @@ impl WorkQueue {
     /// Blocks for the next token. Returns `None` once the queue is closed
     /// and drained — the worker's signal to exit.
     pub fn pop(&self) -> Option<usize> {
-        let mut st = self.state.lock().expect("work queue poisoned");
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(token) = st.tokens.pop_front() {
                 return Some(token);
@@ -265,14 +284,14 @@ impl WorkQueue {
             if st.closed {
                 return None;
             }
-            st = self.ready.wait(st).expect("work queue poisoned");
+            st = self.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: workers drain the remaining tokens, then `pop`
     /// returns `None`; later pushes are dropped.
     pub fn close(&self) {
-        let mut st = self.state.lock().expect("work queue poisoned");
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         st.closed = true;
         drop(st);
         self.ready.notify_all();

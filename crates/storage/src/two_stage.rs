@@ -37,10 +37,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
 
 use crate::backend::ChunkStore;
 use crate::manager::StorageManager;
-use crate::StreamId;
+use crate::{StorageError, StreamId};
 
 /// Saving strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,17 +73,22 @@ pub struct StateSaver<S: ChunkStore + 'static> {
     daemon: Option<JoinHandle<()>>,
     /// Stage-1 bytes snapshotted (PCIe downstream traffic in the paper).
     snapshot_bytes: Arc<AtomicU64>,
+    /// First append error the chunk daemon hit before it shut itself
+    /// down; surfaced (typed) by the next `save_batch`/`barrier`.
+    daemon_err: Arc<Mutex<Option<StorageError>>>,
 }
 
 impl<S: ChunkStore + 'static> StateSaver<S> {
     /// Creates a saver; `TwoStage` mode spawns the chunk daemon thread.
     pub fn new(mgr: Arc<StorageManager<S>>, mode: SaveMode) -> Self {
         let snapshot_bytes = Arc::new(AtomicU64::new(0));
+        let daemon_err: Arc<Mutex<Option<StorageError>>> = Arc::new(Mutex::new(None));
         let (tx, daemon) = match mode {
             SaveMode::DirectIo => (None, None),
             SaveMode::TwoStage => {
                 let (tx, rx) = unbounded::<Msg>();
                 let mgr2 = Arc::clone(&mgr);
+                let err2 = Arc::clone(&daemon_err);
                 let handle = std::thread::Builder::new()
                     .name("hcache-chunk-daemon".into())
                     .spawn(move || {
@@ -97,8 +103,14 @@ impl<S: ChunkStore + 'static> StateSaver<S> {
                                             mgr2.d_model(),
                                             b.rows,
                                         );
-                                        mgr2.append_rows(b.stream, &t)
-                                            .expect("chunk daemon append failed");
+                                        if let Err(e) = mgr2.append_rows(b.stream, &t) {
+                                            // Park the error and stop
+                                            // consuming: dropping rx turns
+                                            // every later send into a
+                                            // typed failure at the caller.
+                                            *err2.lock() = Some(e);
+                                            return;
+                                        }
                                     }
                                 }
                                 Msg::Barrier(ack) => {
@@ -107,6 +119,7 @@ impl<S: ChunkStore + 'static> StateSaver<S> {
                             }
                         }
                     })
+                    // hc-analyze: allow(panic) thread-spawn failure at construction is a host misconfiguration; no caller handles a saver without its daemon
                     .expect("failed to spawn chunk daemon");
                 (Some(tx), Some(handle))
             }
@@ -117,6 +130,7 @@ impl<S: ChunkStore + 'static> StateSaver<S> {
             tx,
             daemon,
             snapshot_bytes,
+            daemon_err,
         }
     }
 
@@ -127,7 +141,16 @@ impl<S: ChunkStore + 'static> StateSaver<S> {
 
     /// Stage-1 snapshot traffic so far, in bytes (f16 equivalent).
     pub fn snapshot_bytes(&self) -> u64 {
+        // hc-analyze: allow(relaxed) monotonic stage-1 traffic metric; no reader pairs it with other state
         self.snapshot_bytes.load(Ordering::Relaxed)
+    }
+
+    /// The daemon's parked failure, or a generic disconnect error.
+    fn daemon_failure(&self) -> StorageError {
+        self.daemon_err
+            .lock()
+            .clone()
+            .unwrap_or_else(|| StorageError::Io("chunk daemon disconnected".to_string()))
     }
 
     /// Saves a batch of rows: `items` is a list of `(stream, rows)` where
@@ -136,7 +159,10 @@ impl<S: ChunkStore + 'static> StateSaver<S> {
     /// In `TwoStage` mode this returns as soon as the snapshot copy is done;
     /// in `DirectIo` mode it blocks until the rows (including the partial
     /// tail chunk) hit the backend.
-    pub fn save_batch(&self, items: &[(StreamId, &[f32])]) {
+    ///
+    /// A dead chunk daemon (it shuts itself down on its first append
+    /// error) surfaces here as the parked typed error, not an abort.
+    pub fn save_batch(&self, items: &[(StreamId, &[f32])]) -> Result<(), StorageError> {
         let d = self.mgr.d_model();
         let mut bytes = 0u64;
         match self.mode {
@@ -151,37 +177,42 @@ impl<S: ChunkStore + 'static> StateSaver<S> {
                         n_rows: rows.len() / d,
                     });
                 }
+                // hc-analyze: allow(relaxed) monotonic stage-1 traffic metric; no reader pairs it with other state
                 self.snapshot_bytes.fetch_add(bytes, Ordering::Relaxed);
                 self.tx
                     .as_ref()
+                    // hc-analyze: allow(panic) mode invariant: TwoStage construction always installs tx
                     .expect("two-stage saver has a daemon")
                     .send(Msg::Batch(batches))
-                    .expect("chunk daemon is gone");
+                    .map_err(|_| self.daemon_failure())?;
             }
             SaveMode::DirectIo => {
                 for (stream, rows) in items {
                     assert_eq!(rows.len() % d, 0, "ragged row payload");
                     let t = hc_tensor::Tensor2::from_vec(rows.len() / d, d, rows.to_vec());
-                    self.mgr
-                        .append_rows(*stream, &t)
-                        .expect("direct append failed");
+                    self.mgr.append_rows(*stream, &t)?;
                     // Write-through: the tail chunk goes out on every call —
                     // this is what makes DirectIO scatter small writes.
-                    self.mgr.flush_stream(*stream).expect("direct flush failed");
+                    self.mgr.flush_stream(*stream)?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Waits until the daemon has drained everything submitted so far, then
     /// flushes all partial chunks of `session` so reads see durable data.
-    pub fn barrier_and_flush(&self, session: u64) {
+    ///
+    /// Like [`Self::save_batch`], a dead daemon surfaces as its parked
+    /// typed error.
+    pub fn barrier_and_flush(&self, session: u64) -> Result<(), StorageError> {
         if let Some(tx) = &self.tx {
             let (ack_tx, ack_rx) = unbounded();
-            tx.send(Msg::Barrier(ack_tx)).expect("daemon gone");
-            ack_rx.recv().expect("daemon dropped barrier");
+            tx.send(Msg::Barrier(ack_tx))
+                .map_err(|_| self.daemon_failure())?;
+            ack_rx.recv().map_err(|_| self.daemon_failure())?;
         }
-        self.mgr.flush_session(session).expect("flush failed");
+        self.mgr.flush_session(session)
     }
 }
 
@@ -221,12 +252,12 @@ mod tests {
             for layer in 0..4u32 {
                 let r = row(step as f32 + layer as f32 * 0.25);
                 let items = [(StreamId::hidden(1, layer), r.as_slice())];
-                saver_a.save_batch(&items);
-                saver_b.save_batch(&items);
+                saver_a.save_batch(&items).unwrap();
+                saver_b.save_batch(&items).unwrap();
             }
         }
-        saver_a.barrier_and_flush(1);
-        saver_b.barrier_and_flush(1);
+        saver_a.barrier_and_flush(1).unwrap();
+        saver_b.barrier_and_flush(1).unwrap();
         for layer in 0..4u32 {
             let s = StreamId::hidden(1, layer);
             assert_eq!(mgr_a.n_tokens(s), 100);
@@ -243,11 +274,15 @@ mod tests {
         // 128 decode steps over one stream: exactly 2 full chunks.
         for step in 0..128 {
             let r = row(step as f32);
-            saver_a.save_batch(&[(StreamId::hidden(1, 0), r.as_slice())]);
-            saver_b.save_batch(&[(StreamId::hidden(1, 0), r.as_slice())]);
+            saver_a
+                .save_batch(&[(StreamId::hidden(1, 0), r.as_slice())])
+                .unwrap();
+            saver_b
+                .save_batch(&[(StreamId::hidden(1, 0), r.as_slice())])
+                .unwrap();
         }
-        saver_a.barrier_and_flush(1);
-        saver_b.barrier_and_flush(1);
+        saver_a.barrier_and_flush(1).unwrap();
+        saver_b.barrier_and_flush(1).unwrap();
         let w_two_stage = mgr_a.stats().total_writes();
         let w_direct = mgr_b.stats().total_writes();
         assert!(
@@ -264,11 +299,15 @@ mod tests {
     fn snapshot_counts_stage1_traffic() {
         let (_mgr, saver) = setup(SaveMode::TwoStage);
         let r = row(1.0);
-        saver.save_batch(&[(StreamId::hidden(1, 0), r.as_slice())]);
+        saver
+            .save_batch(&[(StreamId::hidden(1, 0), r.as_slice())])
+            .unwrap();
         assert_eq!(saver.snapshot_bytes(), (D * 2) as u64);
         // DirectIO performs no snapshot.
         let (_m2, direct) = setup(SaveMode::DirectIo);
-        direct.save_batch(&[(StreamId::hidden(1, 0), r.as_slice())]);
+        direct
+            .save_batch(&[(StreamId::hidden(1, 0), r.as_slice())])
+            .unwrap();
         assert_eq!(direct.snapshot_bytes(), 0);
     }
 
@@ -278,12 +317,14 @@ mod tests {
         // Continuous batching: one call carries rows of several sessions.
         let r1 = row(1.0);
         let r2 = row(2.0);
-        saver.save_batch(&[
-            (StreamId::hidden(1, 0), r1.as_slice()),
-            (StreamId::hidden(2, 0), r2.as_slice()),
-        ]);
-        saver.barrier_and_flush(1);
-        saver.barrier_and_flush(2);
+        saver
+            .save_batch(&[
+                (StreamId::hidden(1, 0), r1.as_slice()),
+                (StreamId::hidden(2, 0), r2.as_slice()),
+            ])
+            .unwrap();
+        saver.barrier_and_flush(1).unwrap();
+        saver.barrier_and_flush(2).unwrap();
         assert_eq!(mgr.n_tokens(StreamId::hidden(1, 0)), 1);
         assert_eq!(mgr.n_tokens(StreamId::hidden(2, 0)), 1);
         let a = mgr.read_rows(StreamId::hidden(1, 0), 0, 1).unwrap();
@@ -295,9 +336,11 @@ mod tests {
         let (mgr, saver) = setup(SaveMode::TwoStage);
         for i in 0..10 {
             let r = row(i as f32);
-            saver.save_batch(&[(StreamId::hidden(5, 0), r.as_slice())]);
+            saver
+                .save_batch(&[(StreamId::hidden(5, 0), r.as_slice())])
+                .unwrap();
         }
-        saver.barrier_and_flush(5);
+        saver.barrier_and_flush(5).unwrap();
         let t = mgr.read_rows(StreamId::hidden(5, 0), 0, 10).unwrap();
         assert_eq!(t.rows(), 10);
         assert_eq!(t.get(9, 0), 9.0);
@@ -310,7 +353,9 @@ mod tests {
             let saver = StateSaver::new(Arc::clone(&mgr), SaveMode::TwoStage);
             for i in 0..64 {
                 let r = row(i as f32);
-                saver.save_batch(&[(StreamId::hidden(9, 0), r.as_slice())]);
+                saver
+                    .save_batch(&[(StreamId::hidden(9, 0), r.as_slice())])
+                    .unwrap();
             }
             // No barrier: Drop must still drain the queue.
         }
@@ -329,7 +374,9 @@ mod tests {
             for i in 0..100 {
                 for layer in 0..2u32 {
                     let r = row(i as f32 + layer as f32 * 0.5);
-                    saver.save_batch(&[(StreamId::hidden(4, layer), r.as_slice())]);
+                    saver
+                        .save_batch(&[(StreamId::hidden(4, layer), r.as_slice())])
+                        .unwrap();
                 }
             }
             // No barrier: Drop closes the channel and joins the daemon.
@@ -357,8 +404,10 @@ mod tests {
     fn multilayer_batch_preserves_tensor_content() {
         let (mgr, saver) = setup(SaveMode::TwoStage);
         let t = Tensor2::from_fn(3, D, |r, c| (r * D + c) as f32 * 0.5);
-        saver.save_batch(&[(StreamId::hidden(1, 7), t.as_slice())]);
-        saver.barrier_and_flush(1);
+        saver
+            .save_batch(&[(StreamId::hidden(1, 7), t.as_slice())])
+            .unwrap();
+        saver.barrier_and_flush(1).unwrap();
         let back = mgr.read_rows(StreamId::hidden(1, 7), 0, 3).unwrap();
         assert_eq!(back.get(2, 3), hc_tensor::f16::f16_roundtrip(t.get(2, 3)));
     }

@@ -89,7 +89,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn eat_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -164,7 +164,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_str(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.eat_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self
@@ -205,7 +205,10 @@ impl<'a> Parser<'a> {
                     // Copy the full UTF-8 scalar, not just one byte.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.error("invalid utf-8"))?;
-                    let ch = rest.chars().next().unwrap();
+                    let ch = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.error("unterminated string"))?;
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -214,7 +217,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_arr(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.eat_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -238,7 +241,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_obj(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.eat_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -249,7 +252,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.parse_str()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.eat_byte(b':')?;
             fields.push((key, self.parse()?));
             self.skip_ws();
             match self.peek() {
@@ -621,7 +624,7 @@ fn run(
     );
     let mut failed = false;
     for base_path in &baseline_files {
-        let name = base_path.file_name().unwrap().to_str().unwrap().to_string();
+        let name = bench_file_name(base_path)?;
         let fresh_path = fresh_dir.join(&name);
         if !fresh_path.exists() {
             failed = true;
@@ -672,6 +675,15 @@ fn run(
 }
 
 /// Lists the `BENCH_*.json` files of `dir`, sorted.
+/// The file name of a bench result as UTF-8, or a typed error — results
+/// land in reports and path joins, so a non-decodable name must not abort.
+fn bench_file_name(path: &Path) -> Result<String, String> {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("bench file has a non-UTF-8 name: {}", path.display()))
+}
+
 fn bench_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
     let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| format!("cannot list {}: {e}", dir.display()))?
@@ -703,8 +715,8 @@ fn update_baselines(baseline_dir: &Path, fresh_dir: &Path) -> Result<String, Str
     }
     let mut report = String::from("## Baselines updated from fresh run\n\n");
     for path in &fresh {
-        let name = path.file_name().unwrap().to_str().unwrap();
-        let dest = baseline_dir.join(name);
+        let name = bench_file_name(path)?;
+        let dest = baseline_dir.join(&name);
         let existed = dest.exists();
         std::fs::copy(path, &dest)
             .map_err(|e| format!("cannot copy {} to {}: {e}", path.display(), dest.display()))?;
@@ -722,8 +734,8 @@ fn update_baselines(baseline_dir: &Path, fresh_dir: &Path) -> Result<String, Str
     // out — a bench silently dropping out should not hide behind an
     // update either.
     for stale in bench_files(baseline_dir)? {
-        let name = stale.file_name().unwrap().to_str().unwrap();
-        if !fresh_dir.join(name).exists() {
+        let name = bench_file_name(&stale)?;
+        if !fresh_dir.join(&name).exists() {
             let _ = writeln!(
                 report,
                 "- `{name}`: **kept unchanged** (no fresh {name} in this run)"
@@ -745,16 +757,21 @@ fn main() -> ExitCode {
             "--update-baselines" => update = true,
             "--threshold" => {
                 i += 1;
-                threshold = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threshold takes a fraction, e.g. 0.25");
+                threshold = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(t) => t,
+                    None => {
+                        eprintln!("bench-compare: --threshold takes a fraction, e.g. 0.25");
+                        return ExitCode::from(2);
+                    }
+                };
             }
             "--gate-keys" => {
                 i += 1;
-                gate_file = Some(PathBuf::from(
-                    args.get(i).expect("--gate-keys takes a path"),
-                ));
+                let Some(p) = args.get(i) else {
+                    eprintln!("bench-compare: --gate-keys takes a path");
+                    return ExitCode::from(2);
+                };
+                gate_file = Some(PathBuf::from(p));
             }
             other => positional.push(PathBuf::from(other)),
         }

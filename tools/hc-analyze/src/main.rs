@@ -1,0 +1,57 @@
+//! CLI for the repo-native concurrency lint pass.
+//!
+//! ```text
+//! hc_analyze [ROOT...]        # default roots: crates tools
+//! ```
+//!
+//! Walks `ROOT/**/*.rs` (skipping target/, shims/, tests/, benches/,
+//! examples/ and fixture trees), runs the four rule families, prints every
+//! finding as `file:line: [rule] message`, and exits nonzero when any
+//! finding survives its annotations. See the library docs and the README's
+//! "Static analysis" section for the rule set and annotation grammar.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        vec![PathBuf::from("crates"), PathBuf::from("tools")]
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+    for root in &roots {
+        if !root.exists() {
+            eprintln!("hc-analyze: no such path: {}", root.display());
+            return ExitCode::from(2);
+        }
+    }
+    let files = match hc_analyze::collect_rs_files(&roots) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("hc-analyze: walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match hc_analyze::analyze_paths(&files) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("hc-analyze: read failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("hc-analyze: ok — {} files, 0 findings", files.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "hc-analyze: {} finding(s) across {} files",
+            findings.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,16 @@
+// Seeded fixture: `hits` is mutated (line 11) and loaded (line 15) in
+// this crate, so both Relaxed accesses need an allow(relaxed) reason.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Stats {
+    pub hits: AtomicU64,
+}
+
+pub fn bump(s: &Stats) {
+    s.hits.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn snapshot(s: &Stats) -> u64 {
+    s.hits.load(Ordering::Relaxed)
+}

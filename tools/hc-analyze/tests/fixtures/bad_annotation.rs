@@ -1,0 +1,16 @@
+// Seeded fixture: an allow waiver with no reason is itself an error
+// (line 10), and because the waiver is void the Relaxed access it tried
+// to cover is still flagged (line 11).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    // hc-analyze: allow(relaxed)
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn snapshot() -> u64 {
+    HITS.load(Ordering::Acquire)
+}

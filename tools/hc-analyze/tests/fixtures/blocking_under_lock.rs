@@ -1,0 +1,23 @@
+// Seeded fixture: the PR-7 LatencyStore bug class. `serve_read` sleeps
+// for the modeled device latency while the occupancy guard is held, so
+// every concurrent reader of the device serializes behind the wait
+// (line 16). `publish` holds a guard across a channel send (line 22).
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Device {
+    pub occupancy: Mutex<u64>,
+}
+
+pub fn serve_read(dev: &Device, latency: Duration) {
+    let slot = dev.occupancy.lock().unwrap();
+    std::thread::sleep(latency);
+    drop(slot);
+}
+
+pub fn publish(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock().unwrap();
+    let _ = tx.send(*g);
+}

@@ -1,0 +1,33 @@
+// Seeded fixture: zero findings expected. Guards nest in declared
+// order, the shared counter carries a justified waiver, and blocking
+// work happens with no guard live.
+// hc-analyze: lock-order a < b
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Ordered {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+    pub hits: AtomicU64,
+}
+
+pub fn forwards(o: &Ordered) -> u32 {
+    let a = o.a.lock().unwrap();
+    let b = o.b.lock().unwrap();
+    *a + *b
+}
+
+pub fn bump_and_read(o: &Ordered) -> u64 {
+    // hc-analyze: allow(relaxed) monotonic test counter; never paired with other state
+    o.hits.fetch_add(1, Ordering::Relaxed);
+    // hc-analyze: allow(relaxed) monotonic test counter; never paired with other state
+    o.hits.load(Ordering::Relaxed)
+}
+
+pub fn wait_outside_lock(o: &Ordered) -> u32 {
+    let held = { *o.a.lock().unwrap() };
+    std::thread::sleep(Duration::from_millis(1));
+    held
+}

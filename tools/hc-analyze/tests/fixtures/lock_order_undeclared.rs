@@ -1,0 +1,16 @@
+// Seeded fixture: nested guard acquisition in a module with no
+// lock-order declaration — flagged on line 13.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub outer: Mutex<u32>,
+    pub inner: Mutex<u32>,
+}
+
+pub fn nested(p: &Pair) {
+    let outer = p.outer.lock().unwrap();
+    let inner = p.inner.lock().unwrap();
+    drop(inner);
+    drop(outer);
+}

@@ -1,0 +1,17 @@
+// Seeded fixture: the declared order is map before cell, but
+// `backwards` takes cell first — violation expected on line 14.
+// hc-analyze: lock-order map < cell
+
+use std::sync::Mutex;
+
+pub struct Shard {
+    pub map: Mutex<u32>,
+    pub cell: Mutex<u32>,
+}
+
+pub fn backwards(s: &Shard) {
+    let cell = s.cell.lock().unwrap();
+    let map = s.map.lock().unwrap();
+    drop(map);
+    drop(cell);
+}

@@ -1,0 +1,16 @@
+// Seeded fixture: analyzed with the panic policy forced on (this tree
+// is outside the policed paths, so the test sets the flag itself).
+// Expected findings: unwrap on line 7, expect on line 11, panic! on
+// line 15.
+
+pub fn risky(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn risky_with_message(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn boom() {
+    panic!("nope");
+}
