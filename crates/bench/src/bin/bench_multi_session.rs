@@ -22,6 +22,15 @@
 //!   at the same 4-thread budget. Emits the headline
 //!   `reactor_speedup_vs_thread_per_lane` (gated), the peak
 //!   `restores_in_flight` gauge, and per-session TTFR percentiles.
+//! * **Degraded-mode sweep** — pure-hidden sessions on a `FaultStore`
+//!   with one of the four devices hard-down at a time; every restore goes
+//!   through `restore_with_report`, degrading the stranded layers to
+//!   recompute instead of failing. Emits per-device
+//!   `degraded_mode.{ttfr_p99_ms, sessions_degraded, sessions_failed}`;
+//!   `sessions_failed` is gated at exactly zero (ZERO-BASELINE in
+//!   `GATE_KEYS.txt`), and each down-device's degraded restores are
+//!   verified bit-identical to a sequential restore of the surviving mix
+//!   before timing.
 //!
 //! Before any timing, every scheduled restore is checked **bit-identical**
 //! to the sequential methods-based restore of the same session — the
@@ -41,6 +50,7 @@ use hc_restore::engine::{kv_max_error, restore_session_with_methods, RestoreRequ
 use hc_restore::reactor::restore_sessions_reactor;
 use hc_sched::partition::{LayerMethod, PartitionScheme};
 use hc_storage::backend::{FileStore, MemStore};
+use hc_storage::fault::FaultStore;
 use hc_storage::latency::LatencyStore;
 use hc_storage::manager::StorageManager;
 use hc_storage::reactor::Reactor;
@@ -304,6 +314,72 @@ fn verify_hc(
     }
 }
 
+/// The degraded-mode store stack: fault injection over 4 DRAM devices.
+/// 64-token sessions keep the device math exact — each stream is one
+/// chunk, layer `l` on device `l % 4` — so downing device `d` strands
+/// exactly layer `d` and forces the recompute prefix `0..=d`.
+type DegStore = FaultStore<MemStore>;
+type DegFixture = (
+    Arc<DegStore>,
+    Arc<StorageManager<DegStore>>,
+    CacheController<DegStore>,
+    Vec<RestoreJob>,
+);
+
+/// Pure-hidden fixture on the fault-injecting store, pattern-shared like
+/// the high-concurrency fixture so hundreds of sessions cost
+/// [`HC_PATTERNS`] prefills.
+fn build_degraded_fixture(spec: &BenchSpec, model: &Model, n_sessions: usize) -> DegFixture {
+    let store = Arc::new(FaultStore::new(Arc::new(MemStore::new(4))));
+    let mgr = Arc::new(StorageManager::new(Arc::clone(&store), spec.cfg.d_model));
+    let ctl = CacheController::new(
+        Arc::clone(&mgr),
+        spec.cfg.n_layers,
+        spec.cfg.d_model,
+        ControllerConfig::unlimited(),
+    );
+    let scheme = PartitionScheme::pure_hidden(spec.cfg.n_layers);
+    let mut jobs = vec![
+        RestoreJob {
+            session: 0,
+            tokens: Vec::new()
+        };
+        n_sessions
+    ];
+    for p in 0..HC_PATTERNS {
+        let tokens = hc_tokens(p);
+        let mut kv = KvCache::new(&spec.cfg);
+        let out = model.prefill(&tokens, &mut kv, true);
+        let hidden = out.hidden_per_layer.expect("capture on");
+        for s in (p + 1..=n_sessions as u64).step_by(HC_PATTERNS as usize) {
+            ctl.open_session(s, &scheme);
+            for (l, h) in hidden.iter().enumerate() {
+                mgr.append_rows(StreamId::hidden(s, l as u32), h)
+                    .expect("bench save");
+            }
+            mgr.flush_session(s).expect("bench flush");
+            ctl.on_saved(s, HC_TOKENS as u64).expect("reconcile");
+            jobs[s as usize - 1] = RestoreJob {
+                session: s,
+                tokens: tokens.clone(),
+            };
+        }
+    }
+    let arrivals = poisson_arrivals(1.0, 10_000.0, 44);
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| arrivals[a].total_cmp(&arrivals[b]));
+    let jobs = order.into_iter().map(|i| jobs[i].clone()).collect();
+    (store, mgr, ctl, jobs)
+}
+
+/// The mix a degraded pure-hidden session serves: recompute for the
+/// forced prefix, hidden for the surviving layers.
+fn degraded_mix(prefix: usize, n_layers: usize) -> Vec<LayerMethod> {
+    let mut v = vec![LayerMethod::Recompute; prefix];
+    v.extend(std::iter::repeat_n(LayerMethod::Hidden, n_layers - prefix));
+    v
+}
+
 fn percentile_ms(sorted: &[f64], q: f64) -> f64 {
     let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
     sorted[idx] * 1e3
@@ -449,6 +525,83 @@ fn main() {
     .collect();
     ttfr.sort_by(|a, b| a.total_cmp(b));
 
+    // ---- Degraded-mode sweep (one device down at a time) -----------------
+    // Each device takes a turn hard-down (store outage + administrative
+    // mark, as `HCacheSystem::on_device_down` would deliver it); every
+    // session still completes via the degraded recompute prefix. The gate:
+    // `sessions_failed` must be exactly zero.
+    let deg_sessions = if tiny { 32 } else { 128 };
+    let (deg_store, deg_mgr, deg_ctl, deg_jobs) =
+        build_degraded_fixture(&spec, &model, deg_sessions);
+    let mut deg_rows = Vec::new();
+    let mut deg_p99_worst = 0f64;
+    let mut deg_degraded_min = u64::MAX;
+    let mut deg_failed_total = 0u64;
+    for down in 0..4usize {
+        deg_store.device_down(down);
+        deg_ctl.on_device_down(down);
+        // Bit-identity gate before timing: each pattern's degraded restore
+        // equals the sequential restore of its surviving mix on the same
+        // faulted store.
+        for p in 0..HC_PATTERNS {
+            let session = p + 1;
+            let job = deg_jobs.iter().find(|j| j.session == session).expect("job");
+            let (kv, rep) = deg_ctl
+                .restore_with_report(&model, session, &job.tokens, &host)
+                .expect("degraded restore");
+            let seq = restore_session_with_methods(
+                &model,
+                &deg_mgr,
+                session,
+                &job.tokens,
+                HC_TOKENS,
+                &degraded_mix(rep.layers_recomputed, spec.cfg.n_layers),
+            )
+            .expect("surviving-mix reference");
+            assert_eq!(
+                kv_max_error(&kv, &seq),
+                0.0,
+                "device {down} down: session {session} must restore bit-identical to its surviving mix"
+            );
+        }
+        let mut lat: Vec<f64> = Vec::with_capacity(deg_jobs.len());
+        let mut degraded = 0u64;
+        let mut failed = 0u64;
+        let mut layers = 0u64;
+        for job in &deg_jobs {
+            let t = Instant::now();
+            match deg_ctl.restore_with_report(&model, job.session, &job.tokens, &host) {
+                Ok((kv, rep)) => {
+                    std::hint::black_box(kv);
+                    lat.push(t.elapsed().as_secs_f64());
+                    if rep.layers_recomputed > 0 {
+                        degraded += 1;
+                        layers += rep.layers_recomputed as u64;
+                    }
+                }
+                Err(_) => failed += 1,
+            }
+        }
+        deg_store.device_up(down);
+        deg_ctl.on_device_recovered(down);
+        lat.sort_by(|a, b| a.total_cmp(b));
+        let p99 = if lat.is_empty() {
+            0.0
+        } else {
+            percentile_ms(&lat, 0.99)
+        };
+        deg_p99_worst = deg_p99_worst.max(p99);
+        deg_degraded_min = deg_degraded_min.min(degraded);
+        deg_failed_total += failed;
+        deg_rows.push(format!(
+            r#"    {{ "label": "down_device_{down}", "ttfr_p99_ms": {p99:.3}, "sessions_degraded": {degraded}, "sessions_failed": {failed}, "layers_recomputed": {layers} }}"#,
+        ));
+    }
+    assert_eq!(
+        deg_failed_total, 0,
+        "one device down must never fail a session (degraded mode exists for exactly this)"
+    );
+
     let json = format!(
         r#"{{
   "bench": "multi_session_restore",
@@ -480,6 +633,18 @@ fn main() {
     "ttfr_ms_p95": {p95:.3},
     "ttfr_ms_p99": {p99:.3}
   }},
+  "degraded_mode": {{
+    "sessions": {deg_sessions},
+    "n_tokens": {deg_tokens},
+    "devices": 4,
+    "note": "one device hard-down per row; every restore degrades the stranded layers to recompute via restore_with_report. sessions_failed is gated at exactly zero (ZERO-BASELINE); TTFR under degradation tracks host compute speed and stays reported-only",
+    "sweep": [
+{deg_sweep}
+    ],
+    "ttfr_p99_ms": {deg_p99:.3},
+    "sessions_degraded": {deg_degraded},
+    "sessions_failed": {deg_failed}
+  }},
   "bit_identical_to_sequential": true
 }}
 "#,
@@ -502,6 +667,11 @@ fn main() {
         p50 = percentile_ms(&ttfr, 0.50),
         p95 = percentile_ms(&ttfr, 0.95),
         p99 = percentile_ms(&ttfr, 0.99),
+        deg_tokens = HC_TOKENS,
+        deg_sweep = deg_rows.join(",\n"),
+        deg_p99 = deg_p99_worst,
+        deg_degraded = deg_degraded_min,
+        deg_failed = deg_failed_total,
     );
     let _ = std::fs::remove_dir_all(&root);
     std::fs::write(&out_path, &json).expect("write BENCH_multi_session.json");

@@ -23,6 +23,18 @@
 //!   restores from an arrival trace, splitting one host `ParallelConfig`
 //!   budget across in-flight sessions.
 //!
+//! The controller is also where the **device-health plane** lands on the
+//! session axis: [`CacheController::on_device_down`] marks a storage lane
+//! out, and [`CacheController::restore_with_report`] /
+//! [`CacheController::restore_batch_reactor_with_reports`] degrade any
+//! layer whose chunks sit behind a down or breaker-tripped device to
+//! recomputation — preemptively when known up front, reactively when a
+//! read dies mid-restore — returning a per-session
+//! [`DegradationReport`] instead of an error. Mixes are never demoted for
+//! device failure, so a healed device ([`CacheController::on_device_recovered`],
+//! or the breaker's half-open probe succeeding) re-promotes affected
+//! sessions to full-mix restores automatically.
+//!
 //! Session bookkeeping lives in [`table::SessionTable`], a
 //! structure-of-arrays store sized for millions of concurrent sessions:
 //! dense columns instead of per-session heap cells, byte accounting that
@@ -50,11 +62,14 @@ pub mod quota;
 pub mod scheduler;
 pub mod table;
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use hc_model::{KvCache, Model};
 use hc_restore::cost::CostInputs;
-use hc_restore::engine::restore_session_pipelined_with_methods;
+use hc_restore::engine::{
+    restore_session_pipelined_with_methods, DegradationReport, DegradeCause, RestoreError,
+};
 use hc_sched::partition::{LayerMethod, PartitionScheme};
 use hc_storage::backend::ChunkStore;
 use hc_storage::manager::StorageManager;
@@ -117,6 +132,11 @@ impl From<hc_restore::engine::RestoreError> for CtlError {
         }
     }
 }
+
+/// Per-session outcome of a degraded-mode batch restore: the session id
+/// paired with either the restored cache and its [`DegradationReport`]
+/// or the typed error that survived degradation.
+pub type ReportedRestore = (u64, Result<(KvCache, DegradationReport), CtlError>);
 
 /// Controller tunables.
 #[derive(Debug, Clone)]
@@ -191,6 +211,12 @@ struct CtlState {
     table: SessionTable,
     quota: QuotaTracker,
     tenant_evictions: Vec<TenantEvict>,
+    /// Devices administratively marked down
+    /// ([`CacheController::on_device_down`]). Restores degrade any layer
+    /// whose chunks live on one of these lanes to recomputation instead of
+    /// issuing IO that is known to fail; the session table's mixes are
+    /// never demoted, so recovery re-promotes by simply clearing the mark.
+    down_devices: BTreeSet<usize>,
 }
 
 /// The capacity-governed cache controller. All methods take `&self`; the
@@ -228,6 +254,7 @@ impl<S: ChunkStore + 'static> CacheController<S> {
                 table: SessionTable::new(),
                 quota,
                 tenant_evictions: Vec::new(),
+                down_devices: BTreeSet::new(),
             }),
             metrics: CtlMetrics::default(),
         }
@@ -672,6 +699,349 @@ impl<S: ChunkStore + 'static> CacheController<S> {
             .collect()
     }
 
+    /// Marks a storage device administratively down. Until
+    /// [`CacheController::on_device_recovered`] clears the mark, restores
+    /// preemptively degrade any layer whose chunks live on that lane to
+    /// recomputation (extending the mix's recompute prefix locally for the
+    /// one restore) instead of issuing IO that is known to fail. Saved
+    /// state and the session table are untouched, so affected sessions
+    /// re-promote to their full mixes the moment the device returns.
+    pub fn on_device_down(&self, device: usize) {
+        self.state.lock().down_devices.insert(device);
+    }
+
+    /// Clears a device's administrative down mark: the next restore of an
+    /// affected session reads its full mix again (re-promotion is
+    /// implicit — nothing was demoted).
+    pub fn on_device_recovered(&self, device: usize) {
+        self.state.lock().down_devices.remove(&device);
+    }
+
+    /// Devices currently marked down, ascending.
+    pub fn down_devices(&self) -> Vec<usize> {
+        self.state.lock().down_devices.iter().copied().collect()
+    }
+
+    /// The recompute prefix the device-health plane currently forces on a
+    /// session's mix: every cached layer with chunks on a down-marked or
+    /// breaker-tripped lane drags the prefix past itself (recompute layers
+    /// must stay a prefix, §4.1.2). Returns the forced prefix (≥ the mix's
+    /// own) and the cause from the highest affected layer.
+    fn degraded_prefix_for(
+        &self,
+        session: u64,
+        methods: &[LayerMethod],
+        down: &BTreeSet<usize>,
+    ) -> (usize, Option<DegradeCause>) {
+        let health = self.mgr.device_health();
+        let mut prefix = recompute_prefix_of(methods);
+        let mut cause = None;
+        for (l, m) in methods.iter().enumerate().skip(prefix) {
+            for stream in layer_streams(session, l, *m) {
+                for device in self.mgr.stream_devices(stream) {
+                    let c = if down.contains(&device) {
+                        Some(DegradeCause::DeviceDown { device })
+                    } else if health.is_tripped(device) {
+                        Some(DegradeCause::BreakerOpen { device })
+                    } else {
+                        None
+                    };
+                    if let Some(c) = c {
+                        prefix = l + 1;
+                        cause = Some(c);
+                    }
+                }
+            }
+        }
+        (prefix, cause)
+    }
+
+    /// Types a mid-read device failure for the degradation report.
+    fn classify_failure(
+        &self,
+        down: &BTreeSet<usize>,
+        device: usize,
+        transient: bool,
+    ) -> DegradeCause {
+        if down.contains(&device) || !transient {
+            DegradeCause::DeviceDown { device }
+        } else if self.mgr.device_health().is_tripped(device) {
+            DegradeCause::BreakerOpen { device }
+        } else {
+            DegradeCause::RetryExhausted { device }
+        }
+    }
+
+    /// [`CacheController::restore`] with the device-health plane engaged:
+    /// layers whose chunks sit behind a down-marked or breaker-tripped
+    /// device are degraded to recomputation *before* any IO (preemptive),
+    /// and a read that still dies mid-restore — breaker opening under it,
+    /// retry budget exhausted, outright device loss — widens the recompute
+    /// prefix over the failed layer and retries (reactive) instead of
+    /// surfacing `RestoreError`. The returned [`DegradationReport`] says
+    /// how many layers were served degraded and why; the restored cache is
+    /// bit-identical to a sequential restore of the same degraded mix.
+    ///
+    /// The session table is never demoted: once the breaker closes (or the
+    /// device is marked recovered), the next restore reads the full mix
+    /// again at full speed.
+    pub fn restore_with_report(
+        &self,
+        model: &Model,
+        session: u64,
+        tokens: &[u32],
+        par: &ParallelConfig,
+    ) -> Result<(KvCache, DegradationReport), CtlError> {
+        self.restore_degraded_primed(model, session, tokens, par, 0, None, None, false)
+    }
+
+    /// The degraded-restore loop behind [`CacheController::restore_with_report`]
+    /// and the reactor batch path's failure fallback. `forced_prefix` /
+    /// `cause` prime the loop with degradation a prior attempt already
+    /// learned; `last_methods` primes the racing-demotion retry (an
+    /// unchanged mix surfaces its error); `counted` suppresses the
+    /// hit/fallback metric when a batch snapshot already bumped it.
+    #[allow(clippy::too_many_arguments)]
+    fn restore_degraded_primed(
+        &self,
+        model: &Model,
+        session: u64,
+        tokens: &[u32],
+        par: &ParallelConfig,
+        mut forced_prefix: usize,
+        mut cause: Option<DegradeCause>,
+        mut last_methods: Option<Vec<LayerMethod>>,
+        mut counted: bool,
+    ) -> Result<(KvCache, DegradationReport), CtlError> {
+        assert_eq!(model.cfg.n_layers, self.n_layers, "model mismatch");
+        loop {
+            let (methods, n_tokens, down) = {
+                let mut st = self.state.lock();
+                if !st.table.touch(session) {
+                    return Err(CtlError::UnknownSession(session));
+                }
+                // hc-analyze: allow(panic) touch() returned true above, so the session row exists under this same lock hold
+                let mix = st.table.mix_of(session).expect("session just touched");
+                if !counted {
+                    counted = true;
+                    let counter = if st.table.mixes().is_fully_dropped(mix) {
+                        &self.metrics.restore_fallbacks
+                    } else {
+                        &self.metrics.restore_hits
+                    };
+                    CtlMetrics::bump(counter, 1);
+                }
+                (
+                    st.table.mixes().methods(mix).to_vec(),
+                    // hc-analyze: allow(panic) touch() returned true above, so the session row exists under this same lock hold
+                    st.table.n_tokens_of(session).expect("session exists") as usize,
+                    st.down_devices.clone(),
+                )
+            };
+            let base_prefix = recompute_prefix_of(&methods);
+            // Degrading needs the history tokens to replay; without them
+            // the error path must surface instead.
+            let can_degrade = tokens.len() >= n_tokens;
+            if can_degrade {
+                let (pre, pre_cause) = self.degraded_prefix_for(session, &methods, &down);
+                if pre > forced_prefix {
+                    forced_prefix = pre;
+                    cause = pre_cause.or(cause);
+                }
+            }
+            let mut cur = methods.clone();
+            for m in cur.iter_mut().take(forced_prefix.min(self.n_layers)) {
+                *m = LayerMethod::Recompute;
+            }
+            let stale = last_methods.as_deref() == Some(&cur[..]);
+            match restore_session_pipelined_with_methods(
+                model, &self.mgr, session, tokens, n_tokens, &cur, par,
+            ) {
+                Ok(kv) => {
+                    let layers_recomputed = forced_prefix.saturating_sub(base_prefix);
+                    if layers_recomputed > 0 {
+                        CtlMetrics::bump(&self.metrics.restores_degraded, 1);
+                        CtlMetrics::bump(&self.metrics.layers_degraded, layers_recomputed as u64);
+                    }
+                    return Ok((
+                        kv,
+                        DegradationReport {
+                            layers_recomputed,
+                            cause: if layers_recomputed > 0 { cause } else { None },
+                        },
+                    ));
+                }
+                Err(e) => {
+                    if let RestoreError::Storage(StorageError::DeviceFailed {
+                        key,
+                        device,
+                        transient,
+                        ..
+                    }) = &e
+                    {
+                        let widened = (key.stream.layer as usize + 1).min(self.n_layers);
+                        if can_degrade && widened > forced_prefix {
+                            // Reactive rung of the ladder: recompute over
+                            // the failed layer and go again. `widened`
+                            // strictly grows, so this terminates within
+                            // n_layers extra attempts.
+                            cause = Some(self.classify_failure(&down, *device, *transient));
+                            forced_prefix = widened;
+                            last_methods = Some(cur);
+                            continue;
+                        }
+                    }
+                    if stale {
+                        // The mix did not change since the failed attempt:
+                        // the error is real, not a racing demotion.
+                        return Err(e.into());
+                    }
+                    last_methods = Some(cur);
+                }
+            }
+        }
+    }
+
+    /// [`CacheController::restore_batch_reactor`] with the device-health
+    /// plane engaged: each snapshot mix is preemptively degraded around
+    /// down-marked / breaker-tripped devices before submission, and a job
+    /// whose reactor restore still fails on a device falls back to the
+    /// single-session degraded loop (primed with what the failure taught).
+    /// Returns per-session results paired with [`DegradationReport`]s.
+    pub fn restore_batch_reactor_with_reports(
+        &self,
+        model: &Model,
+        jobs: &[crate::scheduler::RestoreJob],
+        workers: usize,
+        max_inflight: usize,
+        par: &ParallelConfig,
+    ) -> Vec<ReportedRestore> {
+        assert_eq!(model.cfg.n_layers, self.n_layers, "model mismatch");
+        enum Slot {
+            Req(usize),
+            Unknown(u64),
+        }
+        let mut slots = Vec::with_capacity(jobs.len());
+        let mut requests: Vec<hc_restore::engine::RestoreRequest> = Vec::new();
+        let down;
+        {
+            let mut st = self.state.lock();
+            down = st.down_devices.clone();
+            for job in jobs {
+                if !st.table.touch(job.session) {
+                    slots.push(Slot::Unknown(job.session));
+                    continue;
+                }
+                // hc-analyze: allow(panic) touch() returned true above, so the session row exists under this same lock hold
+                let mix = st.table.mix_of(job.session).expect("session just touched");
+                let counter = if st.table.mixes().is_fully_dropped(mix) {
+                    &self.metrics.restore_fallbacks
+                } else {
+                    &self.metrics.restore_hits
+                };
+                CtlMetrics::bump(counter, 1);
+                slots.push(Slot::Req(requests.len()));
+                requests.push(hc_restore::engine::RestoreRequest {
+                    session: job.session,
+                    tokens: job.tokens.clone(),
+                    // hc-analyze: allow(panic) touch() returned true above, so the session row exists under this same lock hold
+                    n_tokens: st.table.n_tokens_of(job.session).expect("session exists") as usize,
+                    methods: st.table.mixes().methods(mix).to_vec(),
+                });
+            }
+        }
+        // Preemptive degradation, outside the state lock (stream_devices
+        // takes the manager's stream locks).
+        let mut plans: Vec<(usize, usize, Option<DegradeCause>)> =
+            Vec::with_capacity(requests.len());
+        for req in &mut requests {
+            let base = recompute_prefix_of(&req.methods);
+            let (mut forced, cause) = self.degraded_prefix_for(req.session, &req.methods, &down);
+            if req.tokens.len() < req.n_tokens {
+                forced = base; // no tokens to replay: cannot degrade
+            }
+            for m in req.methods.iter_mut().take(forced) {
+                *m = LayerMethod::Recompute;
+            }
+            plans.push((base, forced, cause));
+        }
+        let outcomes = hc_restore::reactor::restore_sessions_reactor(
+            model,
+            &self.mgr,
+            &requests,
+            workers,
+            max_inflight,
+            par,
+        );
+        let mut results: Vec<Option<Result<(KvCache, DegradationReport), CtlError>>> = outcomes
+            .into_iter()
+            .zip(requests.iter().zip(plans.iter()))
+            .map(|(o, (req, &(base, forced, cause)))| {
+                Some(match o.result {
+                    Ok(kv) => {
+                        let layers_recomputed = forced - base;
+                        if layers_recomputed > 0 {
+                            CtlMetrics::bump(&self.metrics.restores_degraded, 1);
+                            CtlMetrics::bump(
+                                &self.metrics.layers_degraded,
+                                layers_recomputed as u64,
+                            );
+                        }
+                        Ok((
+                            kv,
+                            DegradationReport {
+                                layers_recomputed,
+                                cause: if layers_recomputed > 0 { cause } else { None },
+                            },
+                        ))
+                    }
+                    Err(e) => {
+                        // Fall back to the degraded single-session loop,
+                        // primed: a device failure widens the prefix over
+                        // the failed layer; any failure re-resolves racing
+                        // demotions against the refreshed mix.
+                        let (fp, c) = match &e {
+                            RestoreError::Storage(StorageError::DeviceFailed {
+                                key,
+                                device,
+                                transient,
+                                ..
+                            }) => (
+                                (key.stream.layer as usize + 1)
+                                    .min(self.n_layers)
+                                    .max(forced),
+                                Some(self.classify_failure(&down, *device, *transient)),
+                            ),
+                            _ => (forced, cause),
+                        };
+                        self.restore_degraded_primed(
+                            model,
+                            req.session,
+                            &req.tokens,
+                            par,
+                            fp,
+                            c.or(cause),
+                            Some(req.methods.clone()),
+                            true,
+                        )
+                    }
+                })
+            })
+            .collect();
+        slots
+            .into_iter()
+            .zip(jobs.iter())
+            .map(|(slot, job)| match slot {
+                Slot::Req(i) => (
+                    job.session,
+                    // hc-analyze: allow(panic) slot indices are distinct by construction, so each result is taken exactly once
+                    results[i].take().expect("each request consumed once"),
+                ),
+                Slot::Unknown(s) => (s, Err(CtlError::UnknownSession(s))),
+            })
+            .collect()
+    }
+
     /// Closes a session: deletes its storage and releases its charge.
     /// Returns bytes freed.
     pub fn close_session(&self, session: u64) -> Result<u64, CtlError> {
@@ -681,6 +1051,26 @@ impl<S: ChunkStore + 'static> CacheController<S> {
             .ok_or(CtlError::UnknownSession(session))?;
         let freed = self.mgr.delete_session(session);
         Ok(freed)
+    }
+}
+
+/// Length of a mix's leading run of recompute layers.
+fn recompute_prefix_of(methods: &[LayerMethod]) -> usize {
+    methods
+        .iter()
+        .take_while(|m| **m == LayerMethod::Recompute)
+        .count()
+}
+
+/// The streams one layer's method reads during restore.
+fn layer_streams(session: u64, layer: usize, method: LayerMethod) -> Vec<StreamId> {
+    match method {
+        LayerMethod::Hidden => vec![StreamId::hidden(session, layer as u32)],
+        LayerMethod::KvOffload => vec![
+            StreamId::key(session, layer as u32),
+            StreamId::value(session, layer as u32),
+        ],
+        LayerMethod::Recompute => Vec::new(),
     }
 }
 
@@ -1070,6 +1460,210 @@ mod tests {
             restore_session_with_methods(&model, &plain_mgr, 0, &tokens, 80, &methods).unwrap();
         let results = sched.run(&model, &plain_ctl, &jobs[..1]);
         assert_eq!(kv_max_error(results[0].1.as_ref().unwrap(), &seq), 0.0);
+    }
+
+    /// One 64-token pure-hidden session saved over 4 devices: layer `l`'s
+    /// single chunk lives on device `l % 4`, so downing device 1 strands
+    /// exactly layer 1 (degrading the prefix `0..=1`).
+    #[allow(clippy::type_complexity)]
+    fn degradation_fixture() -> (
+        Model,
+        Arc<hc_storage::fault::FaultStore<MemStore>>,
+        Arc<StorageManager<hc_storage::fault::FaultStore<MemStore>>>,
+        CacheController<hc_storage::fault::FaultStore<MemStore>>,
+        Vec<u32>,
+        KvCache,
+    ) {
+        let cfg_m = ModelConfig::tiny_llama();
+        let model = Model::new(&cfg_m, 31);
+        let fault = Arc::new(hc_storage::fault::FaultStore::new(Arc::new(MemStore::new(
+            4,
+        ))));
+        let mgr = Arc::new(StorageManager::new(Arc::clone(&fault), cfg_m.d_model));
+        let ctl = CacheController::new(
+            Arc::clone(&mgr),
+            cfg_m.n_layers,
+            cfg_m.d_model,
+            ControllerConfig::unlimited(),
+        );
+        let scheme = PartitionScheme::pure_hidden(cfg_m.n_layers);
+        ctl.open_session(1, &scheme);
+        let tokens: Vec<u32> = (0..64u32).map(|i| (i * 37) % 256).collect();
+        let mut reference = KvCache::new(&cfg_m);
+        let out = model.prefill(&tokens, &mut reference, true);
+        save_session_state(
+            &model,
+            &mgr,
+            1,
+            &out.hidden_per_layer.unwrap(),
+            &reference,
+            &scheme,
+        )
+        .unwrap();
+        ctl.on_saved(1, 64).unwrap();
+        (model, fault, mgr, ctl, tokens, reference)
+    }
+
+    #[test]
+    fn device_down_mark_degrades_preemptively_and_recovery_repromotes() {
+        use hc_restore::engine::{DegradationReport, DegradeCause};
+        let (model, fault, mgr, ctl, tokens, _) = degradation_fixture();
+        let par = ParallelConfig::serial();
+
+        // Healthy: full mix, empty report.
+        let (kv_full, rep) = ctl.restore_with_report(&model, 1, &tokens, &par).unwrap();
+        assert_eq!(rep, DegradationReport::default());
+
+        // Mark device 1 down (and actually kill it in the store: the
+        // preemptive path must not touch it at all). Layer 1's chunk is
+        // stranded, so layers 0..=1 recompute; 2 and 3 still read.
+        ctl.on_device_down(1);
+        fault.device_down(1);
+        let reads_before = mgr.stats().devices[1].reads;
+        let (kv_deg, rep) = ctl.restore_with_report(&model, 1, &tokens, &par).unwrap();
+        assert_eq!(rep.layers_recomputed, 2);
+        assert_eq!(rep.cause, Some(DegradeCause::DeviceDown { device: 1 }));
+        assert_eq!(
+            mgr.stats().devices[1].reads,
+            reads_before,
+            "preemptive degradation must not issue IO to the down device"
+        );
+        // Bit-identical to a sequential restore of the degraded mix on the
+        // same faulted store.
+        let degraded = vec![
+            LayerMethod::Recompute,
+            LayerMethod::Recompute,
+            LayerMethod::Hidden,
+            LayerMethod::Hidden,
+        ];
+        let seq = restore_session_with_methods(&model, &mgr, 1, &tokens, 64, &degraded).unwrap();
+        assert_eq!(kv_max_error(&kv_deg, &seq), 0.0);
+
+        // Recovery re-promotes: the table's mix was never demoted, so the
+        // next restore serves the full mix bit-identically to the healthy
+        // one.
+        fault.device_up(1);
+        ctl.on_device_recovered(1);
+        let (kv_back, rep) = ctl.restore_with_report(&model, 1, &tokens, &par).unwrap();
+        assert_eq!(rep.layers_recomputed, 0);
+        assert_eq!(kv_max_error(&kv_back, &kv_full), 0.0);
+        assert_eq!(
+            ctl.session_methods(1).unwrap(),
+            vec![LayerMethod::Hidden; 4],
+            "device failure must never demote the session table"
+        );
+        let m = ctl.metrics();
+        assert_eq!(m.restores_degraded, 1);
+        assert_eq!(m.layers_degraded, 2);
+        assert_eq!(m.restore_hits, 3);
+    }
+
+    #[test]
+    fn mid_restore_device_failure_degrades_reactively() {
+        use hc_restore::engine::DegradeCause;
+        let (model, fault, mgr, ctl, tokens, _) = degradation_fixture();
+        let par = ParallelConfig::serial();
+
+        // No overlay, no breaker: the controller learns about the outage
+        // only when layer 1's read dies mid-restore, then widens the
+        // recompute prefix over it and retries.
+        fault.device_down(1);
+        let (kv_deg, rep) = ctl.restore_with_report(&model, 1, &tokens, &par).unwrap();
+        assert_eq!(rep.layers_recomputed, 2);
+        assert_eq!(rep.cause, Some(DegradeCause::DeviceDown { device: 1 }));
+        let degraded = vec![
+            LayerMethod::Recompute,
+            LayerMethod::Recompute,
+            LayerMethod::Hidden,
+            LayerMethod::Hidden,
+        ];
+        let seq = restore_session_with_methods(&model, &mgr, 1, &tokens, 64, &degraded).unwrap();
+        assert_eq!(kv_max_error(&kv_deg, &seq), 0.0);
+        // The plain entry point still surfaces the failure (no silent
+        // degradation where the caller didn't opt in).
+        assert!(matches!(
+            ctl.restore(&model, 1, &tokens, &par),
+            Err(CtlError::Storage(StorageError::DeviceFailed { .. }))
+        ));
+    }
+
+    #[test]
+    fn batch_reactor_with_reports_degrades_and_repromotes() {
+        use crate::scheduler::RestoreJob;
+        use hc_storage::fault::FaultStore;
+        use hc_storage::reactor::Reactor;
+
+        let cfg_m = ModelConfig::tiny_llama();
+        let model = Model::new(&cfg_m, 37);
+        let fault = Arc::new(FaultStore::new(Arc::new(MemStore::new(4))));
+        let mgr = Arc::new(
+            StorageManager::new(Arc::clone(&fault), cfg_m.d_model).with_reactor(Reactor::new(4, 2)),
+        );
+        let ctl = CacheController::new(
+            Arc::clone(&mgr),
+            cfg_m.n_layers,
+            cfg_m.d_model,
+            ControllerConfig::unlimited(),
+        );
+        // One 64-token pure-hidden session: layer l's chunk on device l%4.
+        let scheme = PartitionScheme::pure_hidden(cfg_m.n_layers);
+        ctl.open_session(1, &scheme);
+        let mk_tokens =
+            |s: u64| -> Vec<u32> { (0..64u32).map(|i| (i * 41 + s as u32) % 256).collect() };
+        let tokens = mk_tokens(1);
+        let mut kv = KvCache::new(&cfg_m);
+        let out = model.prefill(&tokens, &mut kv, true);
+        save_session_state(
+            &model,
+            &mgr,
+            1,
+            &out.hidden_per_layer.unwrap(),
+            &kv,
+            &scheme,
+        )
+        .unwrap();
+        ctl.on_saved(1, 64).unwrap();
+        // Down device 3 strands layer 3 — the recompute-prefix invariant
+        // then drags the whole mix to recompute.
+        ctl.on_device_down(3);
+        let jobs = vec![RestoreJob {
+            session: 1,
+            tokens: mk_tokens(1),
+        }];
+        let results =
+            ctl.restore_batch_reactor_with_reports(&model, &jobs, 2, 4, &ParallelConfig::new(2));
+        assert_eq!(results.len(), 1);
+        let (sid, res) = &results[0];
+        assert_eq!(*sid, 1);
+        let (kv_deg, rep) = res.as_ref().unwrap();
+        // Device 3 holds layer 3's chunk → the whole mix degrades to
+        // recompute (prefix must cover layer 3).
+        assert_eq!(rep.layers_recomputed, 4);
+        let seq = restore_session_with_methods(
+            &model,
+            &mgr,
+            1,
+            &mk_tokens(1),
+            64,
+            &[LayerMethod::Recompute; 4],
+        )
+        .unwrap();
+        assert_eq!(kv_max_error(kv_deg, &seq), 0.0);
+        ctl.on_device_recovered(3);
+        let results =
+            ctl.restore_batch_reactor_with_reports(&model, &jobs, 2, 4, &ParallelConfig::new(2));
+        let (kv_back, rep) = results[0].1.as_ref().unwrap();
+        assert_eq!(rep.layers_recomputed, 0);
+        let full = restore_session_with_methods(
+            &model,
+            &mgr,
+            1,
+            &mk_tokens(1),
+            64,
+            &[LayerMethod::Hidden; 4],
+        )
+        .unwrap();
+        assert_eq!(kv_max_error(kv_back, &full), 0.0);
     }
 
     mod quota_properties {

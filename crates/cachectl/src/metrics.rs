@@ -22,6 +22,11 @@ pub struct CtlMetrics {
     pub placed_kv: AtomicU64,
     /// Sessions admitted already dropped (footprint infeasible).
     pub placed_dropped: AtomicU64,
+    /// Restores that completed degraded (the device-health plane forced
+    /// at least one layer down the hidden→KV→recompute ladder).
+    pub restores_degraded: AtomicU64,
+    /// Layers those degraded restores recomputed beyond their mixes.
+    pub layers_degraded: AtomicU64,
 }
 
 impl CtlMetrics {
@@ -36,6 +41,8 @@ impl CtlMetrics {
             placed_hidden: self.placed_hidden.load(Ordering::Relaxed),
             placed_kv: self.placed_kv.load(Ordering::Relaxed),
             placed_dropped: self.placed_dropped.load(Ordering::Relaxed),
+            restores_degraded: self.restores_degraded.load(Ordering::Relaxed),
+            layers_degraded: self.layers_degraded.load(Ordering::Relaxed),
         }
     }
 
@@ -65,6 +72,10 @@ pub struct MetricsSnapshot {
     pub placed_kv: u64,
     /// Dropped admissions.
     pub placed_dropped: u64,
+    /// Restores that completed degraded under device failure.
+    pub restores_degraded: u64,
+    /// Layers degraded restores recomputed beyond their mixes.
+    pub layers_degraded: u64,
 }
 
 impl MetricsSnapshot {

@@ -48,7 +48,7 @@ use hc_storage::backend::ChunkStore;
 use hc_tensor::ParallelConfig;
 use hc_workload::Request;
 
-use crate::{CacheController, CtlError};
+use crate::{CacheController, CtlError, ReportedRestore};
 
 /// One session's restore work.
 #[derive(Debug, Clone)]
@@ -203,6 +203,43 @@ impl RestoreScheduler {
         let per_budget = self.budget_for(workers);
         let results = map_concurrent(jobs, workers, |job| {
             ctl.restore(model, job.session, &job.tokens, &per_budget)
+        });
+        jobs.iter()
+            .zip(results)
+            .map(|(j, r)| (j.session, r))
+            .collect()
+    }
+
+    /// [`RestoreScheduler::run`] with the device-health plane engaged:
+    /// restores route through the controller's degraded entry points
+    /// ([`CacheController::restore_with_report`], or
+    /// [`CacheController::restore_batch_reactor_with_reports`] in reactor
+    /// mode), so sessions whose layers sit behind a down or
+    /// breaker-tripped device complete via recomputation and report how
+    /// many layers degraded instead of failing. Same admission and budget
+    /// discipline as `run`.
+    pub fn run_with_reports<S: ChunkStore + Sync + 'static>(
+        &self,
+        model: &Model,
+        ctl: &CacheController<S>,
+        jobs: &[RestoreJob],
+    ) -> Vec<ReportedRestore> {
+        if let Some(max_inflight) = self.reactor_inflight {
+            if ctl.mgr().reactor().is_some() {
+                let workers = self.host_budget.threads().max(1);
+                return ctl.restore_batch_reactor_with_reports(
+                    model,
+                    jobs,
+                    workers,
+                    max_inflight,
+                    &self.host_budget,
+                );
+            }
+        }
+        let workers = self.effective_workers(self.n_workers.min(jobs.len()).max(1));
+        let per_budget = self.budget_for(workers);
+        let results = map_concurrent(jobs, workers, |job| {
+            ctl.restore_with_report(model, job.session, &job.tokens, &per_budget)
         });
         jobs.iter()
             .zip(results)

@@ -15,6 +15,7 @@ use std::sync::Arc;
 use hc_cachectl::metrics::MetricsSnapshot;
 use hc_cachectl::{CacheController, ControllerConfig, CtlError};
 use hc_model::{KvCache, Model, ModelConfig};
+use hc_restore::engine::DegradationReport;
 use hc_sched::partition::{LayerMethod, PartitionScheme};
 use hc_storage::backend::{ChunkStore, MemStore, StoreStats};
 use hc_storage::manager::StorageManager;
@@ -315,6 +316,72 @@ impl<S: ChunkStore + 'static> HCacheSystem<S> {
             &self.scheme,
             &self.parallel,
         )?)
+    }
+
+    /// [`HCacheSystem::restore`] with the device-health plane engaged:
+    /// when a controller is attached, layers stranded behind a down or
+    /// breaker-tripped storage device are served by token recomputation
+    /// (preemptively or after the read fails mid-restore) and the returned
+    /// [`DegradationReport`] says how many and why, instead of the restore
+    /// failing. Without a controller this is a plain restore with an empty
+    /// report.
+    pub fn restore_with_report(
+        &self,
+        session: u64,
+    ) -> Result<(KvCache, DegradationReport), SystemError> {
+        let state = self
+            .sessions
+            .get(&session)
+            .ok_or(SystemError::UnknownSession(session))?;
+        if let Some(ctl) = &self.controller {
+            return Ok(ctl.restore_with_report(
+                &self.model,
+                session,
+                &state.tokens,
+                &self.parallel,
+            )?);
+        }
+        let kv = hc_restore::engine::restore_session_pipelined(
+            &self.model,
+            &self.mgr,
+            session,
+            &state.tokens,
+            state.tokens.len(),
+            &self.scheme,
+            &self.parallel,
+        )?;
+        Ok((kv, DegradationReport::default()))
+    }
+
+    /// Marks a storage device down on the attached controller (see
+    /// [`CacheController::on_device_down`]); returns whether a controller
+    /// was there to record it.
+    pub fn on_device_down(&self, device: usize) -> bool {
+        match &self.controller {
+            Some(ctl) => {
+                ctl.on_device_down(device);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Clears a device's down mark on the attached controller; affected
+    /// sessions re-promote to full-mix restores on their next round.
+    pub fn on_device_recovered(&self, device: usize) -> bool {
+        match &self.controller {
+            Some(ctl) => {
+                ctl.on_device_recovered(device);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The storage manager (device health registry, retry policy, IO
+    /// stats) this system serves from.
+    pub fn storage(&self) -> &Arc<StorageManager<S>> {
+        &self.mgr
     }
 
     /// Runs one conversation round: restore evicted history → prefill
@@ -739,6 +806,52 @@ mod tests {
         let freed = s.close_session(sid).unwrap();
         assert_eq!(freed, used);
         assert_eq!(s.controller().unwrap().used_bytes(), 0);
+    }
+
+    #[test]
+    fn device_down_round_degrades_and_recovery_repromotes() {
+        use hc_cachectl::ControllerConfig;
+        use hc_storage::fault::FaultStore;
+
+        let cfg = ModelConfig::tiny_llama();
+        let fault = Arc::new(FaultStore::new(Arc::new(MemStore::new(4))));
+        let mut s = HCacheSystem::with_store(
+            &cfg,
+            7,
+            Arc::clone(&fault),
+            PartitionScheme::pure_hidden(cfg.n_layers),
+        )
+        .with_cache_controller(ControllerConfig::unlimited());
+        let sid = s.open_session();
+        let prompt: Vec<u32> = (0..40).map(|i| i % 256).collect();
+        s.round(sid, &prompt, 4).unwrap();
+
+        let (healthy, rep) = s.restore_with_report(sid).unwrap();
+        assert!(!rep.degraded());
+
+        // Lose device 2 (44 tokens = one chunk; layer l lives on device
+        // l % 4, so layers 0..=2 are stranded and layer 3 still reads).
+        fault.device_down(2);
+        assert!(s.on_device_down(2));
+        let (degraded, rep) = s.restore_with_report(sid).unwrap();
+        assert_eq!(rep.layers_recomputed, 3);
+        assert_eq!(degraded.n_tokens(), healthy.n_tokens());
+        // Still a correct cache: matches a fresh replay of the whole
+        // conversation within f16 tolerance (recomputed layers exactly).
+        let model = Model::new(&cfg, 7);
+        let mut reference = KvCache::new(&cfg);
+        model.prefill(s.session_tokens(sid).unwrap(), &mut reference, false);
+        assert_eq!(degraded.keys(0), reference.keys(0));
+        assert!(kv_max_error(&degraded, &reference) < 0.05);
+
+        // Heal: the next restore is full-mix and bit-identical to the
+        // healthy one.
+        fault.device_up(2);
+        assert!(s.on_device_recovered(2));
+        let (back, rep) = s.restore_with_report(sid).unwrap();
+        assert!(!rep.degraded());
+        assert_eq!(kv_max_error(&back, &healthy), 0.0);
+        assert_eq!(s.cache_metrics().unwrap().restores_degraded, 1);
     }
 
     #[test]

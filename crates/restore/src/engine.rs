@@ -134,6 +134,49 @@ impl std::error::Error for RestoreError {
     }
 }
 
+/// Per-session account of a degraded restore: how many layers the
+/// device-health plane forced down the hidden→KV→recompute ladder beyond
+/// the session's own mix, and why. `Default` is the healthy report
+/// (nothing degraded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradationReport {
+    /// Layers restored by token recomputation that the session's mix
+    /// would have served from storage.
+    pub layers_recomputed: usize,
+    /// What forced the degradation (`None` when nothing was).
+    pub cause: Option<DegradeCause>,
+}
+
+impl DegradationReport {
+    /// Whether any layer was served degraded.
+    pub fn degraded(&self) -> bool {
+        self.layers_recomputed > 0
+    }
+}
+
+/// Why a restore degraded layers to recomputation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeCause {
+    /// The device is administratively marked down
+    /// (`CacheController::on_device_down`) or failed permanently
+    /// mid-read.
+    DeviceDown {
+        /// The failed device's lane index.
+        device: usize,
+    },
+    /// The device's circuit breaker is open (or its half-open probe
+    /// failed), so reads fast-fail without touching the device.
+    BreakerOpen {
+        /// The tripped device's lane index.
+        device: usize,
+    },
+    /// The per-read retry budget was exhausted by transient failures.
+    RetryExhausted {
+        /// The flaky device's lane index.
+        device: usize,
+    },
+}
+
 /// Saves a prefilled session's state according to `scheme`.
 ///
 /// `hidden_per_layer` must hold the layer-input hidden states captured

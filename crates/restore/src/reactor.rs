@@ -43,6 +43,15 @@
 //! resolves only its own slot to `Err`; its machine is torn down, its
 //! admission slot is recycled, and every other machine advances
 //! untouched.
+//!
+//! When the manager's [`RetryPolicy`](hc_storage::health::RetryPolicy)
+//! carries an IO deadline, the admission thread also acts as a stall
+//! watchdog: if no session completes for a deadline's worth of time it
+//! sweeps the live machines and expires any read job whose IO made no
+//! progress for the deadline (`ReactorReadJob::expire_stalled`), typing
+//! that one session's next pump as a transient
+//! [`StorageError::DeviceFailed`](hc_storage::StorageError) — a wedged
+//! device submission can never hang the batch.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -279,12 +288,59 @@ pub fn restore_sessions_reactor<S: ChunkStore>(
             admit(next_admit);
             next_admit += 1;
         }
+        // When the manager's retry policy carries an IO deadline, the
+        // admission thread doubles as the stall watchdog: every deadline's
+        // worth of silence, sweep the live machines and expire jobs whose
+        // reads made no progress for the deadline
+        // (`ReactorReadJob::expire_stalled` blames the slow lane's device
+        // and types the job's next pump as a transient `DeviceFailed`), so
+        // a wedged submission fails one session instead of hanging the
+        // whole batch.
+        let io_deadline = mgr.retry_policy().io_deadline;
+        let sweep_stalled = |deadline: Duration| {
+            for (i, slot) in machines.iter().enumerate() {
+                // A machine we cannot lock is being advanced right now —
+                // that is progress, not a stall.
+                let Some(mut guard) = slot.try_lock() else {
+                    continue;
+                };
+                let Some(m) = guard.as_mut() else { continue };
+                if m.result.is_some() {
+                    continue;
+                }
+                let mut expired = false;
+                for (_, lane) in m.active.iter() {
+                    match lane {
+                        Lane::Hidden { job, .. } => expired |= job.expire_stalled(deadline),
+                        Lane::Kv { k_job, v_job, .. } => {
+                            expired |= k_job.expire_stalled(deadline);
+                            expired |= v_job.expire_stalled(deadline);
+                        }
+                    }
+                }
+                drop(guard);
+                if expired && !pendings[i].swap(true, Ordering::AcqRel) {
+                    queue.push(i);
+                }
+            }
+        };
         let mut completed = 0usize;
         while completed < requests.len() {
             // A disconnect means every compute worker died: no surviving
             // machine can ever advance, so stop admitting and let the
             // collection below type the unfinished slots as `WorkerLost`.
-            if done_rx.recv().is_err() {
+            let received = match io_deadline {
+                Some(deadline) => match done_rx.recv_timeout(deadline) {
+                    Ok(_) => true,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        sweep_stalled(deadline);
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => false,
+                },
+                None => done_rx.recv().is_ok(),
+            };
+            if !received {
                 break;
             }
             completed += 1;
@@ -562,9 +618,9 @@ mod tests {
         ]
     }
 
-    fn saved_batch(
+    fn saved_batch<S: ChunkStore>(
         model: &Model,
-        mgr: &Arc<StorageManager<MemStore>>,
+        mgr: &Arc<StorageManager<S>>,
         scheme: &PartitionScheme,
         sessions: std::ops::Range<u64>,
     ) -> (Vec<RestoreRequest>, Vec<KvCache>) {
@@ -673,6 +729,53 @@ mod tests {
                 assert_eq!(kv_max_error(&r.result.unwrap(), &references[s]), 0.0);
             }
         }
+    }
+
+    #[test]
+    fn io_deadline_expires_stalled_sessions_instead_of_wedging_the_batch() {
+        use hc_storage::fault::{FaultStore, FaultTarget};
+        use hc_storage::health::RetryPolicy;
+
+        let cfg = ModelConfig::tiny_llama();
+        let model = Model::new(&cfg, 229);
+        let fault = Arc::new(FaultStore::new(Arc::new(MemStore::new(4))));
+        let mgr = Arc::new(
+            StorageManager::new(Arc::clone(&fault), cfg.d_model)
+                .with_reactor(Reactor::new(4, 2))
+                .with_retry_policy(
+                    RetryPolicy::default().with_io_deadline(Duration::from_millis(40)),
+                ),
+        );
+        let scheme = PartitionScheme::pure_hidden(4);
+        let (requests, _) = saved_batch(&model, &mgr, &scheme, 0..4);
+        // Wedge device 1 far past the deadline: every session's 80-token
+        // hidden streams put a chunk on it, so without the watchdog the
+        // whole batch would sit on the stall.
+        fault.stall_reads(FaultTarget::Device(1), Duration::from_millis(500));
+        let start = Instant::now();
+        let results =
+            restore_sessions_reactor(&model, &mgr, &requests, 2, 4, &ParallelConfig::new(2));
+        assert!(
+            start.elapsed() < Duration::from_millis(450),
+            "watchdog must fail stalled sessions before the stall drains"
+        );
+        for (s, r) in results.into_iter().enumerate() {
+            match r.result {
+                Err(RestoreError::Storage(StorageError::DeviceFailed {
+                    device,
+                    transient,
+                    ..
+                })) => {
+                    assert_eq!(device, 1, "session {s} blamed the wrong lane");
+                    assert!(transient, "a stall is transient, not data loss");
+                }
+                other => panic!("session {s}: expected a typed stall timeout, got {other:?}"),
+            }
+        }
+        assert!(
+            mgr.device_health().counters(1).1 >= 1,
+            "the stall must be recorded against device 1's health"
+        );
     }
 
     #[test]

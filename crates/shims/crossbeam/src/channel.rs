@@ -41,6 +41,26 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// All senders disconnected and the buffer drained.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
 enum Tx<T> {
     Unbounded(mpsc::Sender<T>),
     Bounded(mpsc::SyncSender<T>),
@@ -95,6 +115,15 @@ impl<T> Receiver<T> {
     /// Blocks until a message arrives or all senders disconnect.
     pub fn recv(&self) -> Result<T, RecvError> {
         self.0.recv().map_err(|_| RecvError)
+    }
+
+    /// Blocks until a message arrives, all senders disconnect, or
+    /// `timeout` elapses.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
     }
 
     /// Non-blocking receive.
@@ -175,5 +204,21 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers_then_disconnects() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)), Ok(3));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 }

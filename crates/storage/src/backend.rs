@@ -112,6 +112,17 @@ pub trait ChunkStore: Send + Sync + 'static {
         Vec::new()
     }
 
+    /// Offers `data` (the already-validated bytes of `key`) to the
+    /// store's DRAM fast tier through its normal admission policy,
+    /// returning the bytes the fast tier holds for `key` afterwards (0
+    /// when not admitted). Crash recovery calls this per validated chunk
+    /// so a reopened [`crate::tiered::TieredStore`] starts warm instead
+    /// of cold. The default — for stores without a fast tier — admits
+    /// nothing.
+    fn warm_chunk(&self, _key: ChunkKey, _data: &[u8]) -> u64 {
+        0
+    }
+
     /// Snapshot of the IO counters.
     fn stats(&self) -> StoreStats;
 }

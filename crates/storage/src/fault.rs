@@ -11,6 +11,16 @@
 //!   return [`StorageError::DeviceFailed`] naming the chunk key and
 //!   owning device. Transient faults are retried (with bounded backoff)
 //!   by the manager's read path; permanent ones surface immediately.
+//! * **Device outages** ([`FaultStore::device_down`]): every chunk
+//!   operation on the lane fails *permanent* until
+//!   [`FaultStore::device_up`] clears it — the hard-down device the
+//!   health plane's circuit breaker must open on (and whose heal the
+//!   half-open probe must detect).
+//! * **Seeded flaky rate** ([`FaultStore::set_flaky_reads`]): each
+//!   matching read independently fails transient with a fixed
+//!   probability drawn from a seeded deterministic generator — the
+//!   sustained-but-not-total sickness that drives the breaker's
+//!   windowed error-rate threshold reproducibly.
 //! * **Stalls** ([`FaultStore::stall_reads`]): matching reads sleep for
 //!   a fixed duration before proceeding — a slow device, not a dead one.
 //! * **Torn writes** ([`FaultStore::tear_next_write`]): the next
@@ -67,6 +77,28 @@ struct InjectedFault {
 
 type ReadHook = Box<dyn FnMut() + Send>;
 
+/// A seeded per-read failure rate (xorshift64*, deterministic for a
+/// given seed regardless of wall clock).
+struct Flaky {
+    target: FaultTarget,
+    /// Failure probability per matching read, in `[0, 1]`.
+    rate: f64,
+    transient: bool,
+    rng: u64,
+}
+
+impl Flaky {
+    /// Next uniform draw in `[0, 1)`.
+    fn draw(&mut self) -> f64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
 #[derive(Default)]
 struct FaultState {
     read_faults: Vec<InjectedFault>,
@@ -76,6 +108,11 @@ struct FaultState {
     /// `(absolute read ordinal, hook)` — fired (and removed) when
     /// `reads_seen` reaches the ordinal.
     read_hooks: Vec<(u64, ReadHook)>,
+    /// Lanes hard-down: every chunk operation fails permanent until
+    /// cleared.
+    down_devices: std::collections::BTreeSet<usize>,
+    /// Seeded flaky-read rates (checked after the counted faults).
+    flaky_reads: Vec<Flaky>,
 }
 
 /// A [`ChunkStore`] wrapper injecting programmable faults (see the
@@ -127,6 +164,43 @@ impl<B: ChunkStore> FaultStore<B> {
             remaining: n,
             transient,
         });
+    }
+
+    /// Takes the device lane hard-down: every chunk operation it serves
+    /// (reads *and* writes) fails with a **permanent**
+    /// [`StorageError::DeviceFailed`] until [`FaultStore::device_up`] —
+    /// the whole-device outage the health plane's breaker opens on.
+    pub fn device_down(&self, device: usize) {
+        self.state.lock().down_devices.insert(device);
+    }
+
+    /// Heals a lane taken down by [`FaultStore::device_down`].
+    pub fn device_up(&self, device: usize) {
+        self.state.lock().down_devices.remove(&device);
+    }
+
+    /// Lanes currently hard-down, ascending.
+    pub fn down_devices(&self) -> Vec<usize> {
+        self.state.lock().down_devices.iter().copied().collect()
+    }
+
+    /// Makes every matching read independently fail (transient) with
+    /// probability `rate`, drawn from a deterministic generator seeded
+    /// with `seed` — a sustained-but-not-total sickness, reproducible
+    /// run to run. Cleared by [`FaultStore::clear_flaky_reads`].
+    pub fn set_flaky_reads(&self, target: FaultTarget, rate: f64, seed: u64) {
+        self.state.lock().flaky_reads.push(Flaky {
+            target,
+            rate: rate.clamp(0.0, 1.0),
+            transient: true,
+            // xorshift needs a nonzero state.
+            rng: seed | 1,
+        });
+    }
+
+    /// Removes every armed flaky-read rate.
+    pub fn clear_flaky_reads(&self) {
+        self.state.lock().flaky_reads.clear();
     }
 
     /// Stalls every matching read by `delay` until cleared — a slow
@@ -213,7 +287,11 @@ impl<B: ChunkStore> ChunkStore for FaultStore<B> {
         let n_dev = self.n_devices_inner();
         let (fault, torn) = {
             let mut state = self.state.lock();
-            let fault = Self::take_fault(&mut state.write_faults, &key, n_dev);
+            let fault = if state.down_devices.contains(&device_for(&key, n_dev)) {
+                Some((false, "device outage (write)"))
+            } else {
+                Self::take_fault(&mut state.write_faults, &key, n_dev).map(|t| (t, "device write"))
+            };
             let torn = if fault.is_none() {
                 state
                     .torn_writes
@@ -225,9 +303,9 @@ impl<B: ChunkStore> ChunkStore for FaultStore<B> {
             };
             (fault, torn)
         };
-        if let Some(transient) = fault {
+        if let Some((transient, op)) = fault {
             self.writes_failed.fetch_add(1, Ordering::SeqCst);
-            return Err(self.device_failed(key, transient, "device write"));
+            return Err(self.device_failed(key, transient, op));
         }
         if let Some(keep) = torn {
             self.writes_torn.fetch_add(1, Ordering::SeqCst);
@@ -257,7 +335,17 @@ impl<B: ChunkStore> ChunkStore for FaultStore<B> {
                 .iter()
                 .find(|(t, _)| t.matches(&key, n_dev))
                 .map(|&(_, d)| d);
-            let fault = Self::take_fault(&mut state.read_faults, &key, n_dev);
+            let fault = if state.down_devices.contains(&device_for(&key, n_dev)) {
+                Some((false, "device outage (read)"))
+            } else if let Some(t) = Self::take_fault(&mut state.read_faults, &key, n_dev) {
+                Some((t, "device read"))
+            } else {
+                state
+                    .flaky_reads
+                    .iter_mut()
+                    .find(|f| f.target.matches(&key, n_dev))
+                    .and_then(|f| (f.draw() < f.rate).then_some((f.transient, "flaky read")))
+            };
             (hooks, stall, fault)
         };
         // Hooks run outside the state lock: they may re-enter the store
@@ -268,9 +356,9 @@ impl<B: ChunkStore> ChunkStore for FaultStore<B> {
         if let Some(delay) = stall {
             std::thread::sleep(delay);
         }
-        if let Some(transient) = fault {
+        if let Some((transient, op)) = fault {
             self.reads_failed.fetch_add(1, Ordering::SeqCst);
-            return Err(self.device_failed(key, transient, "device read"));
+            return Err(self.device_failed(key, transient, op));
         }
         self.inner.read_chunk(key)
     }
@@ -293,6 +381,12 @@ impl<B: ChunkStore> ChunkStore for FaultStore<B> {
 
     fn chunk_keys(&self) -> Vec<ChunkKey> {
         self.inner.chunk_keys()
+    }
+
+    fn warm_chunk(&self, key: ChunkKey, data: &[u8]) -> u64 {
+        // DRAM admission bypasses the device lane, so a down device does
+        // not block it (matching chunk_in_fast_tier semantics).
+        self.inner.warm_chunk(key, data)
     }
 
     fn n_devices(&self) -> usize {
@@ -391,6 +485,71 @@ mod tests {
         let t = Instant::now();
         s.read_chunk(key(0)).unwrap();
         assert!(t.elapsed() < delay, "cleared stall must not linger");
+    }
+
+    #[test]
+    fn device_down_fails_all_lane_io_permanent_until_cleared() {
+        let s = store();
+        for i in 0..4 {
+            s.write_chunk(key(i), &[i as u8]).unwrap();
+        }
+        // Device 1 serves chunks 1 and 3 (layer 0, 2 devices).
+        s.device_down(1);
+        assert_eq!(s.down_devices(), vec![1]);
+        let err = s.read_chunk(key(1)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StorageError::DeviceFailed {
+                    device: 1,
+                    transient: false,
+                    ..
+                }
+            ),
+            "outage must be permanent and name the lane: {err:?}"
+        );
+        assert!(s.write_chunk(key(3), &[9]).is_err(), "writes fail too");
+        assert!(s.read_chunk(key(0)).is_ok(), "other lanes untouched");
+        assert!(s.write_chunk(key(2), &[7]).is_ok());
+        // Not a counted charge: the outage persists across many ops.
+        assert!(s.read_chunk(key(1)).is_err());
+        assert!(s.read_chunk(key(1)).is_err());
+        s.device_up(1);
+        assert_eq!(s.read_chunk(key(1)).unwrap(), vec![1], "healed lane serves");
+        assert!(s.down_devices().is_empty());
+    }
+
+    #[test]
+    fn flaky_rate_is_seeded_and_deterministic() {
+        let run = |seed: u64| {
+            let s = store();
+            s.write_chunk(key(0), &[1]).unwrap();
+            s.set_flaky_reads(FaultTarget::Any, 0.5, seed);
+            (0..64)
+                .map(|_| s.read_chunk(key(0)).is_err())
+                .collect::<Vec<bool>>()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same failure schedule");
+        assert_ne!(a, run(8), "different seed, different schedule");
+        let fails = a.iter().filter(|&&f| f).count();
+        assert!(
+            (16..=48).contains(&fails),
+            "rate 0.5 should fail roughly half of 64 reads, got {fails}"
+        );
+        // Flaky failures are transient — the retry/breaker path applies.
+        let s = store();
+        s.write_chunk(key(0), &[1]).unwrap();
+        s.set_flaky_reads(FaultTarget::Any, 1.0, 3);
+        assert!(matches!(
+            s.read_chunk(key(0)).unwrap_err(),
+            StorageError::DeviceFailed {
+                transient: true,
+                ..
+            }
+        ));
+        s.clear_flaky_reads();
+        assert!(s.read_chunk(key(0)).is_ok());
     }
 
     #[test]

@@ -179,6 +179,11 @@ impl<B: ChunkStore> ChunkStore for LatencyStore<B> {
         self.inner.chunk_keys()
     }
 
+    fn warm_chunk(&self, key: ChunkKey, data: &[u8]) -> u64 {
+        // DRAM admission, not device IO: no service window charged.
+        self.inner.warm_chunk(key, data)
+    }
+
     fn n_devices(&self) -> usize {
         self.inner.n_devices()
     }

@@ -65,13 +65,21 @@
 //!   tails back to the last consistent prefix.
 //! * **Fault injection** ([`fault`]): a [`fault::FaultStore`] wrapper
 //!   that injects typed device errors ([`StorageError::DeviceFailed`]),
-//!   read stalls, torn writes and mid-read hooks at programmable points —
-//!   the executable fault matrix the failure-scenario suite runs against.
+//!   read stalls, torn writes, whole-device outages, seeded flaky rates
+//!   and mid-read hooks at programmable points — the executable fault
+//!   matrix the failure-scenario suite runs against.
+//! * **Device health** ([`health`]): a per-device sliding error/stall
+//!   window feeding a three-state circuit breaker (closed → open →
+//!   half-open probe), plus the [`health::RetryPolicy`] governing the
+//!   manager's jittered, budgeted transient-fault retry and the
+//!   reactor's IO deadlines. The restore plane consults it to degrade
+//!   affected layers to recompute instead of failing sessions.
 
 pub mod backend;
 pub mod chunk;
 pub mod fanout;
 pub mod fault;
+pub mod health;
 pub mod journal;
 pub mod latency;
 pub mod layout;

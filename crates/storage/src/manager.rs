@@ -151,7 +151,9 @@
 //! | Fault | Typed error | Blast radius |
 //! |---|---|---|
 //! | Device read error (permanent) | [`StorageError::DeviceFailed`] `{transient: false}` through `read_rows`/`read_rows_streaming` → `RestoreError`/`CtlError`/`SystemError` | The faulted read/session only; sibling restores complete bit-identical |
-//! | Device read error (transient) | Masked by bounded retry-with-backoff ([`READ_RETRY_ATTEMPTS`] attempts) in both the sequential and fanout read paths; surfaces as `DeviceFailed {transient: true}` only if it persists | None when masked |
+//! | Device read error (transient) | Masked by budgeted retry with jittered backoff ([`crate::health::RetryPolicy`]) in every read path; surfaces as `DeviceFailed {transient: true}` only if it persists | None when masked |
+//! | Sick device (repeated errors/stalls) | The [`crate::health::DeviceHealth`] breaker opens; reads fail fast typed-transient until a half-open probe heals the lane | Restores degrade affected layers to recompute (see `hc-cachectl`); no session fails |
+//! | Stalled reactor submission | Timed out at the [`RetryPolicy::io_deadline`] into `DeviceFailed {transient: true}`, counted as a stall against the lane's breaker | The one read; its lane is not wedged |
 //! | Device write error | `DeviceFailed` from `append_rows`/`flush_stream` | The appending stream only |
 //! | Read stall | No error — the lane is slow, not dead; fanout siblings proceed | Latency of the stalled read only |
 //! | Torn chunk write (crash) | Detected at reopen by chunk CRC; stream truncated to last consistent prefix | Rows past the torn chunk of that stream |
@@ -163,7 +165,7 @@
 // map lock strictly before any per-stream `cell` lock, and a reactor
 // read job's `core` lock only innermost. Aliases name the receiver
 // idents each class is acquired through.)
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -172,43 +174,86 @@ use std::time::Duration;
 use hc_tensor::Tensor2;
 use parking_lot::RwLock;
 
-use crossbeam::channel::bounded;
+use crossbeam::channel::{bounded, RecvTimeoutError};
 
 use crate::backend::{ChunkStore, FileStore, StoreStats};
 use crate::chunk::{chunks_for_range, device_for, ChunkKey, ChunkSlice, CHUNK_TOKENS};
 use crate::fanout::FanoutPool;
+use crate::health::{Admit, DeviceHealth, RetryPolicy};
 use crate::journal::{crc32, Journal, JournalHeader, JournalRecord, JournalReplay};
 use crate::reactor::Reactor;
 use crate::{Precision, StorageError, StreamId};
 
-/// Read attempts before a transient [`StorageError::DeviceFailed`] is
-/// surfaced (the first attempt plus the retries).
-pub const READ_RETRY_ATTEMPTS: usize = 3;
-
-/// Backoff before the first retry of a transient device error; doubles
-/// per attempt.
-const READ_RETRY_BACKOFF: Duration = Duration::from_micros(50);
-
-/// Reads one chunk, retrying *transient* device failures with bounded
-/// exponential backoff (permanent failures and every other error surface
-/// immediately). Shared by the sequential walk, the fanout lanes and the
-/// recovery validation pass, so every read path masks the same blips.
+/// Reads one chunk under the manager's [`RetryPolicy`] and [`DeviceHealth`]
+/// breaker, retrying *transient* device failures with jittered exponential
+/// backoff until the attempt count or the backoff budget runs out
+/// (permanent failures and every other error surface immediately). Shared
+/// by the sequential walk, the fanout lanes, the reactor submissions and
+/// the recovery validation pass, so every read path masks the same blips
+/// and feeds the same breaker.
+///
+/// Breaker interaction: reads of device-occupying chunks first ask the
+/// breaker for admission — an open lane fails fast with a typed transient
+/// [`StorageError::DeviceFailed`] (no device IO, no backoff), and a
+/// half-open lane admits exactly one probe attempt (no retries, so the
+/// probe verdict lands promptly). DRAM-front-tier hits bypass the breaker
+/// entirely: they never touch the device, so a sick lane must not deny
+/// them — and their success must not heal it.
+///
+/// Every sleep happens with no lock held (hc-analyze enforces the class).
 pub(crate) fn read_chunk_retrying<S: ChunkStore + ?Sized>(
     store: &S,
     key: ChunkKey,
+    policy: &RetryPolicy,
+    health: &DeviceHealth,
 ) -> Result<Vec<u8>, StorageError> {
-    let mut backoff = READ_RETRY_BACKOFF;
+    let device = device_for(&key, store.n_devices().max(1));
+    let fast = store.chunk_in_fast_tier(key);
+    let mut probe = false;
+    if !fast {
+        match health.admit(device) {
+            Admit::Yes => {}
+            Admit::Probe => probe = true,
+            Admit::No => {
+                return Err(StorageError::DeviceFailed {
+                    key,
+                    device,
+                    transient: true,
+                    msg: format!("circuit breaker open for device {device}"),
+                })
+            }
+        }
+    }
     let mut attempt = 1;
+    let mut slept = Duration::ZERO;
     loop {
         match store.read_chunk(key) {
-            Err(StorageError::DeviceFailed {
-                transient: true, ..
-            }) if attempt < READ_RETRY_ATTEMPTS => {
+            Ok(data) => {
+                if !fast {
+                    health.record_success(device);
+                }
+                return Ok(data);
+            }
+            Err(
+                e @ StorageError::DeviceFailed {
+                    transient: true, ..
+                },
+            ) if !probe && attempt < policy.attempts => {
+                health.record_failure(device, true);
+                let backoff = policy.backoff(&key, attempt);
+                if slept + backoff > policy.budget {
+                    return Err(e);
+                }
                 std::thread::sleep(backoff);
-                backoff *= 2;
+                slept += backoff;
                 attempt += 1;
             }
-            other => return other,
+            Err(e) => {
+                if let StorageError::DeviceFailed { transient, .. } = &e {
+                    health.record_failure(device, *transient);
+                }
+                return Err(e);
+            }
         }
     }
 }
@@ -365,6 +410,13 @@ pub struct StorageManager<S: ChunkStore> {
     /// crash loses the manager's stream state). See the module docs'
     /// recovery protocol.
     journal: Option<Arc<Journal>>,
+    /// Transient-fault retry policy (attempts, jittered backoff, budget,
+    /// reactor IO deadline) applied by every read path.
+    retry: RetryPolicy,
+    /// Per-device health registry: every IO outcome (manager reads/writes,
+    /// reactor completions, deadline expirations) feeds its sliding
+    /// windows and circuit breakers.
+    health: Arc<DeviceHealth>,
 }
 
 impl<S: ChunkStore> StorageManager<S> {
@@ -378,6 +430,7 @@ impl<S: ChunkStore> StorageManager<S> {
     /// the §7 quantized-hidden-state extension).
     pub fn with_precision(store: Arc<S>, d_model: usize, precision: Precision) -> Self {
         assert!(d_model > 0, "d_model must be positive");
+        let health = Arc::new(DeviceHealth::new(store.n_devices().max(1)));
         Self {
             store,
             d_model,
@@ -388,7 +441,39 @@ impl<S: ChunkStore> StorageManager<S> {
             streams: RwLock::new(HashMap::new()),
             total_resident: AtomicU64::new(0),
             journal: None,
+            retry: RetryPolicy::default(),
+            health,
         }
+    }
+
+    /// Replaces the transient-fault [`RetryPolicy`] (attempts, jittered
+    /// backoff, per-read budget, reactor IO deadline).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The retry policy in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Shares an external [`DeviceHealth`] registry (e.g. one registry
+    /// spanning several managers over the same device array, or a
+    /// test-configured breaker). Must cover at least the store's devices.
+    pub fn with_device_health(mut self, health: Arc<DeviceHealth>) -> Self {
+        assert!(
+            health.n_devices() >= self.store.n_devices().max(1),
+            "health registry must cover every store device"
+        );
+        self.health = health;
+        self
+    }
+
+    /// The per-device health registry (breaker states, error/stall
+    /// counters) fed by this manager's IO.
+    pub fn device_health(&self) -> &Arc<DeviceHealth> {
+        &self.health
     }
 
     /// Attaches a crash-durability journal: every durable chunk write and
@@ -989,6 +1074,8 @@ impl<S: ChunkStore> StorageManager<S> {
                         stream: plan.stream,
                         chunk_idx: slice.chunk_idx,
                     },
+                    &self.retry,
+                    &self.health,
                 )?;
                 self.decode_durable_chunk(plan.stream, slice, &bytes)?
             } else {
@@ -1031,13 +1118,15 @@ impl<S: ChunkStore> StorageManager<S> {
         for lane in fp.lanes.into_iter().filter(|l| !l.is_empty()) {
             let store = Arc::clone(&self.store);
             let tx = tx.clone();
+            let policy = self.retry;
+            let health = Arc::clone(&self.health);
             fp.pool.submit(move || {
                 for (i, key) in lane {
                     // Transient device blips retry inside the lane, so a
                     // flaky read costs backoff, not the whole range. A send
                     // error means this reader is gone; drop the lane's
                     // remaining reads.
-                    let res = read_chunk_retrying(store.as_ref(), key);
+                    let res = read_chunk_retrying(store.as_ref(), key, &policy, &health);
                     if tx.send((i, res)).is_err() {
                         return;
                     }
@@ -1052,7 +1141,7 @@ impl<S: ChunkStore> StorageManager<S> {
         let mut first_err: Option<(usize, StorageError)> = None;
         let mut ended: Option<StreamPhase> = None;
         for (i, key) in fp.fast {
-            match read_chunk_retrying(self.store.as_ref(), key)
+            match read_chunk_retrying(self.store.as_ref(), key, &self.retry, &self.health)
                 .and_then(|bytes| self.decode_durable_chunk(plan.stream, &slices[i], &bytes))
             {
                 Ok(rows) => match self.deliver_slice(plan, cell, sink, i, rows) {
@@ -1208,36 +1297,46 @@ impl<S: ChunkStore> StorageManager<S> {
         let (tx, rx) = bounded::<(usize, Result<Vec<u8>, StorageError>)>(rp.window);
         let mut next = 0usize;
         let mut in_flight = 0usize;
-        let submit_next = |next: &mut usize, in_flight: &mut usize| {
-            let (i, key, device) = rp.device_chunks[*next];
-            *next += 1;
-            *in_flight += 1;
-            let store = Arc::clone(&self.store);
-            let tx = tx.clone();
-            reactor.submit_io(device, move || {
-                // A panicking store must not strand the reader waiting on
-                // a completion that never comes: convert to a typed error.
-                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    read_chunk_retrying(store.as_ref(), key)
-                }))
-                .unwrap_or_else(|_| {
-                    Err(StorageError::Io(format!(
-                        "chunk read panicked (chunk {} of {:?})",
-                        key.chunk_idx, key.stream
-                    )))
+        // Outstanding submissions by slice index. A deadline breach blames
+        // the lowest outstanding chunk — the one the sequential walk would
+        // be stuck on — so the synthesized error is deterministic.
+        let mut outstanding: BTreeMap<usize, (ChunkKey, usize)> = BTreeMap::new();
+        let submit_next =
+            |next: &mut usize,
+             in_flight: &mut usize,
+             outstanding: &mut BTreeMap<usize, (ChunkKey, usize)>| {
+                let (i, key, device) = rp.device_chunks[*next];
+                *next += 1;
+                *in_flight += 1;
+                outstanding.insert(i, (key, device));
+                let store = Arc::clone(&self.store);
+                let policy = self.retry;
+                let health = Arc::clone(&self.health);
+                let tx = tx.clone();
+                reactor.submit_io(device, move || {
+                    // A panicking store must not strand the reader waiting on
+                    // a completion that never comes: convert to a typed error.
+                    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        read_chunk_retrying(store.as_ref(), key, &policy, &health)
+                    }))
+                    .unwrap_or_else(|_| {
+                        Err(StorageError::Io(format!(
+                            "chunk read panicked (chunk {} of {:?})",
+                            key.chunk_idx, key.stream
+                        )))
+                    });
+                    let _ = tx.send((i, res));
                 });
-                let _ = tx.send((i, res));
-            });
-        };
+            };
         while in_flight < rp.window && next < total {
-            submit_next(&mut next, &mut in_flight);
+            submit_next(&mut next, &mut in_flight, &mut outstanding);
         }
         // Front hits inline while device IO is in flight (same rationale
         // as the fanout path).
         let mut first_err: Option<(usize, StorageError)> = None;
         let mut ended: Option<StreamPhase> = None;
         for (i, key) in rp.fast.iter().copied() {
-            match read_chunk_retrying(self.store.as_ref(), key)
+            match read_chunk_retrying(self.store.as_ref(), key, &self.retry, &self.health)
                 .and_then(|bytes| self.decode_durable_chunk(plan.stream, &slices[i], &bytes))
             {
                 Ok(rows) => match self.deliver_slice(plan, cell, sink, i, rows) {
@@ -1258,15 +1357,45 @@ impl<S: ChunkStore> StorageManager<S> {
         // remaining in-flight chunks drain cheaply.
         while in_flight > 0 {
             // A dropped completion means a reactor IO thread died: surface
-            // a typed error instead of aborting the read path.
-            let Ok((i, res)) = rx.recv() else {
+            // a typed error instead of aborting the read path. Under an IO
+            // deadline a stalled submission times out into the typed
+            // transient DeviceFailed path (counted as a stall against the
+            // lane's breaker) instead of wedging this reader; the
+            // abandoned completions cannot block their IO threads (the
+            // channel's capacity equals the window) and are dropped with
+            // the receiver.
+            let recvd = match self.retry.io_deadline {
+                Some(deadline) => match rx.recv_timeout(deadline) {
+                    Ok(v) => Some(v),
+                    Err(RecvTimeoutError::Timeout) => {
+                        let (_, &(key, device)) = outstanding
+                            .iter()
+                            .next()
+                            // hc-analyze: allow(panic) invariant: in_flight > 0 implies an outstanding entry
+                            .expect("in-flight read with no outstanding entry");
+                        self.health.record_stall(device);
+                        return Err(StorageError::DeviceFailed {
+                            key,
+                            device,
+                            transient: true,
+                            msg: format!(
+                                "io deadline {deadline:?} exceeded with {in_flight} reads in flight"
+                            ),
+                        });
+                    }
+                    Err(RecvTimeoutError::Disconnected) => None,
+                },
+                None => rx.recv().ok(),
+            };
+            let Some((i, res)) = recvd else {
                 return Err(StorageError::Io(
                     "reactor dropped a completion (IO thread lost)".to_string(),
                 ));
             };
             in_flight -= 1;
+            outstanding.remove(&i);
             if ended.is_none() && first_err.is_none() && next < total {
-                submit_next(&mut next, &mut in_flight);
+                submit_next(&mut next, &mut in_flight, &mut outstanding);
             }
             if ended.is_some() {
                 continue;
@@ -1353,6 +1482,8 @@ impl<S: ChunkStore> StorageManager<S> {
                 epoch: 0,
                 staged: std::collections::VecDeque::new(),
                 in_flight: 0,
+                in_flight_keys: BTreeMap::new(),
+                last_progress: std::time::Instant::now(),
                 next_submit: 0,
                 halted: false,
                 first_err: None,
@@ -1391,6 +1522,31 @@ impl<S: ChunkStore> StorageManager<S> {
             .iter()
             .map(|c| c.read().resident_bytes)
             .sum()
+    }
+
+    /// Devices the durable chunks of `stream` currently occupy, ascending
+    /// and deduplicated — chunks resident in a DRAM front tier are
+    /// excluded (they restore without touching their device). The
+    /// controller's degradation plane uses this to decide which sessions
+    /// a sick device actually affects.
+    pub fn stream_devices(&self, stream: StreamId) -> Vec<usize> {
+        let Some(cell) = self.stream_handle(stream) else {
+            return Vec::new();
+        };
+        let (n_durable, tail_bytes) = {
+            let state = cell.read();
+            (state.n_durable, state.tail_bytes)
+        };
+        let n_dev = self.store.n_devices().max(1);
+        let n_full = (n_durable / CHUNK_TOKENS) as u32;
+        let mut devices: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        for chunk_idx in 0..n_full + u32::from(tail_bytes > 0) {
+            let key = ChunkKey { stream, chunk_idx };
+            if !self.store.chunk_in_fast_tier(key) {
+                devices.insert(device_for(&key, n_dev));
+            }
+        }
+        devices.into_iter().collect()
     }
 
     /// Backend bytes currently held across all streams. Served from an
@@ -1593,11 +1749,15 @@ impl<S: ChunkStore> StorageManager<S> {
                     stream,
                     chunk_idx: i as u32,
                 };
-                if mgr.recover_validate_chunk(key, byte_len, crc).is_some() {
+                if let Some(bytes) = mgr.recover_validate_chunk(key, byte_len, crc) {
                     n_full = i + 1;
                     resident += byte_len;
                     live.insert(key);
                     report.chunks_recovered += 1;
+                    // Re-warm a tiered backend's DRAM front through its
+                    // normal admission policy — the validated bytes are in
+                    // hand anyway, so a restart does not begin cold.
+                    report.front_warmed_bytes += mgr.store.warm_chunk(key, &bytes);
                 } else {
                     // Torn/missing: keep the consistent prefix, drop this
                     // chunk, everything after it and the tail.
@@ -1616,9 +1776,10 @@ impl<S: ChunkStore> StorageManager<S> {
                         stream,
                         chunk_idx: n_full as u32,
                     };
-                    let decoded = mgr
-                        .recover_validate_chunk(key, byte_len, crc)
-                        .map(|bytes| mgr.precision.decode_par(&bytes, mgr.d_model, &mgr.parallel));
+                    let validated = mgr.recover_validate_chunk(key, byte_len, crc);
+                    let decoded = validated
+                        .as_deref()
+                        .map(|bytes| mgr.precision.decode_par(bytes, mgr.d_model, &mgr.parallel));
                     match decoded {
                         Some(rows_f32) if rows_f32.len() == rows as usize * mgr.d_model => {
                             partial = rows_f32;
@@ -1627,6 +1788,9 @@ impl<S: ChunkStore> StorageManager<S> {
                             resident += byte_len;
                             live.insert(key);
                             report.chunks_recovered += 1;
+                            if let Some(bytes) = &validated {
+                                report.front_warmed_bytes += mgr.store.warm_chunk(key, bytes);
+                            }
                         }
                         _ => report.torn_chunks_discarded += 1,
                     }
@@ -1674,7 +1838,8 @@ impl<S: ChunkStore> StorageManager<S> {
     /// journaled bytes so the resident accounting stays exact. `None`
     /// means torn/missing — the caller truncates the stream here.
     fn recover_validate_chunk(&self, key: ChunkKey, byte_len: u64, crc: u32) -> Option<Vec<u8>> {
-        let mut bytes = read_chunk_retrying(self.store.as_ref(), key).ok()?;
+        let mut bytes =
+            read_chunk_retrying(self.store.as_ref(), key, &self.retry, &self.health).ok()?;
         let want = byte_len as usize;
         if bytes.len() < want || crc32(&bytes[..want]) != crc {
             return None;
@@ -1767,6 +1932,12 @@ struct JobCore {
     /// Raw completions awaiting decode, in completion order.
     staged: std::collections::VecDeque<(usize, Result<Vec<u8>, StorageError>)>,
     in_flight: usize,
+    /// Outstanding submissions by slice index, for stall attribution:
+    /// [`ReactorReadJob::expire_stalled`] blames the lowest one.
+    in_flight_keys: BTreeMap<usize, (ChunkKey, usize)>,
+    /// Last time this pass made observable progress (a submission or a
+    /// completion) — the reference point IO deadlines measure from.
+    last_progress: std::time::Instant,
     /// Next index into `pass.device_chunks` to submit.
     next_submit: usize,
     /// An error was observed; stop topping up the window and let the
@@ -1872,6 +2043,8 @@ impl<S: ChunkStore> ReactorReadJob<S> {
         core.epoch += 1;
         core.staged.clear();
         core.in_flight = 0;
+        core.in_flight_keys.clear();
+        core.last_progress = std::time::Instant::now();
         core.next_submit = 0;
         core.halted = false;
         core.first_err = None;
@@ -1900,9 +2073,13 @@ impl<S: ChunkStore> ReactorReadJob<S> {
         let (i, key, device) = pass.device_chunks[core.next_submit];
         core.next_submit += 1;
         core.in_flight += 1;
+        core.in_flight_keys.insert(i, (key, device));
+        core.last_progress = std::time::Instant::now();
         let epoch = core.epoch;
         let job = Arc::clone(self);
         let store = Arc::clone(&self.mgr.store);
+        let policy = self.mgr.retry;
+        let health = Arc::clone(&self.mgr.health);
         self.mgr
             .reactor
             .as_ref()
@@ -1912,7 +2089,7 @@ impl<S: ChunkStore> ReactorReadJob<S> {
                 // A panicking store must not strand the machine on a
                 // completion that never comes: convert to a typed error.
                 let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    read_chunk_retrying(store.as_ref(), key)
+                    read_chunk_retrying(store.as_ref(), key, &policy, &health)
                 }))
                 .unwrap_or_else(|_| {
                     Err(StorageError::Io(format!(
@@ -1939,6 +2116,8 @@ impl<S: ChunkStore> ReactorReadJob<S> {
                 return;
             }
             core.in_flight -= 1;
+            core.in_flight_keys.remove(&slice_idx);
+            core.last_progress = std::time::Instant::now();
             if res.is_err() {
                 core.halted = true;
             }
@@ -1954,6 +2133,56 @@ impl<S: ChunkStore> ReactorReadJob<S> {
         (self.notify)();
     }
 
+    /// Times out a stalled pass: when IO has been in flight with no
+    /// completion for at least `deadline`, the lowest outstanding chunk
+    /// is blamed with a typed transient [`StorageError::DeviceFailed`]
+    /// (counted as a stall against its lane's breaker), the epoch bump
+    /// fences off the pass's late completions, and the next
+    /// [`ReactorReadJob::pump`] resolves to `Failed` — the driver's
+    /// degradation path, not a wedged lane. Returns whether the job
+    /// expired (callers pump expired jobs). No-op on jobs that are
+    /// terminal, between passes, idle, or still making progress.
+    pub fn expire_stalled(&self, deadline: Duration) -> bool {
+        let mut core = self.core.lock();
+        if core.terminal.is_some()
+            || core.pass.is_none()
+            || core.in_flight == 0
+            || core.last_progress.elapsed() < deadline
+        {
+            return false;
+        }
+        let (&i, &(key, device)) = core
+            .in_flight_keys
+            .iter()
+            .next()
+            // hc-analyze: allow(panic) invariant: in_flight > 0 implies an outstanding entry
+            .expect("in-flight read with no outstanding entry");
+        let in_flight = core.in_flight;
+        // Fence: late completions of this pass carry the old epoch and are
+        // dropped, so zeroing the window here cannot underflow.
+        core.epoch += 1;
+        core.staged.clear();
+        core.in_flight = 0;
+        core.in_flight_keys.clear();
+        core.halted = true;
+        if core.first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+            core.first_err = Some((
+                i,
+                StorageError::DeviceFailed {
+                    key,
+                    device,
+                    transient: true,
+                    msg: format!(
+                        "io deadline {deadline:?} exceeded with {in_flight} reads in flight"
+                    ),
+                },
+            ));
+        }
+        drop(core);
+        self.mgr.health.record_stall(device);
+        true
+    }
+
     /// Abandons the current pass after a tombstone observation: the epoch
     /// bump fences off its in-flight completions, the sink discards
     /// everything delivered, and the next decide starts a fresh pass
@@ -1964,6 +2193,8 @@ impl<S: ChunkStore> ReactorReadJob<S> {
         core.pass = None;
         core.staged.clear();
         core.in_flight = 0;
+        core.in_flight_keys.clear();
+        core.last_progress = std::time::Instant::now();
         core.next_submit = 0;
         core.halted = false;
         core.first_err = None;
@@ -2091,15 +2322,16 @@ impl<S: ChunkStore> ReactorReadJob<S> {
                             if ended.is_some() || !errs.is_empty() {
                                 break;
                             }
-                            match read_chunk_retrying(self.mgr.store.as_ref(), key).and_then(
-                                |bytes| {
-                                    self.mgr.decode_durable_chunk(
-                                        self.stream,
-                                        &pass.slices[i],
-                                        &bytes,
-                                    )
-                                },
-                            ) {
+                            match read_chunk_retrying(
+                                self.mgr.store.as_ref(),
+                                key,
+                                &self.mgr.retry,
+                                &self.mgr.health,
+                            )
+                            .and_then(|bytes| {
+                                self.mgr
+                                    .decode_durable_chunk(self.stream, &pass.slices[i], &bytes)
+                            }) {
                                 Ok(rows) => {
                                     match self.mgr.deliver_slice(&plan, &pass.cell, sink, i, rows) {
                                         StreamPhase::Done => {}
@@ -2173,6 +2405,10 @@ pub struct RecoveryReport {
     /// Total resident bytes after recovery (equals the rebuilt
     /// [`StorageManager::total_resident_bytes`]).
     pub resident_bytes: u64,
+    /// Bytes the backend's DRAM front tier re-admitted while validating
+    /// recovered chunks ([`ChunkStore::warm_chunk`]); 0 for untiered
+    /// backends. A reopened tiered store starts warm, not cold.
+    pub front_warmed_bytes: u64,
 }
 
 #[cfg(test)]
@@ -2893,9 +3129,10 @@ mod tests {
         m.append_rows(s, &rows(128, 3)).unwrap();
         let expect = m.read_rows(s, 0, 128).unwrap();
         // One charge fewer than the attempt budget: the last retry lands.
-        store.fail_reads(FaultTarget::Any, READ_RETRY_ATTEMPTS - 1, true);
+        let attempts = m.retry_policy().attempts;
+        store.fail_reads(FaultTarget::Any, attempts - 1, true);
         assert_eq!(m.read_rows(s, 0, 128).unwrap(), expect);
-        assert_eq!(store.reads_failed() as usize, READ_RETRY_ATTEMPTS - 1);
+        assert_eq!(store.reads_failed() as usize, attempts - 1);
     }
 
     #[test]
@@ -2908,7 +3145,8 @@ mod tests {
             stream: s,
             chunk_idx: 0,
         };
-        store.fail_reads(FaultTarget::Key(k0), READ_RETRY_ATTEMPTS, true);
+        let attempts = m.retry_policy().attempts;
+        store.fail_reads(FaultTarget::Key(k0), attempts, true);
         let err = m.read_rows(s, 0, 64).unwrap_err();
         assert!(
             matches!(
@@ -2920,7 +3158,7 @@ mod tests {
             ),
             "exhausted retries must surface the transient fault: {err:?}"
         );
-        assert_eq!(store.reads_failed() as usize, READ_RETRY_ATTEMPTS);
+        assert_eq!(store.reads_failed() as usize, attempts);
     }
 
     #[test]
@@ -2980,6 +3218,153 @@ mod tests {
         );
     }
 
+    #[test]
+    fn breaker_opens_on_device_outage_and_probe_heals() {
+        use crate::health::{BreakerConfig, BreakerState, DeviceHealth};
+        let store = Arc::new(FaultStore::new(Arc::new(MemStore::new(2))));
+        let cfg = BreakerConfig {
+            consecutive_failures: 3,
+            cooldown: Duration::from_millis(5),
+            ..BreakerConfig::default()
+        };
+        let m = StorageManager::new(Arc::clone(&store), D)
+            .with_device_health(Arc::new(DeviceHealth::with_config(2, cfg)));
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(64, 1)).unwrap(); // chunk 0 → device 0
+        let expect = m.read_rows(s, 0, 64).unwrap();
+        store.device_down(0);
+        // Permanent outage failures get no retry; the configured run of
+        // failed reads opens the breaker.
+        for _ in 0..cfg.consecutive_failures {
+            assert!(m.read_rows(s, 0, 64).is_err());
+        }
+        assert_eq!(m.device_health().state(0), BreakerState::Open);
+        // Open breaker fails fast — typed transient, no device IO.
+        let seen = store.reads_seen();
+        let err = m.read_rows(s, 0, 64).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StorageError::DeviceFailed {
+                    device: 0,
+                    transient: true,
+                    ..
+                }
+            ),
+            "fast-fail must be typed transient: {err:?}"
+        );
+        assert_eq!(
+            store.reads_seen(),
+            seen,
+            "fast-fail must not touch the device"
+        );
+        // After the cooldown a half-open probe goes out; against a
+        // still-down device it fails (one IO) and re-opens the breaker.
+        std::thread::sleep(cfg.cooldown + Duration::from_millis(1));
+        assert!(m.read_rows(s, 0, 64).is_err());
+        assert_eq!(store.reads_seen(), seen + 1, "exactly one probe read");
+        assert_eq!(m.device_health().state(0), BreakerState::Open);
+        // Heal the device; the next probe closes the breaker and reads
+        // flow bit-identically again.
+        store.device_up(0);
+        std::thread::sleep(cfg.cooldown + Duration::from_millis(1));
+        assert_eq!(m.read_rows(s, 0, 64).unwrap(), expect);
+        assert_eq!(m.device_health().state(0), BreakerState::Closed);
+        let (errors, _stalls, trips) = m.device_health().counters(0);
+        assert_eq!(trips, 2, "outage trip + failed-probe retrip");
+        assert!(errors >= 4);
+    }
+
+    #[test]
+    fn stream_devices_names_occupied_lanes_skipping_fast_tier() {
+        let m = StorageManager::new(Arc::new(MemStore::new(4)), D);
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(70, 1)).unwrap();
+        m.flush_stream(s).unwrap(); // tail chunk 1 becomes durable
+        assert_eq!(m.stream_devices(s), vec![0, 1]);
+        assert!(m.stream_devices(StreamId::hidden(9, 9)).is_empty());
+        // Front-resident chunks drop off: they restore without device IO.
+        let per_chunk = 64 * D as u64 * 2;
+        let tiered = Arc::new(crate::tiered::TieredStore::new(
+            Arc::new(MemStore::new(4)),
+            4 * per_chunk,
+        ));
+        let mt = StorageManager::new(tiered, D);
+        mt.append_rows(s, &rows(70, 1)).unwrap();
+        mt.flush_stream(s).unwrap();
+        assert!(
+            mt.stream_devices(s).is_empty(),
+            "all chunks DRAM-front resident"
+        );
+    }
+
+    #[test]
+    fn reactor_deadline_times_out_a_stalled_lane_as_transient() {
+        let store = Arc::new(FaultStore::new(Arc::new(MemStore::new(2))));
+        let m = StorageManager::new(Arc::clone(&store), D)
+            .with_reactor(Reactor::new(2, 2))
+            .with_retry_policy(RetryPolicy::default().with_io_deadline(Duration::from_millis(20)));
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(256, 1)).unwrap(); // 4 chunks over 2 devices
+        let expect = m.read_rows(s, 0, 256).unwrap();
+        store.stall_reads(FaultTarget::Device(1), Duration::from_millis(200));
+        let t = std::time::Instant::now();
+        let err = m.read_rows(s, 0, 256).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StorageError::DeviceFailed {
+                    device: 1,
+                    transient: true,
+                    ..
+                }
+            ),
+            "stall must surface typed transient on the stalled lane: {err:?}"
+        );
+        assert!(
+            t.elapsed() < Duration::from_millis(150),
+            "the deadline must beat the stall"
+        );
+        assert_eq!(m.device_health().counters(1).1, 1, "stall recorded");
+        store.clear_read_stalls();
+        // Let the abandoned stalled reads drain off the device queue —
+        // a fresh read would otherwise queue behind them and time out
+        // again (correctly: the lane is still busy).
+        std::thread::sleep(Duration::from_millis(250));
+        assert_eq!(m.read_rows(s, 0, 256).unwrap(), expect);
+    }
+
+    #[test]
+    fn reactor_job_expire_stalled_fails_typed_and_fences_late_completions() {
+        let store = Arc::new(FaultStore::new(Arc::new(MemStore::new(2))));
+        let m =
+            Arc::new(StorageManager::new(Arc::clone(&store), D).with_reactor(Reactor::new(2, 2)));
+        let s = StreamId::hidden(1, 0);
+        m.append_rows(s, &rows(256, 1)).unwrap();
+        store.stall_reads(FaultTarget::Any, Duration::from_millis(100));
+        let job = m.begin_read_reactor(s, 0, 256, Arc::new(|| {}));
+        let mut sink = RecordingSink::default();
+        assert!(matches!(job.pump(&mut sink), PumpOutcome::Pending));
+        assert!(
+            !job.expire_stalled(Duration::from_millis(500)),
+            "deadline not reached yet"
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(job.expire_stalled(Duration::from_millis(20)));
+        match job.pump(&mut sink) {
+            PumpOutcome::Failed(StorageError::DeviceFailed {
+                transient: true, ..
+            }) => {}
+            other => panic!("expected typed stall failure, got {other:?}"),
+        }
+        // Late completions of the fenced pass must not revive the job.
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(
+            matches!(job.pump(&mut sink), PumpOutcome::Failed(_)),
+            "terminal result is sticky"
+        );
+    }
+
     fn tmp_root(tag: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("hcmgr-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -3009,6 +3394,7 @@ mod tests {
         assert_eq!(report.torn_chunks_discarded, 0);
         assert_eq!(report.journal_bytes_truncated, 0);
         assert_eq!(report.resident_bytes, resident);
+        assert_eq!(report.front_warmed_bytes, 0, "no fast tier to warm");
         assert_eq!(m2.total_resident_bytes(), resident);
         assert_eq!(m2.n_tokens(s), 200);
         assert_eq!(m2.n_tokens(s2), 64, "unflushed buffer rows are lost");
@@ -3018,6 +3404,33 @@ mod tests {
         let freed = m2.delete_stream(s) + m2.delete_stream(s2);
         assert_eq!(freed, resident);
         assert_eq!(m2.total_resident_bytes(), 0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn recover_rewarms_a_tiered_front_and_reports_bytes() {
+        let root = tmp_root("rewarm");
+        let s = StreamId::hidden(1, 0);
+        let expect = {
+            let m = StorageManager::create_durable(&root, 2, D, crate::Precision::F16).unwrap();
+            m.append_rows(s, &rows(128, 3)).unwrap(); // 2 full chunks
+            m.read_rows(s, 0, 128).unwrap()
+        };
+        let back = Arc::new(FileStore::open(&root, 2).unwrap());
+        let tiered = Arc::new(crate::tiered::TieredStore::new(back, 1 << 20));
+        let (m2, report) = StorageManager::recover(Arc::clone(&tiered), &root).unwrap();
+        let resident = 128 * D as u64 * 2;
+        assert_eq!(report.front_warmed_bytes, resident, "both chunks warm");
+        assert_eq!(tiered.front_used_bytes(), resident);
+        // The restart does not begin cold: the restore read never goes
+        // back to the files.
+        let back_reads = tiered.back().stats().total_reads();
+        assert_eq!(m2.read_rows(s, 0, 128).unwrap(), expect);
+        assert_eq!(
+            tiered.back().stats().total_reads(),
+            back_reads,
+            "warm front must serve the restore"
+        );
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -250,6 +250,25 @@ impl<B: ChunkStore> ChunkStore for TieredStore<B> {
         self.back.chunk_keys()
     }
 
+    fn warm_chunk(&self, key: ChunkKey, data: &[u8]) -> u64 {
+        // Recovery re-warm: admit through the normal policy (LRU order =
+        // replay order, oversize chunks bypass), no backing-store IO.
+        // Reports the bytes the front holds for `key` afterwards, so the
+        // recovery tally counts chunks a validation read already
+        // promoted.
+        let (resident, evicted) = {
+            let mut front = self.front.lock();
+            let evicted = front.insert(key, data, self.front_capacity);
+            (front.chunks.contains_key(&key), evicted)
+        };
+        self.report_evictions(evicted);
+        if resident {
+            data.len() as u64
+        } else {
+            0
+        }
+    }
+
     fn n_devices(&self) -> usize {
         self.back.n_devices()
     }
@@ -356,6 +375,26 @@ mod tests {
         assert!(!t.chunk_in_fast_tier(key(0)), "probe must not touch LRU");
         assert!(t.chunk_in_fast_tier(key(1)));
         assert!(t.chunk_in_fast_tier(key(2)));
+    }
+
+    #[test]
+    fn warm_chunk_admits_through_policy_without_back_io() {
+        let t = tiered(64); // two 32-byte chunks
+        assert_eq!(t.warm_chunk(key(0), &[0u8; 32]), 32);
+        assert_eq!(t.warm_chunk(key(1), &[1u8; 32]), 32);
+        assert!(t.chunk_in_fast_tier(key(0)) && t.chunk_in_fast_tier(key(1)));
+        // Re-warming an already-hot chunk reports it still resident.
+        assert_eq!(t.warm_chunk(key(0), &[0u8; 32]), 32);
+        // Oversize bypasses the front, exactly like write-through.
+        assert_eq!(t.warm_chunk(key(3), &[9u8; 65]), 0);
+        assert!(!t.chunk_in_fast_tier(key(3)));
+        // Capacity pressure still evicts: warming a third chunk pushes
+        // out the LRU (chunk 1 — chunk 0 was re-warmed later).
+        assert_eq!(t.warm_chunk(key(4), &[4u8; 32]), 32);
+        assert!(!t.chunk_in_fast_tier(key(1)));
+        // Warming is a DRAM-only movement: the backing store saw no IO.
+        assert_eq!(t.back().stats().total_reads(), 0);
+        assert_eq!(t.back().stats().total_writes(), 0);
     }
 
     #[test]

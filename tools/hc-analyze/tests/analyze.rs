@@ -57,6 +57,21 @@ fn sleep_under_lock_and_guard_across_send() {
 }
 
 #[test]
+fn retry_backoff_under_lock_flagged_and_clean_shape_passes() {
+    // The PR-10 retry-path bug class: a read retry must never sleep its
+    // jittered backoff while a stream guard is held. The sibling function
+    // that snapshots, drops the guard, then sleeps is the accepted shape
+    // (`StorageManager::read_chunk_retrying`) and must stay clean.
+    let f = findings_for("retry_backoff_under_lock.rs");
+    assert_eq!(
+        rule_lines(&f),
+        vec![(Rule::BlockingUnderLock, 17)],
+        "{f:#?}"
+    );
+    assert!(f[0].msg.contains("sleep"), "{}", f[0].msg);
+}
+
+#[test]
 fn relaxed_on_shared_atomic_flagged_on_both_sides() {
     let f = findings_for("atomic_ordering.rs");
     assert_eq!(

@@ -1,0 +1,29 @@
+// Seeded fixture: the PR-10 retry-backoff bug class. `read_retrying`
+// sleeps the jittered backoff with the stream table's guard still held
+// (line 17), serializing every concurrent reader behind one read's
+// retry wait. `read_retrying_ok` snapshots under the guard, drops it,
+// then sleeps — the shape the storage manager's `read_chunk_retrying`
+// must keep.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct StreamTable {
+    pub n_durable: Mutex<u64>,
+}
+
+pub fn read_retrying(table: &StreamTable, backoff: Duration) {
+    let streams = table.n_durable.lock().unwrap();
+    std::thread::sleep(backoff);
+    drop(streams);
+}
+
+pub fn read_retrying_ok(table: &StreamTable, backoff: Duration) {
+    let snapshot;
+    {
+        let streams = table.n_durable.lock().unwrap();
+        snapshot = *streams;
+    }
+    std::thread::sleep(backoff);
+    let _ = snapshot;
+}
